@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn while stdout is redirected to a pipe.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf strings.Builder
+	chunk := make([]byte, 64*1024)
+	for {
+		n, err := r.Read(chunk)
+		buf.Write(chunk[:n])
+		if err != nil {
+			break
+		}
+	}
+	return buf.String(), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "table5", "table7", "figure3", "theorem1", "ablation-count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-experiment", "table1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Municipal") || !strings.Contains(out, "Table 1") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-experiment", "table99"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-experiment", "all", "-scale", "0.002", "-sf", "0.001", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "==== table8") {
+		t.Errorf("RunAll output truncated:\n%.2000s", out)
+	}
+}

@@ -1,0 +1,228 @@
+// fdrepair is the paper's prototype workflow as a command-line tool: load a
+// relation from CSV, declare functional dependencies, detect which ones the
+// data violates, and print ranked antecedent extensions that repair them
+// (§6: "users connect to a … database and visualize its relations and all
+// FDs defined on each relation; then … they can start the process of FD
+// validation").
+//
+// Usage:
+//
+//	fdrepair -csv places.csv -fd "District,Region -> AreaCode" -fd "Zip -> City,State"
+//	fdrepair -csv data.csv -fd "a -> b" -all -max-added 2 -strategy sort
+//	fdrepair -csv data.csv -fd "a -> b" -interactive   # designer loop
+//	fdrepair -csv data.csv -fd "a -> b" -balanced      # §4.4 objective function
+//	fdrepair -csv data.csv -discover -max-lhs 2        # §2 discovery baseline
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/discovery"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/query"
+	"github.com/evolvefd/evolvefd/internal/relation"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+// fdList collects repeated -fd flags.
+type fdList []string
+
+func (f *fdList) String() string { return strings.Join(*f, "; ") }
+
+func (f *fdList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdrepair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fdrepair", flag.ContinueOnError)
+	var fds fdList
+	var (
+		csvPath     = fs.String("csv", "", "CSV file holding the relation (required)")
+		all         = fs.Bool("all", false, "find every repair instead of the first (minimal) one")
+		maxAdded    = fs.Int("max-added", 0, "bound on attributes added per repair (0 = unbounded)")
+		maxGoodness = fs.Int("max-goodness", -1, "discard candidates with |goodness| above this (-1 = off)")
+		minimal     = fs.Bool("minimal", false, "prune repairs that are supersets of other repairs")
+		balanced    = fs.Bool("balanced", false, "use the §4.4 objective (size + inconsistency + |goodness|) instead of minimal-first")
+		strategy    = fs.String("strategy", "pli", "counting strategy: pli, hash, sort, or sql")
+		interactive = fs.Bool("interactive", false, "ask the designer to accept/skip each proposal")
+		discover    = fs.Bool("discover", false, "list minimal exact FDs instead of repairing (-max-lhs bounds antecedents)")
+		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover")
+	)
+	fs.Var(&fds, "fd", "functional dependency \"X1,X2 -> Y\" (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvPath == "" {
+		return fmt.Errorf("-csv is required")
+	}
+	if len(fds) == 0 && !*discover {
+		return fmt.Errorf("at least one -fd is required (or -discover)")
+	}
+	rel, err := relation.ReadCSVFile(*csvPath, relation.CSVOptions{InferKinds: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loaded %s: %d attributes × %d tuples\n", rel.Name(), rel.NumCols(), rel.NumRows())
+
+	counter, err := makeCounter(rel, *strategy)
+	if err != nil {
+		return err
+	}
+	if *discover {
+		return runDiscover(stdout, counter, *maxLHS)
+	}
+	var parsed []core.FD
+	for i, spec := range fds {
+		fd, err := core.ParseFD(rel.Schema(), "F"+strconv.Itoa(i+1), spec)
+		if err != nil {
+			return err
+		}
+		parsed = append(parsed, fd.Decompose()...)
+	}
+
+	opts := core.RepairOptions{
+		FirstOnly:       !*all,
+		MaxAdded:        *maxAdded,
+		PruneNonMinimal: *minimal,
+	}
+	if *balanced {
+		opts.Objective = core.ObjectiveBalanced
+	}
+	if *maxGoodness >= 0 {
+		opts.Candidates.MaxGoodness = maxGoodness
+	}
+
+	if *interactive {
+		return runInteractive(stdin, stdout, counter, parsed, opts)
+	}
+	return runBatch(stdout, counter, parsed, opts)
+}
+
+// runDiscover lists the minimal exact FDs of the instance — the §2
+// "discover everything" baseline, exposed for comparison.
+func runDiscover(w io.Writer, counter pli.Counter, maxLHS int) error {
+	schema := counter.Relation().Schema()
+	fds, stats := discovery.MinimalFDs(counter, discovery.Options{MaxLHS: maxLHS})
+	tab := texttable.New(
+		fmt.Sprintf("\nminimal exact FDs with ≤%d antecedent attributes (%d exactness checks)",
+			maxLHS, stats.Checked),
+		"#", "FD").AlignRight(0)
+	for i, fd := range fds {
+		tab.Add(fmt.Sprintf("%d", i+1), fd.FormatWith(schema))
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d minimal FDs found\n", len(fds))
+	return err
+}
+
+func makeCounter(rel *relation.Relation, strategy string) (pli.Counter, error) {
+	switch strategy {
+	case "pli", "hash", "sort":
+		return pli.NewCounter(rel, pli.Strategy(strategy)), nil
+	case "sql":
+		return query.NewCounter(rel), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want pli, hash, sort, or sql)", strategy)
+	}
+}
+
+func runBatch(w io.Writer, counter pli.Counter, fds []core.FD, opts core.RepairOptions) error {
+	schema := counter.Relation().Schema()
+	ranked := core.OrderFDs(counter, fds, core.ScopeAllAttributes)
+
+	status := texttable.New("\nfunctional dependencies (repair order)",
+		"FD", "confidence", "goodness", "status", "rank").AlignRight(1, 2, 4)
+	for _, rf := range ranked {
+		state := "violated"
+		if rf.Measures.Exact() {
+			state = "satisfied"
+		}
+		status.Add(rf.FD.FormatWith(schema),
+			fmt.Sprintf("%s = %.3f", rf.Measures.ConfidenceRatio(), rf.Measures.Confidence),
+			fmt.Sprintf("%d", rf.Measures.Goodness), state,
+			fmt.Sprintf("%.3f", rf.Rank))
+	}
+	if _, err := io.WriteString(w, status.Render()); err != nil {
+		return err
+	}
+
+	for _, rf := range core.Violated(ranked) {
+		res := core.FindRepairs(counter, rf.FD, opts)
+		fmt.Fprintf(w, "\nrepairs for %s (%d candidates evaluated in %s):\n",
+			rf.FD.FormatWith(schema), res.Stats.Evaluated, res.Stats.Elapsed.Round(100_000).String())
+		if len(res.Repairs) == 0 {
+			fmt.Fprintln(w, "  none found within the configured bounds")
+			continue
+		}
+		tab := texttable.New("", "add to antecedent", "repaired FD", "confidence", "goodness").AlignRight(3)
+		for _, rep := range res.Repairs {
+			tab.Add("+{"+schema.FormatSet(rep.Added)+"}",
+				rep.FD.FormatWith(schema),
+				rep.Measures.ConfidenceRatio(),
+				fmt.Sprintf("%d", rep.Measures.Goodness))
+		}
+		if _, err := io.WriteString(w, tab.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runInteractive drives the semi-automatic designer loop on a terminal:
+// for each violated FD the proposals are printed and the designer answers
+// with a number (accept that proposal), "s" (skip) or "d" (drop the FD).
+func runInteractive(stdin io.Reader, w io.Writer, counter pli.Counter, fds []core.FD, opts core.RepairOptions) error {
+	schema := counter.Relation().Schema()
+	reader := bufio.NewScanner(stdin)
+	advisor := core.NewAdvisor(counter, fds, core.ScopeAllAttributes, opts)
+	steps := advisor.RunSession(func(v core.RankedFD, repairs []core.Repair) (core.Decision, int) {
+		fmt.Fprintf(w, "\nviolated: %s  (%s)\n", v.FD.FormatWith(schema), v.Measures)
+		if len(repairs) == 0 {
+			fmt.Fprintln(w, "  no repair exists; [s]kip or [d]rop?")
+		} else {
+			for i, rep := range repairs {
+				fmt.Fprintf(w, "  [%d] add {%s}  (%s)\n", i+1, schema.FormatSet(rep.Added), rep.Measures)
+			}
+			fmt.Fprintln(w, "  accept which? number, [s]kip, or [d]rop")
+		}
+		for reader.Scan() {
+			answer := strings.TrimSpace(strings.ToLower(reader.Text()))
+			switch {
+			case answer == "s" || answer == "":
+				return core.DecisionSkip, 0
+			case answer == "d":
+				return core.DecisionDrop, 0
+			default:
+				if n, err := strconv.Atoi(answer); err == nil && n >= 1 && n <= len(repairs) {
+					return core.DecisionAccept, n - 1
+				}
+				fmt.Fprintln(w, "  ? number, s, or d")
+			}
+		}
+		return core.DecisionSkip, 0
+	})
+	fmt.Fprintf(w, "\nsession summary:\n%s", core.SessionSummary(schema, steps))
+	if advisor.Consistent() {
+		fmt.Fprintln(w, "all remaining dependencies are satisfied")
+	} else {
+		fmt.Fprintln(w, "some dependencies remain violated")
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// fdsql is a small SQL shell over a directory of CSV files, backed by the
+// internal/query engine — the same engine the "sql" counting strategy uses.
+// It exists to inspect FD violations the way the paper's §4.4 queries do:
+//
+//	fdsql -db ./data -c "SELECT COUNT(DISTINCT District, Region) FROM places"
+//	fdsql -db ./data          # interactive shell
+//
+// Shell commands: \tables, \schema <table>, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/query"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fdsql", flag.ContinueOnError)
+	var (
+		dir     = fs.String("db", "", "directory of CSV files (required)")
+		command = fs.String("c", "", "run one statement and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-db is required")
+	}
+	db, err := relation.LoadDirectory(*dir, relation.CSVOptions{InferKinds: true})
+	if err != nil {
+		return err
+	}
+	if *command != "" {
+		return execute(db, *command, stdout)
+	}
+
+	fmt.Fprintf(stdout, "fdsql: database %s with tables %s\n",
+		db.Name(), strings.Join(db.Names(), ", "))
+	fmt.Fprintln(stdout, `type SQL, or \tables, \schema <table>, \quit`)
+	scanner := bufio.NewScanner(stdin)
+	for {
+		fmt.Fprint(stdout, "fdsql> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(stdout)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return nil
+		case line == `\tables`:
+			fmt.Fprintln(stdout, strings.Join(db.Names(), "\n"))
+		case strings.HasPrefix(line, `\schema`):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\schema`))
+			rel, err := db.Get(name)
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%s%s  -- %d rows\n", rel.Name(), rel.Schema(), rel.NumRows())
+		default:
+			if err := execute(db, line, stdout); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+			}
+		}
+	}
+}
+
+func execute(db *relation.Database, sql string, w io.Writer) error {
+	res, err := query.Run(db, strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, res.Format()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+	return err
+}

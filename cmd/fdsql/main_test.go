@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+func placesDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := datasets.Places().WriteCSVFile(filepath.Join(dir, "places.csv")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOneShotQuery(t *testing.T) {
+	dir := placesDir(t)
+	var out bytes.Buffer
+	err := run([]string{"-db", dir,
+		"-c", "SELECT COUNT(DISTINCT District, Region) AS x FROM places"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2") || !strings.Contains(out.String(), "(1 rows)") {
+		t.Errorf("output wrong:\n%s", out.String())
+	}
+}
+
+func TestOneShotTrailingSemicolon(t *testing.T) {
+	dir := placesDir(t)
+	var out bytes.Buffer
+	err := run([]string{"-db", dir, "-c", "SELECT COUNT(*) FROM places;"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "11") {
+		t.Errorf("COUNT(*) wrong:\n%s", out.String())
+	}
+}
+
+func TestInteractiveSession(t *testing.T) {
+	dir := placesDir(t)
+	var out bytes.Buffer
+	session := strings.Join([]string{
+		`\tables`,
+		`\schema places`,
+		"SELECT Zip, COUNT(DISTINCT City, State) AS combos FROM places GROUP BY Zip ORDER BY combos DESC LIMIT 2",
+		"",          // blank line ignored
+		"SELEC bad", // error surfaces but the shell continues
+		`\schema ghost`,
+		`\quit`,
+	}, "\n") + "\n"
+	err := run([]string{"-db", dir}, strings.NewReader(session), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"places",          // \tables
+		"District:string", // \schema
+		"11 rows",         // \schema row count
+		"combos",          // query header
+		"error:",          // bad query and bad schema
+		"fdsql>",          // prompt
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session output missing %q:\n%s", want, text)
+		}
+	}
+	// The violation query: Zip 10211 and 60415 both have 2 (City,State)
+	// combos — the groups violating F2.
+	if !strings.Contains(text, "2") {
+		t.Errorf("violating groups not shown:\n%s", text)
+	}
+}
+
+func TestInteractiveEOF(t *testing.T) {
+	dir := placesDir(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -db must error")
+	}
+	if err := run([]string{"-db", "/nonexistent-dir"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad directory must error")
+	}
+	dir := placesDir(t)
+	if err := run([]string{"-db", dir, "-c", "NOT SQL"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad one-shot query must error")
+	}
+}

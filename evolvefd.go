@@ -1,0 +1,299 @@
+// Package evolvefd is the public facade of the library: semi-automatic
+// detection and evolution of functional dependencies, reproducing Mazuran,
+// Quintarelli, Tanca & Ugolini, "Semi-automatic support for evolving
+// functional dependencies" (EDBT 2016).
+//
+// The workflow mirrors the paper's tool: open a relation, declare the FDs a
+// designer believes in, Check which ones the data violates, and ask for
+// ranked Repairs that extend the violated antecedents until the
+// dependencies hold again:
+//
+//	rel, _ := evolvefd.OpenCSV("places.csv")
+//	s := evolvefd.NewSession(rel)
+//	s.MustDefine("F1", "District, Region -> AreaCode")
+//	for _, v := range s.Check() {
+//	    suggestions, _ := s.Repair(v.Label, evolvefd.Options{FirstOnly: true})
+//	    fmt.Println(v.Label, "→ add", suggestions[0].Added)
+//	}
+//
+// The heavy lifting lives in internal packages (relation storage, position
+// list indices, the CB repair search, the EB baseline, generators and the
+// experiment harness); this package exposes the stable, name-based surface
+// a downstream user needs.
+package evolvefd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Relation is an in-memory relation instance (see internal/relation).
+type Relation = relation.Relation
+
+// Schema describes a relation's attributes.
+type Schema = relation.Schema
+
+// Value is one typed cell value.
+type Value = relation.Value
+
+// CSVOptions controls CSV parsing.
+type CSVOptions = relation.CSVOptions
+
+// OpenCSV loads a relation from a CSV file. Header cells may carry type
+// annotations ("name:int"); untyped columns are inferred.
+func OpenCSV(path string) (*Relation, error) {
+	return relation.ReadCSVFile(path, relation.CSVOptions{InferKinds: true})
+}
+
+// OpenCSVReader loads a relation from CSV text.
+func OpenCSVReader(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	return relation.ReadCSV(name, r, opts)
+}
+
+// Options tunes a repair search.
+type Options struct {
+	// FirstOnly stops at the first (minimal) repair.
+	FirstOnly bool
+	// MaxAdded bounds how many attributes a repair may add (0 = unbounded).
+	MaxAdded int
+	// MaxGoodness, when ≥ 0, discards candidates whose |goodness| exceeds
+	// it — the §4.4 extension that keeps key-like attributes out of
+	// repairs. Negative means no threshold.
+	MaxGoodness int
+	// Parallelism bounds candidate-evaluation workers (0 = GOMAXPROCS).
+	Parallelism int
+	// MinimalOnly prunes repairs that are supersets of other repairs.
+	MinimalOnly bool
+	// Balanced switches the search to the objective-function mode proposed
+	// in §4.4: repairs are scored by size + inconsistency +
+	// GoodnessWeight·|goodness|, so a slightly longer repair with
+	// near-bijective goodness can beat a short repair built on a UNIQUE
+	// attribute. With FirstOnly the returned repair minimises the score.
+	Balanced bool
+	// GoodnessWeight is the λ of the balanced objective (≤ 0 means 1).
+	GoodnessWeight float64
+}
+
+func (o Options) repairOptions() core.RepairOptions {
+	opts := core.RepairOptions{
+		FirstOnly:       o.FirstOnly,
+		MaxAdded:        o.MaxAdded,
+		PruneNonMinimal: o.MinimalOnly,
+		GoodnessWeight:  o.GoodnessWeight,
+		Candidates:      core.CandidateOptions{Parallelism: o.Parallelism},
+	}
+	if o.Balanced {
+		opts.Objective = core.ObjectiveBalanced
+	}
+	if o.MaxGoodness >= 0 {
+		g := o.MaxGoodness
+		opts.Candidates.MaxGoodness = &g
+	}
+	return opts
+}
+
+// DefaultOptions returns the recommended settings: find every repair, no
+// depth bound, no goodness threshold.
+func DefaultOptions() Options { return Options{MaxGoodness: -1} }
+
+// Measures are the paper's confidence and goodness of one FD on the data.
+type Measures struct {
+	// Confidence is |π_X| / |π_XY| ∈ (0,1]; 1 means the FD is exact.
+	Confidence float64
+	// ConfidenceRatio renders the underlying counts, e.g. "2/4".
+	ConfidenceRatio string
+	// Goodness is |π_X| − |π_Y|; 0 together with confidence 1 means the FD
+	// induces a bijection between antecedent and consequent clusters.
+	Goodness int
+	// Exact reports whether the FD holds on the instance.
+	Exact bool
+}
+
+// Violation is one FD the data violates, with its repair-priority rank.
+type Violation struct {
+	// Label is the FD's name as defined in the session.
+	Label string
+	// FD renders the dependency with attribute names.
+	FD string
+	// Measures are the FD's measures on the instance.
+	Measures Measures
+	// Rank is the §4.1 repair priority; higher repairs first.
+	Rank float64
+}
+
+// Suggestion is one proposed repair of a violated FD.
+type Suggestion struct {
+	// Added lists the attribute names to add to the antecedent, in schema
+	// order.
+	Added []string
+	// FD renders the repaired dependency.
+	FD string
+	// Measures are the repaired FD's measures; Exact is true.
+	Measures Measures
+}
+
+// Session owns one relation instance and a mutable set of named FDs — the
+// unit of the paper's "periodic validation" workflow.
+type Session struct {
+	rel     *Relation
+	counter pli.Counter
+	fds     map[string]core.FD
+	order   []string
+}
+
+// NewSession opens a session over a relation using the default (PLI)
+// counting strategy.
+func NewSession(rel *Relation) *Session {
+	return &Session{
+		rel:     rel,
+		counter: pli.NewPLICounter(rel),
+		fds:     make(map[string]core.FD),
+	}
+}
+
+// Relation returns the session's instance.
+func (s *Session) Relation() *Relation { return s.rel }
+
+// Define declares an FD like "A, B -> C" under a unique label.
+func (s *Session) Define(label, spec string) error {
+	if _, dup := s.fds[label]; dup {
+		return fmt.Errorf("evolvefd: FD %q already defined", label)
+	}
+	fd, err := core.ParseFD(s.rel.Schema(), label, spec)
+	if err != nil {
+		return err
+	}
+	s.fds[label] = fd
+	s.order = append(s.order, label)
+	return nil
+}
+
+// MustDefine is Define that panics on error, for statically-known FDs.
+func (s *Session) MustDefine(label, spec string) {
+	if err := s.Define(label, spec); err != nil {
+		panic(err)
+	}
+}
+
+// Drop removes a defined FD.
+func (s *Session) Drop(label string) {
+	if _, ok := s.fds[label]; !ok {
+		return
+	}
+	delete(s.fds, label)
+	for i, l := range s.order {
+		if l == label {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Labels returns the defined FD labels in definition order.
+func (s *Session) Labels() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// FDText renders a defined FD with attribute names.
+func (s *Session) FDText(label string) (string, error) {
+	fd, ok := s.fds[label]
+	if !ok {
+		return "", fmt.Errorf("evolvefd: unknown FD %q", label)
+	}
+	return fd.FormatWith(s.rel.Schema()), nil
+}
+
+// Measures computes confidence and goodness of one defined FD.
+func (s *Session) Measures(label string) (Measures, error) {
+	fd, ok := s.fds[label]
+	if !ok {
+		return Measures{}, fmt.Errorf("evolvefd: unknown FD %q", label)
+	}
+	return toMeasures(core.Compute(s.counter, fd)), nil
+}
+
+// Check computes all measures and returns the violated FDs in repair order
+// (§4.1: inconsistency degree + conflict score).
+func (s *Session) Check() []Violation {
+	fds := make([]core.FD, 0, len(s.order))
+	for _, label := range s.order {
+		fds = append(fds, s.fds[label])
+	}
+	ranked := core.Violated(core.OrderFDs(s.counter, fds, core.ScopeAllAttributes))
+	out := make([]Violation, 0, len(ranked))
+	for _, rf := range ranked {
+		out = append(out, Violation{
+			Label:    rf.FD.Label,
+			FD:       rf.FD.FormatWith(s.rel.Schema()),
+			Measures: toMeasures(rf.Measures),
+			Rank:     rf.Rank,
+		})
+	}
+	return out
+}
+
+// Repair searches for antecedent extensions that make the labelled FD exact
+// and returns them best-first (minimal size, then confidence, then goodness
+// closest to zero).
+func (s *Session) Repair(label string, opts Options) ([]Suggestion, error) {
+	fd, ok := s.fds[label]
+	if !ok {
+		return nil, fmt.Errorf("evolvefd: unknown FD %q", label)
+	}
+	res := core.FindRepairs(s.counter, fd, opts.repairOptions())
+	out := make([]Suggestion, 0, len(res.Repairs))
+	for _, rep := range res.Repairs {
+		out = append(out, Suggestion{
+			Added:    s.rel.Schema().NameSet(rep.Added),
+			FD:       rep.FD.FormatWith(s.rel.Schema()),
+			Measures: toMeasures(rep.Measures),
+		})
+	}
+	return out, nil
+}
+
+// Accept replaces the labelled FD with its repaired form, adding the
+// suggested attributes to the antecedent — the designer saying yes.
+func (s *Session) Accept(label string, suggestion Suggestion) error {
+	fd, ok := s.fds[label]
+	if !ok {
+		return fmt.Errorf("evolvefd: unknown FD %q", label)
+	}
+	added, err := s.rel.Schema().IndexSet(suggestion.Added...)
+	if err != nil {
+		return err
+	}
+	ext := fd.WithExtendedAntecedent(added)
+	ext.Label = label
+	s.fds[label] = ext
+	return nil
+}
+
+// Consistent reports whether every defined FD holds on the data.
+func (s *Session) Consistent() bool {
+	labels := s.Labels()
+	sort.Strings(labels)
+	for _, label := range labels {
+		m, err := s.Measures(label)
+		if err != nil || !m.Exact {
+			return false
+		}
+	}
+	return true
+}
+
+func toMeasures(m core.Measures) Measures {
+	return Measures{
+		Confidence:      m.Confidence,
+		ConfidenceRatio: m.ConfidenceRatio(),
+		Goodness:        m.Goodness,
+		Exact:           m.Exact(),
+	}
+}

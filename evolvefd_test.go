@@ -1,0 +1,232 @@
+package evolvefd_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+// placesSession opens a session on the running example with F1–F3 defined.
+func placesSession(t *testing.T) *evolvefd.Session {
+	t.Helper()
+	s := evolvefd.NewSession(datasets.Places())
+	for _, label := range []string{"F1", "F2", "F3"} {
+		if err := s.Define(label, datasets.PlacesFDs()[label]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSessionDefineAndLabels(t *testing.T) {
+	s := placesSession(t)
+	if got := s.Labels(); len(got) != 3 || got[0] != "F1" {
+		t.Fatalf("Labels = %v", got)
+	}
+	if err := s.Define("F1", "District -> PhNo"); err == nil {
+		t.Fatal("duplicate label must be rejected")
+	}
+	if err := s.Define("bad", "Ghost -> PhNo"); err == nil {
+		t.Fatal("unknown attribute must be rejected")
+	}
+	text, err := s.FDText("F1")
+	if err != nil || text != "F1: [District, Region] -> [AreaCode]" {
+		t.Fatalf("FDText = %q, %v", text, err)
+	}
+	if _, err := s.FDText("nope"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+}
+
+func TestSessionMeasures(t *testing.T) {
+	s := placesSession(t)
+	m, err := s.Measures("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Confidence != 0.5 || m.Goodness != -2 || m.Exact {
+		t.Fatalf("F1 measures = %+v", m)
+	}
+	if m.ConfidenceRatio != "2/4" {
+		t.Fatalf("ratio = %q", m.ConfidenceRatio)
+	}
+	if _, err := s.Measures("nope"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+}
+
+func TestSessionCheckOrder(t *testing.T) {
+	s := placesSession(t)
+	violations := s.Check()
+	if len(violations) != 3 {
+		t.Fatalf("violations = %d, want 3", len(violations))
+	}
+	if violations[0].Label != "F1" {
+		t.Fatalf("first violation = %s, want F1 (highest rank)", violations[0].Label)
+	}
+	for i := 1; i < len(violations); i++ {
+		if violations[i].Rank > violations[i-1].Rank {
+			t.Fatal("violations not sorted by rank")
+		}
+	}
+	if !strings.Contains(violations[0].FD, "District") {
+		t.Fatalf("violation FD rendering = %q", violations[0].FD)
+	}
+}
+
+func TestSessionRepairAndAccept(t *testing.T) {
+	s := placesSession(t)
+	suggestions, err := s.Repair("F1", evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggestions) != 1 {
+		t.Fatalf("suggestions = %d, want 1", len(suggestions))
+	}
+	best := suggestions[0]
+	if len(best.Added) != 1 || best.Added[0] != "Municipal" {
+		t.Fatalf("best repair = %v, want [Municipal]", best.Added)
+	}
+	if !best.Measures.Exact {
+		t.Fatal("suggestion must be exact")
+	}
+	if err := s.Accept("F1", best); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Measures("F1")
+	if !m.Exact {
+		t.Fatal("accepted repair must make F1 exact")
+	}
+	text, _ := s.FDText("F1")
+	if !strings.Contains(text, "Municipal") {
+		t.Fatalf("F1 after accept = %q", text)
+	}
+}
+
+func TestSessionRepairUnknownAndBadAccept(t *testing.T) {
+	s := placesSession(t)
+	if _, err := s.Repair("nope", evolvefd.DefaultOptions()); err == nil {
+		t.Fatal("unknown label must error")
+	}
+	if err := s.Accept("nope", evolvefd.Suggestion{}); err == nil {
+		t.Fatal("accept on unknown label must error")
+	}
+	if err := s.Accept("F1", evolvefd.Suggestion{Added: []string{"Ghost"}}); err == nil {
+		t.Fatal("accept with unknown attribute must error")
+	}
+}
+
+func TestSessionGoodnessThresholdOption(t *testing.T) {
+	s := placesSession(t)
+	// |g| ≤ 0 keeps only bijection-like candidates: Municipal survives for
+	// F1, PhNo (g=3) does not.
+	suggestions, err := s.Repair("F1", evolvefd.Options{MaxAdded: 1, MaxGoodness: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggestions) != 1 || suggestions[0].Added[0] != "Municipal" {
+		t.Fatalf("thresholded suggestions = %v", suggestions)
+	}
+}
+
+func TestSessionBalancedObjectiveOption(t *testing.T) {
+	// On Places F1 both exact one-step repairs exist: Municipal (g=0) and
+	// PhNo (g=3). Balanced and minimal-first agree here (Municipal); the
+	// option must plumb through without changing this answer.
+	s := placesSession(t)
+	sugg, err := s.Repair("F1", evolvefd.Options{
+		FirstOnly: true, MaxGoodness: -1, Balanced: true,
+	})
+	if err != nil || len(sugg) != 1 {
+		t.Fatalf("balanced repair: %v %d", err, len(sugg))
+	}
+	if sugg[0].Added[0] != "Municipal" {
+		t.Fatalf("balanced best = %v, want Municipal", sugg[0].Added)
+	}
+	// GoodnessWeight plumbs through too.
+	if _, err := s.Repair("F1", evolvefd.Options{
+		Balanced: true, GoodnessWeight: 0.5, MaxGoodness: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionMinimalOnlyOption(t *testing.T) {
+	s := placesSession(t)
+	s.MustDefine("F4", datasets.PlacesF4())
+	all, err := s.Repair("F4", evolvefd.Options{MaxGoodness: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimal, err := s.Repair("F4", evolvefd.Options{MaxGoodness: -1, MinimalOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimal) > len(all) {
+		t.Fatal("MinimalOnly must not add repairs")
+	}
+	for _, sg := range minimal {
+		if len(sg.Added) != 2 {
+			t.Fatalf("minimal F4 repair adds %d attrs, want 2", len(sg.Added))
+		}
+	}
+}
+
+func TestSessionDropAndConsistent(t *testing.T) {
+	s := placesSession(t)
+	if s.Consistent() {
+		t.Fatal("session starts inconsistent")
+	}
+	// Repair F1 and F2; F3 is unrepairable → drop it.
+	for _, label := range []string{"F1", "F2"} {
+		sg, err := s.Repair(label, evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+		if err != nil || len(sg) == 0 {
+			t.Fatalf("%s: %v %d", label, err, len(sg))
+		}
+		if err := s.Accept(label, sg[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drop("F3")
+	s.Drop("F3") // double drop is a no-op
+	if !s.Consistent() {
+		t.Fatal("after repairs+drop the session must be consistent")
+	}
+	if len(s.Labels()) != 2 {
+		t.Fatalf("labels = %v", s.Labels())
+	}
+}
+
+func TestOpenCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "places.csv")
+	if err := datasets.Places().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := evolvefd.OpenCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 11 || rel.NumCols() != 9 {
+		t.Fatalf("shape = %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	s := evolvefd.NewSession(rel)
+	s.MustDefine("F1", "District, Region -> AreaCode")
+	m, _ := s.Measures("F1")
+	if m.Confidence != 0.5 {
+		t.Fatalf("confidence after CSV round trip = %v", m.Confidence)
+	}
+	if _, err := evolvefd.OpenCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestOpenCSVReader(t *testing.T) {
+	rel, err := evolvefd.OpenCSVReader("t", strings.NewReader("a,b\n1,2\n"), evolvefd.CSVOptions{})
+	if err != nil || rel.NumRows() != 1 {
+		t.Fatalf("OpenCSVReader: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package evolvefd_test
+
+import (
+	"fmt"
+	"log"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+// ExampleSession runs the paper's running example: F1 is violated with
+// confidence 2/4, and the best evolution adds Municipal (the candidate with
+// goodness 0, Table 1's top row).
+func ExampleSession() {
+	session := evolvefd.NewSession(datasets.Places())
+	session.MustDefine("F1", "District, Region -> AreaCode")
+
+	for _, v := range session.Check() {
+		fmt.Printf("%s violated: confidence %s, goodness %d\n",
+			v.Label, v.Measures.ConfidenceRatio, v.Measures.Goodness)
+		suggestions, err := session.Repair(v.Label, evolvefd.Options{
+			FirstOnly:   true,
+			MaxGoodness: -1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := session.Accept(v.Label, suggestions[0]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("evolved to:", suggestions[0].FD)
+	}
+	fmt.Println("consistent:", session.Consistent())
+	// Output:
+	// F1 violated: confidence 2/4, goodness -2
+	// evolved to: F1+: [District, Region, Municipal] -> [AreaCode]
+	// consistent: true
+}
+
+// ExampleSession_balanced shows the §4.4 objective function: with Balanced
+// set, repairs are scored by size + inconsistency + |goodness| instead of
+// pure minimality.
+func ExampleSession_balanced() {
+	session := evolvefd.NewSession(datasets.Places())
+	session.MustDefine("F4", "District -> PhNo")
+
+	suggestions, err := session.Repair("F4", evolvefd.Options{
+		FirstOnly:   true,
+		Balanced:    true,
+		MaxGoodness: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best balanced repair adds:", suggestions[0].Added)
+	// Output:
+	// best balanced repair adds: [Municipal Street]
+}

@@ -1,0 +1,106 @@
+// Evolution simulates the scenario that motivates the paper: reality
+// changes under a running database, systematic violations of a constraint
+// appear, and the periodic validation process evolves the constraint
+// instead of "repairing" the data.
+//
+// A telecom schema starts with the rule district → area_code. The regulator
+// then splits area codes by subscriber line type (an overlay plan), so new
+// rows violate the rule — not because they are dirty, but because the rule
+// is stale. The advisor detects the violation, proposes extensions ranked
+// by confidence and goodness, and the accepted repair district, line_type →
+// area_code captures the new reality. Run with:
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+func main() {
+	// Era 1: area_code is a function of district alone. line_type and the
+	// other columns exist but do not influence it yet.
+	before := datasets.Synthesize("subscribers", 5000, 42, []datasets.ColumnSpec{
+		{Name: "subscriber", Card: 0},
+		{Name: "district", Card: 40, Salt: 1},
+		{Name: "line_type", Card: 3, Salt: 2},
+		{Name: "area_code", Card: 40, DerivedFrom: []int{1}, Salt: 3},
+		{Name: "tariff", Card: 12, Salt: 4},
+	})
+
+	check := func(r *relation.Relation, label string) bool {
+		counter := pli.NewPLICounter(r)
+		fd, err := core.ParseFD(r.Schema(), "AC", "district -> area_code")
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := core.Compute(counter, fd)
+		fmt.Printf("[%s] %s: confidence %s = %.3f, goodness %d, exact=%v\n",
+			label, fd.FormatWith(r.Schema()), m.ConfidenceRatio(), m.Confidence, m.Goodness, m.Exact())
+		return m.Exact()
+	}
+
+	fmt.Println("== era 1: the original constraint models reality ==")
+	if !check(before, "era 1") {
+		log.Fatal("era-1 data should satisfy the FD")
+	}
+
+	// Era 2: the overlay plan. New contracts get area codes that also
+	// depend on the line type; existing subscribers keep their old codes.
+	// The live table accumulates both generations, distinguished by the
+	// contract plan column.
+	after := datasets.Synthesize("subscribers", 5000, 43, []datasets.ColumnSpec{
+		{Name: "subscriber", Card: 0},
+		{Name: "district", Card: 40, Salt: 1},
+		{Name: "line_type", Card: 3, Salt: 2},
+		{Name: "area_code", Card: 80, DerivedFrom: []int{1, 2}, Salt: 5},
+		{Name: "tariff", Card: 12, Salt: 4},
+	})
+	schema := relation.MustSchema(
+		relation.Column{Name: "subscriber", Kind: relation.KindString},
+		relation.Column{Name: "district", Kind: relation.KindString},
+		relation.Column{Name: "line_type", Kind: relation.KindString},
+		relation.Column{Name: "area_code", Kind: relation.KindString},
+		relation.Column{Name: "tariff", Kind: relation.KindString},
+		relation.Column{Name: "plan", Kind: relation.KindString},
+	)
+	merged := relation.New("subscribers", schema)
+	for row := 0; row < before.NumRows(); row++ {
+		merged.MustAppend(append(before.Row(row), relation.String("plan-2015"))...)
+	}
+	for row := 0; row < after.NumRows(); row++ {
+		merged.MustAppend(append(after.Row(row), relation.String("plan-2016"))...)
+	}
+
+	fmt.Println("\n== era 2: overlay plan rolls out; violations accumulate ==")
+	if check(merged, "era 2") {
+		log.Fatal("era-2 data should violate the FD")
+	}
+
+	// Periodic validation: the advisor ranks the violation and proposes
+	// evolutions. AcceptFirst plays the designer approving the top-ranked
+	// proposal.
+	counter := pli.NewPLICounter(merged)
+	fd, err := core.ParseFD(merged.Schema(), "AC", "district -> area_code")
+	if err != nil {
+		log.Fatal(err)
+	}
+	advisor := core.NewAdvisor(counter, []core.FD{fd}, core.ScopeAllAttributes,
+		core.RepairOptions{})
+	steps := advisor.RunSession(core.AcceptFirst)
+	fmt.Println("\n== advisor session ==")
+	fmt.Print(core.SessionSummary(merged.Schema(), steps))
+
+	if !advisor.Consistent() {
+		log.Fatal("advisor should have evolved the FD to consistency")
+	}
+	evolved := advisor.FDs()[0]
+	fmt.Printf("\nevolved constraint: %s\n", evolved.FormatWith(merged.Schema()))
+	fmt.Println("the constraint now encodes the overlay plan — data untouched")
+}

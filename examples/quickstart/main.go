@@ -1,0 +1,63 @@
+// Quickstart: define a relation, declare an FD the data violates, and let
+// the library propose how to evolve it. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// Sales log where a "city determines warehouse" rule used to hold — until
+// the company opened a second warehouse in Milan.
+const salesCSV = `order:int,city,warehouse,carrier,weight:float
+1,Milan,MXP-1,fastship,12.5
+2,Milan,MXP-1,fastship,3.0
+3,Rome,FCO-1,slowfreight,80.0
+4,Milan,MXP-2,slowfreight,95.5
+5,Rome,FCO-1,fastship,1.2
+6,Milan,MXP-2,slowfreight,60.0
+7,Turin,TRN-1,fastship,7.7
+`
+
+func main() {
+	rel, err := evolvefd.OpenCSVReader("sales", strings.NewReader(salesCSV), evolvefd.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := evolvefd.NewSession(rel)
+	session.MustDefine("CityWarehouse", "city -> warehouse")
+
+	// 1. Detect: which declared dependencies does the data violate?
+	for _, v := range session.Check() {
+		fmt.Printf("violated: %s  confidence %s = %.2f, goodness %d\n",
+			v.FD, v.Measures.ConfidenceRatio, v.Measures.Confidence, v.Measures.Goodness)
+
+		// 2. Propose: ranked antecedent extensions that make it exact again.
+		suggestions, err := session.Repair(v.Label, evolvefd.Options{MaxGoodness: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range suggestions {
+			fmt.Printf("  option %d: add %v  →  %s (confidence %s, goodness %d)\n",
+				i+1, s.Added, s.FD, s.Measures.ConfidenceRatio, s.Measures.Goodness)
+		}
+
+		// 3. Decide: the designer accepts the top-ranked repair. Here the
+		//    carrier column explains the split (heavy Milan freight ships
+		//    from the new warehouse), so the evolved rule is
+		//    city, carrier → warehouse.
+		if len(suggestions) > 0 {
+			if err := session.Accept(v.Label, suggestions[0]); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("accepted: %s\n", suggestions[0].FD)
+		}
+	}
+
+	fmt.Printf("all dependencies satisfied: %v\n", session.Consistent())
+}

@@ -1,0 +1,62 @@
+// TPCH reproduces a laptop-scale slice of the paper's §6.1 synthetic-data
+// study: generate the eight TPC-H tables, declare the Table 5 dependencies,
+// and time FindFDRepairs on each. Run with:
+//
+//	go run ./examples/tpch            # SF 0.005
+//	go run ./examples/tpch -sf 0.1    # the paper's "100MB" database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+	"github.com/evolvefd/evolvefd/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor (1 = the paper's 1GB database)")
+	firstOnly := flag.Bool("first", false, "stop at the first repair instead of finding all")
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H at SF %g …\n", *sf)
+	genStart := time.Now()
+	db := tpch.Generate(*sf, 1)
+	fmt.Printf("generated %d tables in %s\n\n", db.Len(), time.Since(genStart).Round(time.Millisecond))
+
+	mode := "find all repairs (depth ≤ 3)"
+	if *firstOnly {
+		mode = "find the first repair"
+	}
+	tab := texttable.New("Table 5 workload — "+mode,
+		"table", "FD", "rows", "confidence", "repairs", "time").AlignRight(2, 3, 4, 5)
+	for _, name := range tpch.TableNames {
+		rel, err := db.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fd, err := core.ParseFD(rel.Schema(), name, tpch.Table5FDs()[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		counter := pli.NewPLICounter(rel)
+		start := time.Now()
+		res := core.FindRepairs(counter, fd, core.RepairOptions{
+			FirstOnly: *firstOnly,
+			MaxAdded:  3,
+		})
+		elapsed := time.Since(start)
+		tab.Add(name, tpch.Table5FDs()[name],
+			fmt.Sprintf("%d", rel.NumRows()),
+			fmt.Sprintf("%.3f", res.Initial.Confidence),
+			fmt.Sprintf("%d", len(res.Repairs)),
+			elapsed.Round(time.Microsecond).String())
+	}
+	fmt.Print(tab.Render())
+	fmt.Println("\nexpected shape (paper, Table 5): lineitem dominates by orders of magnitude;")
+	fmt.Println("nation/region are trivial; processing grows with arity more than cardinality.")
+}

@@ -1,0 +1,199 @@
+package evolvefd_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/query"
+	"github.com/evolvefd/evolvefd/internal/relation"
+	"github.com/evolvefd/evolvefd/internal/tpch"
+)
+
+// TestEndToEndCSVWorkflow walks the full designer pipeline across module
+// boundaries: generate → persist to CSV → reload → detect → repair →
+// accept → persist the evolved state, verifying consistency at each step.
+func TestEndToEndCSVWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "places.csv")
+	if err := datasets.Places().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rel, err := evolvefd.OpenCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := evolvefd.NewSession(rel)
+	s.MustDefine("F1", "District, Region -> AreaCode")
+	s.MustDefine("F2", "Zip -> City, State")
+
+	violations := s.Check()
+	if len(violations) != 2 {
+		t.Fatalf("violations = %d, want 2", len(violations))
+	}
+	for _, v := range violations {
+		sugg, err := s.Repair(v.Label, evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sugg) == 0 {
+			t.Fatalf("%s should be repairable", v.Label)
+		}
+		if err := s.Accept(v.Label, sugg[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Consistent() {
+		t.Fatal("session must be consistent after accepting repairs")
+	}
+
+	// The evolved FDs must hold on a fresh reload too (no hidden session
+	// state).
+	rel2, err := evolvefd.OpenCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := evolvefd.NewSession(rel2)
+	for _, label := range s.Labels() {
+		text, err := s.FDText(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := strings.SplitN(text, ": ", 2)[1]
+		if err := s2.Define(label, spec); err != nil {
+			t.Fatalf("re-defining %q: %v", spec, err)
+		}
+		m, err := s2.Measures(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Exact {
+			t.Fatalf("%s (%s) must be exact on reload", label, spec)
+		}
+	}
+}
+
+// TestEndToEndSQLAgainstRepairs cross-checks the repair engine against the
+// SQL engine: for every repair the library proposes, the paper's Q1/Q2
+// query pair must return equal counts.
+func TestEndToEndSQLAgainstRepairs(t *testing.T) {
+	rel := datasets.Places()
+	db := relation.NewDatabase("places")
+	db.Put(rel)
+	counter := pli.NewPLICounter(rel)
+	fd, err := core.ParseFD(rel.Schema(), "F1", "District, Region -> AreaCode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.FindRepairs(counter, fd, core.RepairOptions{})
+	if len(res.Repairs) == 0 {
+		t.Fatal("no repairs found")
+	}
+	for _, rep := range res.Repairs {
+		xNames := quoteAll(rel.Schema().NameSet(rep.FD.X))
+		xyNames := quoteAll(rel.Schema().NameSet(rep.FD.Attrs()))
+		q1 := "SELECT COUNT(DISTINCT " + strings.Join(xNames, ", ") + ") FROM places"
+		q2 := "SELECT COUNT(DISTINCT " + strings.Join(xyNames, ", ") + ") FROM places"
+		r1, err := query.Run(db, q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := query.Run(db, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Rows[0][0] != r2.Rows[0][0] {
+			t.Fatalf("repair %v not confirmed by SQL: %v vs %v",
+				rep.Added, r1.Rows[0][0], r2.Rows[0][0])
+		}
+	}
+}
+
+func quoteAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = "`" + n + "`"
+	}
+	return out
+}
+
+// TestEndToEndTPCHRoundTrip persists a generated TPC-H database to CSV,
+// reloads it, and verifies the FD measures survive serialisation — the
+// integration seam between tpch, relation CSV I/O and core.
+func TestEndToEndTPCHRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := tpch.Generate(0.001, 5)
+	if err := db.SaveDirectory(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("csv files = %d, want 8", len(entries))
+	}
+	back, err := relation.LoadDirectory(dir, relation.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tpch.TableNames {
+		orig, _ := db.Get(name)
+		loaded, err := back.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := core.ParseFD(orig.Schema(), name, tpch.Table5FDs()[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd2, err := core.ParseFD(loaded.Schema(), name, tpch.Table5FDs()[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := core.Compute(pli.NewPLICounter(orig), fd)
+		m2 := core.Compute(pli.NewPLICounter(loaded), fd2)
+		if m1 != m2 {
+			t.Fatalf("%s: measures changed across CSV round trip: %v vs %v", name, m1, m2)
+		}
+	}
+}
+
+// TestEndToEndAdvisorAgainstSessionFacade checks that the low-level Advisor
+// and the public Session facade evolve the same FD set the same way.
+func TestEndToEndAdvisorAgainstSessionFacade(t *testing.T) {
+	rel := datasets.Places()
+
+	// Facade path.
+	s := evolvefd.NewSession(rel)
+	s.MustDefine("F1", "District, Region -> AreaCode")
+	sugg, err := s.Repair("F1", evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+	if err != nil || len(sugg) != 1 {
+		t.Fatalf("facade repair: %v %d", err, len(sugg))
+	}
+	if err := s.Accept("F1", sugg[0]); err != nil {
+		t.Fatal(err)
+	}
+	facadeText, _ := s.FDText("F1")
+
+	// Advisor path.
+	counter := pli.NewPLICounter(rel)
+	fd, err := core.ParseFD(rel.Schema(), "F1", "District, Region -> AreaCode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	advisor := core.NewAdvisor(counter, []core.FD{fd}, core.ScopeAllAttributes,
+		core.RepairOptions{FirstOnly: true})
+	advisor.RunSession(core.AcceptFirst)
+	advisorText := advisor.FDs()[0].FormatWith(rel.Schema())
+
+	if facadeText != advisorText {
+		t.Fatalf("facade evolved %q but advisor evolved %q", facadeText, advisorText)
+	}
+}

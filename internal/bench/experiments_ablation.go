@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/query"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-count",
+		Title: "ablation: distinct-count strategies (PLI vs hash vs sort vs SQL)",
+		Run:   runAblationCount,
+	})
+	register(Experiment{
+		ID:    "ablation-parallel",
+		Title: "ablation: parallel candidate evaluation",
+		Run:   runAblationParallel,
+	})
+	register(Experiment{
+		ID:    "ablation-queue",
+		Title: "ablation: find-first early stop vs full exploration (§4.4)",
+		Run:   runAblationQueue,
+	})
+	register(Experiment{
+		ID:    "ablation-objective",
+		Title: "ablation: minimal-first vs balanced objective (§4.4 proposal)",
+		Run:   runAblationObjective,
+	})
+}
+
+// runAblationCount times one full candidate ranking of the Image FD under
+// each counting strategy. The sort strategy is the paper's own complexity
+// story (§4.4: sort O(n log n) + count O(n)); the SQL strategy is the
+// paper's literal implementation route (COUNT DISTINCT text through a query
+// engine); PLI is this library's default.
+func runAblationCount(cfg Config, w io.Writer) error {
+	rows := int(20000 * cfg.scale() / DefaultScale)
+	if rows < 500 {
+		rows = 500
+	}
+	ds := datasets.Image(rows)
+	fd, err := core.ParseFD(ds.Relation.Schema(), "F", ds.FDSpec)
+	if err != nil {
+		return err
+	}
+	counters := []struct {
+		name string
+		c    pli.Counter
+	}{
+		{"pli (partition products, default)", pli.NewPLICounter(ds.Relation)},
+		{"hash (map of code tuples)", pli.NewHashCounter(ds.Relation)},
+		{"sort (paper's O(n log n) story)", pli.NewSortCounter(ds.Relation)},
+		{"sql (COUNT DISTINCT through internal/query)", query.NewCounter(ds.Relation)},
+	}
+	tab := texttable.New(
+		fmt.Sprintf("ExtendByOne on image (%d rows, %d attrs, serial)", rows, ds.Relation.NumCols()),
+		"strategy", "time", "best candidate").AlignRight(1)
+	var reference int
+	for i, entry := range counters {
+		start := time.Now()
+		cands := core.ExtendByOne(entry.c, fd, core.CandidateOptions{Parallelism: 1})
+		elapsed := time.Since(start)
+		if i == 0 {
+			reference = cands[0].Attr
+		} else if cands[0].Attr != reference {
+			return fmt.Errorf("strategy %s disagrees on the best candidate", entry.name)
+		}
+		tab.Add(entry.name, fmtDuration(elapsed),
+			ds.Relation.Schema().Column(cands[0].Attr).Name)
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, `all strategies must agree on the ranking; the gap between them is the
+price of the counting substrate, not of the method.`)
+	return err
+}
+
+func runAblationParallel(cfg Config, w io.Writer) error {
+	rows := int(8000 * cfg.scale() / DefaultScale)
+	if rows < 300 {
+		rows = 300
+	}
+	ds := datasets.Veterans(rows, 100)
+	fd, err := core.ParseFD(ds.Relation.Schema(), "F", ds.FDSpec)
+	if err != nil {
+		return err
+	}
+	tab := texttable.New(
+		fmt.Sprintf("ExtendByOne on veterans (%d rows × 100 attrs)", rows),
+		"workers", "time", "speedup").AlignRight(0, 1, 2)
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		counter := pli.NewPLICounter(ds.Relation) // fresh cache per config
+		start := time.Now()
+		_ = core.ExtendByOne(counter, fd, core.CandidateOptions{Parallelism: workers})
+		elapsed := time.Since(start)
+		if workers == 1 {
+			base = elapsed
+		}
+		speedup := float64(base) / float64(elapsed)
+		tab.Add(fmt.Sprintf("%d", workers), fmtDuration(elapsed), fmt.Sprintf("%.2fx", speedup))
+	}
+	_, err = io.WriteString(w, tab.Render())
+	return err
+}
+
+// runAblationObjective contrasts the paper's minimal-first order with the
+// §4.4 objective-function proposal on the exact drawback scenario §4.4
+// describes: a UNIQUE attribute repairs the FD alone, while a pair of
+// attributes repairs it with goodness 0. Minimality alone picks the UNIQUE
+// column; the balanced objective picks the structurally better pair.
+func runAblationObjective(cfg Config, w io.Writer) error {
+	rows := int(4000 * cfg.scale() / DefaultScale)
+	if rows < 100 {
+		rows = 100
+	}
+	rel := datasets.Synthesize("tickets", rows, 404, []datasets.ColumnSpec{
+		{Name: "desk", Card: 4, Salt: 1},                            // FD antecedent
+		{Name: "queue", Card: 9, DerivedFrom: []int{3, 4}, Salt: 2}, // consequent
+		{Name: "ticket_id", Card: 0},                                // UNIQUE: repairs alone
+		{Name: "service", Card: 3, Salt: 3},                         // repairs with priority
+		{Name: "priority", Card: 3, Salt: 4},
+	})
+	fd, err := core.ParseFD(rel.Schema(), "F", "desk -> queue")
+	if err != nil {
+		return err
+	}
+	tab := texttable.New(
+		fmt.Sprintf("first repair of desk → queue on tickets (%d rows; queue = f(service, priority))", rows),
+		"objective", "repair", "goodness", "evaluated", "time").AlignRight(2, 3, 4)
+	for _, mode := range []struct {
+		name string
+		obj  core.Objective
+	}{
+		{"minimal-first (paper)", core.ObjectiveMinimalFirst},
+		{"balanced (size + ε_CB)", core.ObjectiveBalanced},
+	} {
+		counter := pli.NewPLICounter(rel)
+		start := time.Now()
+		rep, stats, ok := core.FindFirstRepair(counter, fd, core.RepairOptions{
+			Objective:  mode.obj,
+			Candidates: core.CandidateOptions{Parallelism: cfg.Parallelism},
+		})
+		elapsed := time.Since(start)
+		repair := "none"
+		goodness := "-"
+		if ok {
+			repair = "+{" + rel.Schema().FormatSet(rep.Added) + "}"
+			goodness = fmt.Sprintf("%d", rep.Measures.Goodness)
+		}
+		tab.Add(mode.name, repair, goodness,
+			fmt.Sprintf("%d", stats.Evaluated), fmtDuration(elapsed))
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, `shape check: minimal-first returns the UNIQUE ticket_id (huge goodness);
+the balanced objective returns {service, priority} with goodness near 0 —
+the repair §4.4 argues a designer actually wants — at the cost of a deeper
+search.`)
+	return err
+}
+
+// runAblationQueue reproduces §4.4's observation ("processing times are much
+// smaller if the algorithm stops when it finds the first repair") as a
+// controlled ablation on one Veterans column.
+func runAblationQueue(cfg Config, w io.Writer) error {
+	rows := GridRowCounts(cfg.scale())[0]
+	tab := texttable.New(
+		fmt.Sprintf("find-first vs find-all on veterans (%d rows)", rows),
+		"attrs", "find-first", "find-all", "all/first").AlignRight(0, 1, 2, 3)
+	for _, attrs := range GridAttrCounts() {
+		first, err := RunVeteransCell(cfg, rows, attrs, true)
+		if err != nil {
+			return err
+		}
+		all, err := RunVeteransCell(cfg, rows, attrs, false)
+		if err != nil {
+			return err
+		}
+		ratio := float64(all.Elapsed) / float64(first.Elapsed)
+		tab.Add(fmt.Sprintf("%d", attrs),
+			fmtDuration(first.Elapsed), fmtDuration(all.Elapsed),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, `shape check: the gap widens with attribute count where repairs exist, and
+collapses to ~1x on the unrepairable 10-attribute instances — the paper's
+"the two times are very similar … when the algorithm is not able to find a
+repair".`)
+	return err
+}

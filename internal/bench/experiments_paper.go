@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/evolvefd/evolvefd/internal/cluster"
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "running-example",
+		Title: "§1/§3/§4 running example: measures and repair order on Places",
+		Run:   runRunningExample,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: evolving F1 [District,Region] → [AreaCode]",
+		Run: func(cfg Config, w io.Writer) error {
+			return runCandidateTable(w, "F1", "District, Region -> AreaCode",
+				paperTable1)
+		},
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: evolving F4 [District] → [PhNo]",
+		Run: func(cfg Config, w io.Writer) error {
+			return runCandidateTable(w, "F4", "District -> PhNo", paperTable2)
+		},
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: evolving F4+Street [District,Street] → [PhNo]",
+		Run: func(cfg Config, w io.Writer) error {
+			if err := runCandidateTable(w, "F4Street", "District, Street -> PhNo",
+				paperTable3); err != nil {
+				return err
+			}
+			fmt.Fprintln(w, `note: confidences match the paper exactly. The printed goodness column
+(4,4,4,4,3) does not follow Definition 3 — it equals |π_XA| − |π_AreaCode|, a
+slip carried over from Table 1 (with a further misprint in the City row);
+Definition 3 gives the values above. The paper also omits the Region row
+although Region ∈ R \ XY. See EXPERIMENTS.md.`)
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "figure2",
+		Title: "Figure 2: clusterings of F1, F′ and F″",
+		Run:   runFigure2,
+	})
+}
+
+// paperValue pairs our measured candidate row with the paper's printed one.
+type paperValue struct {
+	attr string
+	conf string // printed confidence, e.g. "4/4 = 1"
+	good string // printed goodness
+}
+
+var paperTable1 = []paperValue{
+	{"Municipal", "4/4 = 1", "0"},
+	{"PhNo", "7/7 = 1", "3"},
+	{"Street", "7/8 = 0.875", "3"},
+	{"Zip", "4/5 = 0.8", "0"},
+	{"City", "4/5 = 0.8", "0"},
+	{"State", "3/5 = 0.6", "-1"},
+}
+
+var paperTable2 = []paperValue{
+	{"Street", "0.875", "1"},
+	{"Municipal", "0.571", "-2"},
+	{"AreaCode", "0.571", "-2"},
+	{"City", "0.571", "-2"},
+	{"Zip", "0.5", "-2"},
+	{"State", "0.429", "-3"},
+	{"Region", "0.286", "-4"},
+}
+
+var paperTable3 = []paperValue{
+	{"Municipal", "1", "4*"},
+	{"AreaCode", "1", "4*"},
+	{"Zip", "0.889", "4*"},
+	{"Region", "(omitted)", "(omitted)"},
+	{"City", "0.875", "4*"},
+	{"State", "0.875", "3*"},
+}
+
+// runCandidateTable regenerates one candidate-ranking table on Places.
+func runCandidateTable(w io.Writer, label, spec string, paper []paperValue) error {
+	r := datasets.Places()
+	counter := pli.NewPLICounter(r)
+	fd, err := core.ParseFD(r.Schema(), label, spec)
+	if err != nil {
+		return err
+	}
+	cands := core.ExtendByOne(counter, fd, core.CandidateOptions{})
+	tab := texttable.New(
+		fmt.Sprintf("candidates extending %s", fd.FormatWith(r.Schema())),
+		"A", "c_FA (measured)", "g_FA (measured)", "c (paper)", "g (paper)",
+	).AlignRight(1, 2, 3, 4)
+	paperByAttr := map[string]paperValue{}
+	for _, p := range paper {
+		paperByAttr[p.attr] = p
+	}
+	for _, c := range cands {
+		name := r.Schema().Column(c.Attr).Name
+		p := paperByAttr[name]
+		tab.Add(name,
+			fmt.Sprintf("%s = %.3g", c.Measures.ConfidenceRatio(), c.Measures.Confidence),
+			fmt.Sprintf("%d", c.Measures.Goodness),
+			p.conf, p.good)
+	}
+	_, err = io.WriteString(w, tab.Render())
+	return err
+}
+
+func runRunningExample(cfg Config, w io.Writer) error {
+	r := datasets.Places()
+	counter := pli.NewPLICounter(r)
+	var fds []core.FD
+	for _, label := range []string{"F1", "F2", "F3"} {
+		fd, err := core.ParseFD(r.Schema(), label, datasets.PlacesFDs()[label])
+		if err != nil {
+			return err
+		}
+		fds = append(fds, fd)
+	}
+	f4, err := core.ParseFD(r.Schema(), "F4", datasets.PlacesF4())
+	if err != nil {
+		return err
+	}
+
+	tab := texttable.New("measures (paper: c_F1=0.5 g=−2, c_F2=0.667 g=−1, c_F3=0.889 g=1, c_F4=0.29 g=−4)",
+		"FD", "definition", "confidence", "goodness", "exact").AlignRight(2, 3)
+	for _, fd := range append(fds, f4) {
+		m := core.Compute(counter, fd)
+		tab.Add(fd.Label, fd.FormatWith(r.Schema()),
+			fmt.Sprintf("%s = %.3f", m.ConfidenceRatio(), m.Confidence),
+			fmt.Sprintf("%d", m.Goodness),
+			fmt.Sprintf("%v", m.Exact()))
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+
+	ranked := core.OrderFDs(counter, fds, core.ScopeConsequentOnly)
+	order := texttable.New("\nrepair order (§4.1; paper prints F1 0.25, F2 0.167, F3 0.056)",
+		"position", "FD", "rank O_F").AlignRight(0, 2)
+	for i, rf := range ranked {
+		order.Add(fmt.Sprintf("%d", i+1), rf.FD.Label, fmt.Sprintf("%.3f", rf.Rank))
+	}
+	_, err = io.WriteString(w, order.Render())
+	return err
+}
+
+// runFigure2 renders the three clustering associations of Figure 2 in text
+// form.
+func runFigure2(cfg Config, w io.Writer) error {
+	r := datasets.Places()
+	mk := func(names ...string) cluster.Clustering {
+		set, err := r.Schema().IndexSet(names...)
+		if err != nil {
+			panic(err)
+		}
+		return *cluster.New(r, set)
+	}
+	y := mk("AreaCode")
+	sections := []struct {
+		title string
+		x     cluster.Clustering
+	}{
+		{"(a) F1: [District, Region] → [AreaCode]", mk("District", "Region")},
+		{"(b) F′: [District, Region, Municipal] → [AreaCode]", mk("District", "Region", "Municipal")},
+		{"(c) F″: [District, Region, PhNo] → [AreaCode]", mk("District", "Region", "PhNo")},
+	}
+	for _, s := range sections {
+		if _, err := io.WriteString(w, cluster.RenderAssociation(s.title, &s.x, &y)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table6",
+		Title: "Table 6: real databases overview and find-first processing times",
+		Run:   runTable6,
+	})
+	register(Experiment{
+		ID:    "table7",
+		Title: "Table 7: Veterans grid — find ALL repairs",
+		Run: func(cfg Config, w io.Writer) error {
+			return runVeteransGrid(cfg, w, false)
+		},
+	})
+	register(Experiment{
+		ID:    "table8",
+		Title: "Table 8: Veterans grid — find FIRST repair",
+		Run: func(cfg Config, w io.Writer) error {
+			return runVeteransGrid(cfg, w, true)
+		},
+	})
+}
+
+func runTable6(cfg Config, w io.Writer) error {
+	tab := texttable.New(
+		fmt.Sprintf("real-database stand-ins at scale %g (find the first repair)", cfg.scale()),
+		"Table", "arity", "card", "FD", "repair", "time (measured)", "paper card", "paper time",
+	).AlignRight(1, 2, 6)
+	for _, ds := range datasets.RealDatasets(cfg.scale()) {
+		r := ds.Relation
+		fd, err := core.ParseFD(r.Schema(), r.Name(), ds.FDSpec)
+		if err != nil {
+			return err
+		}
+		counter := pli.NewPLICounter(r)
+		start := time.Now()
+		rep, _, found := core.FindFirstRepair(counter, fd, core.RepairOptions{
+			MaxAdded:   cfg.MaxAdded,
+			Candidates: core.CandidateOptions{Parallelism: cfg.Parallelism},
+		})
+		elapsed := time.Since(start)
+		repair := "none"
+		if found {
+			repair = "+{" + r.Schema().FormatSet(rep.Added) + "}"
+		}
+		tab.Add(r.Name(),
+			fmt.Sprintf("%d", r.NumCols()),
+			fmt.Sprintf("%d", r.NumRows()),
+			ds.FDSpec, repair, fmtDuration(elapsed),
+			fmt.Sprintf("%d", ds.PaperRows), ds.PaperTime)
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, `shape check: arity, not cardinality, drives time (Veterans ≫ PageLinks
+although PageLinks has more tuples); repair lengths match §6.2 (Places 2,
+Country 1, Image 2, PageLinks 1).`)
+	return err
+}
+
+// GridCell is one Veterans grid measurement, shared with the ablation
+// benches.
+type GridCell struct {
+	Rows    int
+	Attrs   int
+	Repairs int
+	Elapsed time.Duration
+}
+
+// GridRowCounts returns the tuple counts of the Veterans grid at a scale:
+// the paper sweeps 10k…70k; scaled runs shrink proportionally with a floor.
+func GridRowCounts(scale float64) []int {
+	out := make([]int, 0, 7)
+	for n := 10000; n <= 70000; n += 10000 {
+		v := int(float64(n) * scale)
+		if v < 200 {
+			v = 200
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// GridAttrCounts is the paper's attribute sweep.
+func GridAttrCounts() []int { return []int{10, 20, 30} }
+
+// RunVeteransCell measures one grid cell.
+func RunVeteransCell(cfg Config, rows, attrs int, firstOnly bool) (GridCell, error) {
+	ds := datasets.Veterans(rows, attrs)
+	r := ds.Relation
+	fd, err := core.ParseFD(r.Schema(), "F", ds.FDSpec)
+	if err != nil {
+		return GridCell{}, err
+	}
+	maxAdded := cfg.MaxAdded
+	if maxAdded <= 0 {
+		maxAdded = 3
+	}
+	counter := pli.NewPLICounter(r)
+	start := time.Now()
+	res := core.FindRepairs(counter, fd, core.RepairOptions{
+		FirstOnly:  firstOnly,
+		MaxAdded:   maxAdded,
+		Candidates: core.CandidateOptions{Parallelism: cfg.Parallelism},
+	})
+	return GridCell{
+		Rows:    rows,
+		Attrs:   attrs,
+		Repairs: len(res.Repairs),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+func runVeteransGrid(cfg Config, w io.Writer, firstOnly bool) error {
+	mode := "find all repairs"
+	if firstOnly {
+		mode = "find the first repair"
+	}
+	attrCounts := GridAttrCounts()
+	headers := []string{"tuples"}
+	for _, a := range attrCounts {
+		headers = append(headers, fmt.Sprintf("%d attrs", a))
+	}
+	tab := texttable.New(
+		fmt.Sprintf("Veterans grid, %s (scale %g; paper sweeps 10k–70k tuples)", mode, cfg.scale()),
+		headers...,
+	).AlignRight(0, 1, 2, 3)
+	for _, rows := range GridRowCounts(cfg.scale()) {
+		cells := []string{fmt.Sprintf("%d", rows)}
+		for _, attrs := range attrCounts {
+			cell, err := RunVeteransCell(cfg, rows, attrs, firstOnly)
+			if err != nil {
+				return err
+			}
+			text := fmtDuration(cell.Elapsed)
+			if cell.Repairs == 0 {
+				text += " (no repair)"
+			}
+			cells = append(cells, text)
+		}
+		tab.Add(cells...)
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	note := `shape check: time grows much faster along the attribute axis than the
+tuple axis (§6.2.1); the 10-attribute column finds no repair (the planted
+second repair attribute sits at position 12), so find-first degenerates to
+exploring the whole space there — the paper observed the same on its 70k/10
+cell.`
+	if firstOnly {
+		note = `shape check: find-first is far below find-all in the columns where a
+repair exists, and equals it in the 10-attribute column where none does —
+exactly Table 8 vs Table 7 in the paper.`
+	}
+	_, err := fmt.Fprintln(w, note)
+	return err
+}

@@ -1,0 +1,291 @@
+// Package bitset provides compact, growable sets of small non-negative
+// integers. It is used throughout evolvefd to represent sets of attribute
+// positions: relations such as the Veterans case study of the paper have
+// hundreds of attributes, so a fixed 64-bit word is not enough.
+//
+// A Set is a value type backed by a []uint64; the zero value is an empty set.
+// All operations that return a Set allocate a fresh backing slice, so Sets can
+// be shared freely between goroutines as long as callers do not mutate them
+// concurrently with readers.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of small non-negative integers ("members"). The zero value is
+// an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing the given members.
+func New(members ...int) Set {
+	var s Set
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// FromRange returns the set {lo, lo+1, ..., hi-1}.
+func FromRange(lo, hi int) Set {
+	var s Set
+	for i := lo; i < hi; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// Add inserts m into the set, growing the backing storage if needed.
+// Add panics if m is negative.
+func (s *Set) Add(m int) {
+	if m < 0 {
+		panic("bitset: negative member " + strconv.Itoa(m))
+	}
+	w := m / wordBits
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (m % wordBits)
+}
+
+// Remove deletes m from the set. Removing an absent member is a no-op.
+func (s *Set) Remove(m int) {
+	if m < 0 {
+		return
+	}
+	w := m / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (m % wordBits)
+	}
+}
+
+// Contains reports whether m is a member of the set.
+func (s Set) Contains(m int) bool {
+	if m < 0 {
+		return false
+	}
+	w := m / wordBits
+	return w < len(s.words) && s.words[w]&(1<<(m%wordBits)) != 0
+}
+
+// Len returns the number of members.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	w := make([]uint64, n)
+	copy(w, s.words)
+	for i, tw := range t.words {
+		w[i] |= tw
+	}
+	return Set{words: w}
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	w := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		w[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: w}
+}
+
+// Diff returns s \ t as a new set.
+func (s Set) Diff(t Set) Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	for i := 0; i < len(w) && i < len(t.words); i++ {
+		w[i] &^= t.words[i]
+	}
+	return Set{words: w}
+}
+
+// With returns s ∪ {m} as a new set, leaving s unchanged.
+func (s Set) With(m int) Set {
+	c := s.Clone()
+	c.Add(m)
+	return c
+}
+
+// Without returns s \ {m} as a new set, leaving s unchanged.
+func (s Set) Without(m int) Set {
+	c := s.Clone()
+	c.Remove(m)
+	return c
+}
+
+// SubsetOf reports whether every member of s is also in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ t (subset and not equal).
+func (s Set) ProperSubsetOf(t Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same members.
+func (s Set) Equal(t Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the members in increasing order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (s Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest member, or -1 if the set is empty.
+func (s Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every member in increasing order. Iteration stops if
+// fn returns false.
+func (s Set) ForEach(fn func(m int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << b
+		}
+	}
+}
+
+// Key returns a string usable as a map key that uniquely identifies the set's
+// contents (trailing zero words are ignored, so equal sets produce equal keys).
+func (s Set) Key() string {
+	end := len(s.words)
+	for end > 0 && s.words[end-1] == 0 {
+		end--
+	}
+	if end == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(end * 8)
+	for _, w := range s.words[:end] {
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(w >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// String renders the set as "{1,4,7}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(m int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(m))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,346 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Fatal("zero Set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("zero Set should contain nothing")
+	}
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatalf("Min/Max on empty = %d/%d, want -1/-1", s.Min(), s.Max())
+	}
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(3, 64, 481) // crosses word boundaries, like Veterans' 481 attrs
+	for _, m := range []int{3, 64, 481} {
+		if !s.Contains(m) {
+			t.Errorf("Contains(%d) = false, want true", m)
+		}
+	}
+	for _, m := range []int{0, 63, 65, 480, 482, 1000} {
+		if s.Contains(m) {
+			t.Errorf("Contains(%d) = true, want false", m)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 2 {
+		t.Fatal("Remove(64) failed")
+	}
+	s.Remove(64) // removing again is a no-op
+	if s.Len() != 2 {
+		t.Fatal("double Remove changed the set")
+	}
+	s.Remove(-1) // negative is a no-op
+	if s.Len() != 2 {
+		t.Fatal("Remove(-1) changed the set")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) should panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := New(70, 2, 400, 3, 129)
+	want := []int{2, 3, 70, 129, 400}
+	if got := s.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 400 {
+		t.Fatalf("Min/Max = %d/%d, want 2/400", s.Min(), s.Max())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3, 100)
+	b := New(3, 4, 100, 200)
+
+	if got := a.Union(b).Members(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 100, 200}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Members(); !reflect.DeepEqual(got, []int{3, 100}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b).Members(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := b.Diff(a).Members(); !reflect.DeepEqual(got, []int{4, 200}) {
+		t.Errorf("Diff reverse = %v", got)
+	}
+}
+
+func TestWithWithoutDoNotMutate(t *testing.T) {
+	a := New(1, 2)
+	b := a.With(3)
+	c := a.Without(2)
+	if a.Len() != 2 || !a.Contains(1) || !a.Contains(2) {
+		t.Fatal("With/Without mutated the receiver")
+	}
+	if !b.Contains(3) || b.Len() != 3 {
+		t.Fatal("With result wrong")
+	}
+	if c.Contains(2) || c.Len() != 1 {
+		t.Fatal("Without result wrong")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2, 3)
+	empty := Set{}
+
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !a.ProperSubsetOf(b) {
+		t.Fatal("ProperSubsetOf(a,b) should hold")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Fatal("a is not a proper subset of itself")
+	}
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Fatal("empty set must be subset of everything")
+	}
+	if !a.Equal(New(2, 1)) {
+		t.Fatal("Equal should ignore insertion order")
+	}
+	// Equal must tolerate different backing lengths.
+	big := New(500)
+	big.Remove(500)
+	if !big.Equal(empty) || !empty.Equal(big) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	if New(1, 2).Intersects(New(3, 4)) {
+		t.Fatal("disjoint sets should not intersect")
+	}
+	if !New(1, 200).Intersects(New(200)) {
+		t.Fatal("sets sharing 200 should intersect")
+	}
+	if (Set{}).Intersects(New(1)) {
+		t.Fatal("empty set intersects nothing")
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	a := New(1, 65)
+	b := New(65, 1)
+	if a.Key() != b.Key() {
+		t.Fatal("equal sets must have equal keys")
+	}
+	// Trailing zero words must not affect the key.
+	c := New(1, 65, 500)
+	c.Remove(500)
+	if a.Key() != c.Key() {
+		t.Fatal("key must ignore trailing zero words")
+	}
+	if a.Key() == New(1, 66).Key() {
+		t.Fatal("different sets must have different keys")
+	}
+	if (Set{}).Key() != "" {
+		t.Fatal("empty set key should be empty string")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(1, 2, 3, 4, 5)
+	var seen []int
+	s.ForEach(func(m int) bool {
+		seen = append(seen, m)
+		return m < 3
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2, 3}) {
+		t.Fatalf("seen = %v, want [1 2 3]", seen)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+// randomSet builds a set plus a reference map representation from rng.
+func randomSet(rng *rand.Rand, maxMember int) (Set, map[int]bool) {
+	var s Set
+	ref := make(map[int]bool)
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		m := rng.Intn(maxMember)
+		s.Add(m)
+		ref[m] = true
+	}
+	return s, ref
+}
+
+func refMembers(ref map[int]bool) []int {
+	out := make([]int, 0, len(ref))
+	for m := range ref {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestQuickAgainstMapModel cross-checks Set against a map[int]bool model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		s, ref := randomSet(rng, 600)
+		if s.Len() != len(ref) {
+			t.Fatalf("iter %d: Len = %d, want %d", iter, s.Len(), len(ref))
+		}
+		got := s.Members()
+		want := refMembers(ref)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: Members = %v, want %v", iter, got, want)
+		}
+	}
+}
+
+// TestQuickAlgebraLaws verifies set-algebra identities on random sets.
+func TestQuickAlgebraLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		a, _ := randomSet(rng, 300)
+		b, _ := randomSet(rng, 300)
+		c, _ := randomSet(rng, 300)
+
+		if !a.Union(b).Equal(b.Union(a)) {
+			t.Fatal("union not commutative")
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatal("intersection not commutative")
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			t.Fatal("union not associative")
+		}
+		// A \ B ⊆ A and disjoint from B.
+		d := a.Diff(b)
+		if !d.SubsetOf(a) {
+			t.Fatal("diff not subset of lhs")
+		}
+		if d.Intersects(b) {
+			t.Fatal("diff intersects rhs")
+		}
+		// |A ∪ B| = |A| + |B| − |A ∩ B|
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		// De Morgan within the union universe: (A∪B) \ (A∩B) == (A\B) ∪ (B\A)
+		sym := a.Diff(b).Union(b.Diff(a))
+		if !a.Union(b).Diff(a.Intersect(b)).Equal(sym) {
+			t.Fatal("symmetric difference identity violated")
+		}
+	}
+}
+
+// TestQuickKeyInjective uses testing/quick to confirm Key() is injective over
+// the member lists actually representable.
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b Set
+		for _, x := range xs {
+			a.Add(int(x) % 1024)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % 1024)
+		}
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	var s Set
+	for i := 0; i < 500; i++ {
+		s.Add(i * 3 % 481)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Contains(i % 481)
+	}
+}
+
+func BenchmarkUnion481(b *testing.B) {
+	a := FromRange(0, 240)
+	c := FromRange(200, 481)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c)
+	}
+}
+
+func TestFromRange(t *testing.T) {
+	s := FromRange(3, 7)
+	if got := s.Members(); !reflect.DeepEqual(got, []int{3, 4, 5, 6}) {
+		t.Fatalf("FromRange(3,7) = %v", got)
+	}
+	if !FromRange(5, 5).IsEmpty() || !FromRange(5, 3).IsEmpty() {
+		t.Fatal("empty/inverted ranges must produce the empty set")
+	}
+	// Ranges crossing word boundaries.
+	wide := FromRange(60, 70)
+	if wide.Len() != 10 || !wide.Contains(63) || !wide.Contains(64) {
+		t.Fatalf("cross-word range wrong: %v", wide)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := New(1, 65, 3).String(); got != "{1,3,65}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{0}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestIsEmptyWithZeroWords(t *testing.T) {
+	s := New(100)
+	s.Remove(100)
+	if !s.IsEmpty() {
+		t.Fatal("set with only zero words must be empty")
+	}
+	if s.Contains(-5) {
+		t.Fatal("negative members are never contained")
+	}
+}

@@ -1,0 +1,200 @@
+// Package cluster implements the clustering view of functional dependencies
+// (Definitions 5 and 6 of the paper): the X-clustering of an instance, the
+// proper-association test, and the homogeneity / completeness properties
+// that connect the paper's confidence-based measures to the entropy-based
+// baseline (§5, Theorem 1).
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Class is one cluster of an X-clustering: the tuples sharing a value for
+// every attribute of X.
+type Class struct {
+	// Label renders the shared attribute values, e.g.
+	// "District=Brookside, Region=Granville".
+	Label string
+	// Rows are the indices of the tuples in the class, ascending.
+	Rows []int
+}
+
+// Size returns the number of tuples in the class.
+func (c *Class) Size() int { return len(c.Rows) }
+
+// Clustering is the partition C_X of an instance into classes of tuples that
+// agree on every attribute of X (Definition 5). Unlike pli.Partition it
+// stores every class (including singletons) with a human-readable label,
+// because it backs explanations shown to the designer (Figure 2) and the
+// entropy computations that need class intersections.
+type Clustering struct {
+	attrs      bitset.Set
+	classes    []Class
+	rowToClass []int
+	numRows    int
+}
+
+// New builds the X-clustering of r for the attribute set x. Classes are
+// ordered by first occurrence, so the result is deterministic. NULL cells
+// group together, mirroring pli.
+func New(r *relation.Relation, x bitset.Set) *Clustering {
+	cols := x.Members()
+	n := r.NumRows()
+	c := &Clustering{
+		attrs:      x.Clone(),
+		rowToClass: make([]int, n),
+		numRows:    n,
+	}
+	columns := make([][]int32, len(cols))
+	for i, col := range cols {
+		columns[i] = r.ColumnCodes(col)
+	}
+	index := make(map[string]int, n)
+	key := make([]byte, len(cols)*4)
+	for row := 0; row < n; row++ {
+		k := key[:0]
+		for _, codes := range columns {
+			v := codes[row]
+			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		ci, ok := index[string(k)]
+		if !ok {
+			ci = len(c.classes)
+			index[string(k)] = ci
+			c.classes = append(c.classes, Class{Label: classLabel(r, cols, row)})
+		}
+		c.classes[ci].Rows = append(c.classes[ci].Rows, row)
+		c.rowToClass[row] = ci
+	}
+	return c
+}
+
+func classLabel(r *relation.Relation, cols []int, row int) string {
+	if len(cols) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(cols))
+	for i, col := range cols {
+		v := r.Value(row, col)
+		text := v.String()
+		if v.IsNull() {
+			text = "NULL"
+		}
+		parts[i] = fmt.Sprintf("%s=%s", r.Schema().Column(col).Name, text)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Attrs returns the attribute set X that induced the clustering.
+func (c *Clustering) Attrs() bitset.Set { return c.attrs }
+
+// NumRows returns the number of tuples covered.
+func (c *Clustering) NumRows() int { return c.numRows }
+
+// NumClasses returns |C_X| = |π_X(r)|.
+func (c *Clustering) NumClasses() int { return len(c.classes) }
+
+// Classes returns all classes. The slice is owned by the clustering.
+func (c *Clustering) Classes() []Class { return c.classes }
+
+// ClassOf returns the index of the class containing the given row.
+func (c *Clustering) ClassOf(row int) int { return c.rowToClass[row] }
+
+// ProperlyAssociated reports whether class index ci of c is properly
+// associated with some class of other (Definition 6): there is a unique
+// class of other containing every row of ci; it returns that class index and
+// true, or -1 and false.
+func (c *Clustering) ProperlyAssociated(ci int, other *Clustering) (int, bool) {
+	rows := c.classes[ci].Rows
+	if len(rows) == 0 {
+		return -1, false
+	}
+	target := other.rowToClass[rows[0]]
+	for _, row := range rows[1:] {
+		if other.rowToClass[row] != target {
+			return -1, false
+		}
+	}
+	return target, true
+}
+
+// HomogeneousWith reports whether c is homogeneous with respect to other:
+// every class of c is properly associated with (contained in) a class of
+// other. When C_X is homogeneous w.r.t. C_Y, the correspondence X→Y is a
+// well-defined function on classes.
+func (c *Clustering) HomogeneousWith(other *Clustering) bool {
+	for ci := range c.classes {
+		if _, ok := c.ProperlyAssociated(ci, other); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CompleteWith reports the completeness property of c versus other (§5):
+// every class of other is contained in a single class of c. It is exactly
+// homogeneity with the roles swapped.
+func (c *Clustering) CompleteWith(other *Clustering) bool {
+	return other.HomogeneousWith(c)
+}
+
+// WellDefinedFunctionTo reports whether classes of c map to classes of other
+// by a well-defined bijective function: homogeneity in both directions. For
+// an FD X→Y this happens exactly when confidence is 1 and goodness is 0
+// (§3 of the paper; machine-checked by property tests in internal/core).
+func (c *Clustering) WellDefinedFunctionTo(other *Clustering) bool {
+	return c.HomogeneousWith(other) && c.CompleteWith(other)
+}
+
+// FunctionTo returns, when c is homogeneous w.r.t. other, the class-level
+// function as a slice mapping class index of c to class index of other. The
+// boolean is false when the correspondence is not a function.
+func (c *Clustering) FunctionTo(other *Clustering) ([]int, bool) {
+	out := make([]int, len(c.classes))
+	for ci := range c.classes {
+		target, ok := c.ProperlyAssociated(ci, other)
+		if !ok {
+			return nil, false
+		}
+		out[ci] = target
+	}
+	return out, true
+}
+
+// JointCounts returns the contingency table between c and other as a sparse
+// map from (class of c, class of other) to the number of shared rows. It is
+// the joint distribution P(k,k′)·n used by the Variation of Information
+// (§5).
+func (c *Clustering) JointCounts(other *Clustering) map[[2]int]int {
+	out := make(map[[2]int]int)
+	for row := 0; row < c.numRows; row++ {
+		out[[2]int{c.rowToClass[row], other.rowToClass[row]}]++
+	}
+	return out
+}
+
+// Equal reports whether two clusterings partition the rows identically
+// (labels are ignored).
+func (c *Clustering) Equal(other *Clustering) bool {
+	if c.numRows != other.numRows || len(c.classes) != len(other.classes) {
+		return false
+	}
+	// Same partition iff the joint table is diagonal-like: every pair maps
+	// one class to exactly one class in both directions.
+	seen := make(map[int]int)
+	for row := 0; row < c.numRows; row++ {
+		a, b := c.rowToClass[row], other.rowToClass[row]
+		if prev, ok := seen[a]; ok {
+			if prev != b {
+				return false
+			}
+		} else {
+			seen[a] = b
+		}
+	}
+	return len(seen) == len(other.classes)
+}

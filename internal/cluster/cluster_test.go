@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+func buildRelation(t testing.TB, cols []string, rows [][]string) *relation.Relation {
+	t.Helper()
+	schema, err := relation.SchemaOf(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New("t", schema)
+	for _, row := range rows {
+		if err := r.AppendStrings(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestNewClustering(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"2", "y"}, {"1", "z"}, {"2", "y"},
+	})
+	c := New(r, bitset.New(0))
+	if c.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d, want 2", c.NumClasses())
+	}
+	if c.NumRows() != 4 {
+		t.Fatalf("NumRows = %d", c.NumRows())
+	}
+	// First-occurrence order: class 0 = a=1 rows {0,2}, class 1 = a=2 {1,3}.
+	if got := c.Classes()[0].Rows; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("class 0 rows = %v", got)
+	}
+	if c.Classes()[0].Label != "a=1" {
+		t.Fatalf("label = %q", c.Classes()[0].Label)
+	}
+	if c.ClassOf(3) != 1 {
+		t.Fatalf("ClassOf(3) = %d", c.ClassOf(3))
+	}
+	if c.Classes()[0].Size() != 2 {
+		t.Fatal("Size wrong")
+	}
+}
+
+func TestEmptyAttrsClustering(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{"1"}, {"2"}})
+	c := New(r, bitset.Set{})
+	if c.NumClasses() != 1 {
+		t.Fatalf("∅-clustering should have 1 class, got %d", c.NumClasses())
+	}
+	if c.Classes()[0].Label != "⊤" {
+		t.Fatalf("label = %q", c.Classes()[0].Label)
+	}
+}
+
+func TestNullsGroupTogether(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{""}, {"x"}, {""}})
+	c := New(r, bitset.New(0))
+	if c.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d, want 2", c.NumClasses())
+	}
+	if c.ClassOf(0) != c.ClassOf(2) {
+		t.Fatal("NULL rows must share a class")
+	}
+	if !strings.Contains(c.Classes()[0].Label, "NULL") {
+		t.Fatalf("NULL class label = %q", c.Classes()[0].Label)
+	}
+}
+
+// paperF1Relation reproduces the District/Region/Municipal/AreaCode/PhNo
+// columns of the running example (Figure 1, as reconstructed from the
+// paper's measures — see internal/datasets for the full relation and the
+// reconstruction notes) to validate the clusterings of Figure 2.
+func paperF1Relation(t *testing.T) *relation.Relation {
+	return buildRelation(t,
+		[]string{"District", "Region", "Municipal", "AreaCode", "PhNo"},
+		[][]string{
+			{"Brookside", "Granville", "Glendale", "613", "974-2345"},
+			{"Brookside", "Granville", "Glendale", "613", "974-2345"},
+			{"Brookside", "Granville", "Glendale", "613", "299-1010"},
+			{"Brookside", "Granville", "Guildwood", "515", "220-1200"},
+			{"Brookside", "Granville", "Guildwood", "515", "220-1200"},
+			{"Alexandria", "Moore Park", "NapaHill", "415", "220-1200"},
+			{"Alexandria", "Moore Park", "NapaHill", "415", "930-2525"},
+			{"Alexandria", "Moore Park", "NapaHill", "415", "555-1234"},
+			{"Alexandria", "Moore Park", "QueenAnne", "517", "888-5152"},
+			{"Alexandria", "Moore Park", "QueenAnne", "517", "888-5152"},
+			{"Alexandria", "Moore Park", "QueenAnne", "517", "888-5152"},
+		})
+}
+
+func TestFigure2aNoFunction(t *testing.T) {
+	r := paperF1Relation(t)
+	cx := New(r, bitset.New(0, 1)) // District, Region
+	cy := New(r, bitset.New(3))    // AreaCode
+	if cx.NumClasses() != 2 {
+		t.Fatalf("|C_{D,R}| = %d, want 2", cx.NumClasses())
+	}
+	if cy.NumClasses() != 4 {
+		t.Fatalf("|C_A| = %d, want 4", cy.NumClasses())
+	}
+	if cx.HomogeneousWith(cy) {
+		t.Fatal("Figure 2a: no function exists, F1 is violated")
+	}
+	if _, ok := cx.FunctionTo(cy); ok {
+		t.Fatal("FunctionTo must fail for Figure 2a")
+	}
+}
+
+func TestFigure2bWellDefinedFunction(t *testing.T) {
+	// F′: [District, Region, Municipal] → [AreaCode] is exact and bijective
+	// (Figure 2b): C_{D,R,M} = {t1,t2,t3},{t4,t5},{t6,t7,t8},{t9,t10,t11}
+	// maps one-to-one onto the four AreaCode clusters.
+	r := paperF1Relation(t)
+	cx := New(r, bitset.New(0, 1, 2))
+	cy := New(r, bitset.New(3))
+	if cx.NumClasses() != 4 || cy.NumClasses() != 4 {
+		t.Fatalf("|C_DRM| = %d, |C_A| = %d, want 4 and 4", cx.NumClasses(), cy.NumClasses())
+	}
+	if !cx.WellDefinedFunctionTo(cy) {
+		t.Fatal("Figure 2b: F′ must induce a well-defined bijective function")
+	}
+	fn, ok := cx.FunctionTo(cy)
+	if !ok || len(fn) != cx.NumClasses() {
+		t.Fatal("FunctionTo should produce a total mapping")
+	}
+}
+
+func TestFigure2cFunctionNotBijective(t *testing.T) {
+	// F″: [District, Region, PhNo] → [AreaCode] is exact (a function) but
+	// not bijective: C_{D,R,PhNo} has 7 classes vs 4 AreaCode clusters
+	// (Figure 2c); the phone number over-fragments the antecedent.
+	r := paperF1Relation(t)
+	cx := New(r, bitset.New(0, 1, 4))
+	cy := New(r, bitset.New(3))
+	if cx.NumClasses() != 7 {
+		t.Fatalf("|C_DRP| = %d, want 7", cx.NumClasses())
+	}
+	if !cx.HomogeneousWith(cy) {
+		t.Fatal("Figure 2c: F″ must induce a function")
+	}
+	if cx.CompleteWith(cy) || cx.WellDefinedFunctionTo(cy) {
+		t.Fatal("Figure 2c: the function must not be bijective")
+	}
+}
+
+func TestHomogeneityCompletenessBijectivity(t *testing.T) {
+	// a → b is exact and bijective: c=1, g=0.
+	bij := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"2", "y"}, {"1", "x"}, {"3", "z"},
+	})
+	ca, cb := New(bij, bitset.New(0)), New(bij, bitset.New(1))
+	if !ca.HomogeneousWith(cb) || !ca.CompleteWith(cb) || !ca.WellDefinedFunctionTo(cb) {
+		t.Fatal("bijective case must be homogeneous and complete")
+	}
+
+	// a → b exact but NOT bijective (two a-values share one b-value).
+	fn := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"2", "x"}, {"3", "y"},
+	})
+	ca, cb = New(fn, bitset.New(0)), New(fn, bitset.New(1))
+	if !ca.HomogeneousWith(cb) {
+		t.Fatal("exact FD must be homogeneous")
+	}
+	if ca.CompleteWith(cb) || ca.WellDefinedFunctionTo(cb) {
+		t.Fatal("non-injective function must not be complete")
+	}
+
+	// a → b violated.
+	viol := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "y"},
+	})
+	ca, cb = New(viol, bitset.New(0)), New(viol, bitset.New(1))
+	if ca.HomogeneousWith(cb) {
+		t.Fatal("violated FD must not be homogeneous")
+	}
+}
+
+func TestProperAssociation(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "y"}, {"2", "y"},
+	})
+	ca, cb := New(r, bitset.New(0)), New(r, bitset.New(1))
+	if _, ok := ca.ProperlyAssociated(0, cb); ok {
+		t.Fatal("class a=1 spans x and y: not properly associated")
+	}
+	if target, ok := ca.ProperlyAssociated(1, cb); !ok || cb.Classes()[target].Label != "b=y" {
+		t.Fatal("class a=2 must associate with b=y")
+	}
+}
+
+func TestJointCounts(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "y"}, {"2", "y"}, {"1", "x"},
+	})
+	ca, cb := New(r, bitset.New(0)), New(r, bitset.New(1))
+	joint := ca.JointCounts(cb)
+	// a=1 ∩ b=x: rows 0,3 → 2; a=1 ∩ b=y: row 1 → 1; a=2 ∩ b=y: row 2 → 1.
+	total := 0
+	for _, n := range joint {
+		total += n
+	}
+	if total != r.NumRows() {
+		t.Fatalf("joint counts sum %d, want %d", total, r.NumRows())
+	}
+	if joint[[2]int{0, 0}] != 2 || joint[[2]int{0, 1}] != 1 || joint[[2]int{1, 1}] != 1 {
+		t.Fatalf("joint table wrong: %v", joint)
+	}
+}
+
+func TestClusteringEqual(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b", "c"}, [][]string{
+		{"1", "p", "x"}, {"2", "q", "x"}, {"1", "p", "y"},
+	})
+	// a and b induce the same partition here.
+	if !New(r, bitset.New(0)).Equal(New(r, bitset.New(1))) {
+		t.Fatal("identical partitions must be Equal")
+	}
+	if New(r, bitset.New(0)).Equal(New(r, bitset.New(2))) {
+		t.Fatal("different partitions must not be Equal")
+	}
+}
+
+// TestQuickClusteringCountsMatchRelation cross-checks NumClasses against
+// DistinctCount on random relations.
+func TestQuickClusteringCountsMatchRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		cols := []string{"a", "b", "c"}
+		rows := make([][]string, 1+rng.Intn(40))
+		for i := range rows {
+			rows[i] = []string{
+				string(rune('A' + rng.Intn(3))),
+				string(rune('A' + rng.Intn(4))),
+				string(rune('A' + rng.Intn(2))),
+			}
+		}
+		r := buildRelation(t, cols, rows)
+		for trial := 0; trial < 4; trial++ {
+			var x bitset.Set
+			for c := 0; c < 3; c++ {
+				if rng.Intn(2) == 0 {
+					x.Add(c)
+				}
+			}
+			if got, want := New(r, x).NumClasses(), r.DistinctCountSet(x); got != want {
+				t.Fatalf("iter %d: clusters %d ≠ distinct %d for %v", iter, got, want, x)
+			}
+		}
+	}
+}
+
+// TestQuickHomogeneityMatchesFD: C_X homogeneous w.r.t. C_Y ⟺ r ⊨ X→Y.
+func TestQuickHomogeneityMatchesFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		rows := make([][]string, 1+rng.Intn(30))
+		for i := range rows {
+			rows[i] = []string{
+				string(rune('A' + rng.Intn(3))),
+				string(rune('A' + rng.Intn(3))),
+			}
+		}
+		r := buildRelation(t, []string{"x", "y"}, rows)
+		x, y := bitset.New(0), bitset.New(1)
+		hom := New(r, x).HomogeneousWith(New(r, y))
+		sat := r.SatisfiesFD(x, y)
+		if hom != sat {
+			t.Fatalf("iter %d: homogeneous=%v but satisfies=%v", iter, hom, sat)
+		}
+	}
+}
+
+func TestRenderAssociation(t *testing.T) {
+	r := paperF1Relation(t)
+	cx := New(r, bitset.New(0, 1))
+	cy := New(r, bitset.New(3))
+	out := RenderAssociation("F1: [District,Region] -> [AreaCode]", cx, cy)
+	if !strings.Contains(out, "✗ splits over") {
+		t.Fatalf("violated FD should render splits:\n%s", out)
+	}
+	if !strings.Contains(out, "no function between clusterings") {
+		t.Fatalf("verdict line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t1") || !strings.Contains(out, "District=Brookside") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+
+	// Exact bijective FD renders the bijective verdict.
+	bij := buildRelation(t, []string{"a", "b"}, [][]string{{"1", "x"}, {"2", "y"}})
+	out = RenderAssociation("a->b", New(bij, bitset.New(0)), New(bij, bitset.New(1)))
+	if !strings.Contains(out, "well-defined (bijective)") {
+		t.Fatalf("bijective verdict missing:\n%s", out)
+	}
+
+	// Exact non-bijective FD renders the non-complete verdict.
+	fn := buildRelation(t, []string{"a", "b"}, [][]string{{"1", "x"}, {"2", "x"}})
+	out = RenderAssociation("a->b", New(fn, bitset.New(0)), New(fn, bitset.New(1)))
+	if !strings.Contains(out, "not bijective") {
+		t.Fatalf("non-complete verdict missing:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderAssociation renders two clusterings side by side with the
+// association between their classes, reproducing the content of Figure 2 of
+// the paper in text form. Rows are labelled t1, t2, … (1-based, like the
+// running example). For each class of lhs the properly-associated class of
+// rhs is shown, or "⇒ ✗ (splits)" when the class spreads over several rhs
+// classes — i.e. the correspondence is not a function there.
+func RenderAssociation(title string, lhs, rhs *Clustering) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 0
+	for _, c := range lhs.classes {
+		if l := len(c.Label) + len(rowsLabel(c.Rows)); l > width {
+			width = l
+		}
+	}
+	for ci, c := range lhs.classes {
+		target, ok := lhs.ProperlyAssociated(ci, rhs)
+		left := fmt.Sprintf("%s %s", c.Label, rowsLabel(c.Rows))
+		if ok {
+			rc := rhs.classes[target]
+			fmt.Fprintf(&b, "  %-*s  ⇒  %s %s\n", width+1, left, rc.Label, rowsLabel(rc.Rows))
+		} else {
+			targets := rhsTargets(c.Rows, rhs)
+			fmt.Fprintf(&b, "  %-*s  ⇒  ✗ splits over %s\n", width+1, left, targets)
+		}
+	}
+	funcOK := lhs.HomogeneousWith(rhs)
+	complete := lhs.CompleteWith(rhs)
+	switch {
+	case funcOK && complete:
+		b.WriteString("  ⇒ well-defined (bijective) function between clusterings\n")
+	case funcOK:
+		b.WriteString("  ⇒ function exists but is not bijective (not complete)\n")
+	default:
+		b.WriteString("  ⇒ no function between clusterings: FD violated\n")
+	}
+	return b.String()
+}
+
+func rowsLabel(rows []int) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("t%d", r+1)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func rhsTargets(rows []int, rhs *Clustering) string {
+	set := make(map[int]bool)
+	for _, r := range rows {
+		set[rhs.rowToClass[r]] = true
+	}
+	idx := make([]int, 0, len(set))
+	for k := range set {
+		idx = append(idx, k)
+	}
+	sort.Ints(idx)
+	parts := make([]string, len(idx))
+	for i, k := range idx {
+		parts[i] = rhs.classes[k].Label
+	}
+	return strings.Join(parts, " | ")
+}

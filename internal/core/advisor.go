@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Decision is a designer's verdict on a proposed repair.
+type Decision int
+
+const (
+	// DecisionSkip leaves the violated FD unchanged for now.
+	DecisionSkip Decision = iota
+	// DecisionAccept replaces the violated FD with the proposed repair.
+	DecisionAccept
+	// DecisionDrop removes the violated FD from the constraint set (the
+	// designer has decided the dependency no longer models reality at all).
+	DecisionDrop
+)
+
+// DecisionFunc inspects a violated FD and its ranked repairs and picks what
+// to do; choice indexes into repairs when the decision is DecisionAccept.
+// This is the "semi-automatic" hinge of the paper: the method proposes, the
+// designer disposes.
+type DecisionFunc func(violated RankedFD, repairs []Repair) (Decision, int)
+
+// AcceptFirst is a DecisionFunc that always accepts the top-ranked (minimal)
+// repair when one exists and skips otherwise; useful for unattended runs and
+// tests.
+func AcceptFirst(_ RankedFD, repairs []Repair) (Decision, int) {
+	if len(repairs) == 0 {
+		return DecisionSkip, 0
+	}
+	return DecisionAccept, 0
+}
+
+// Advisor drives the paper's periodic validation workflow over one relation
+// instance: detect violated FDs, rank them, propose repairs, and apply the
+// designer's decisions. It owns a mutable FD set; the relation is read-only.
+type Advisor struct {
+	counter pli.Counter
+	fds     []FD
+	scope   ConflictScope
+	opts    RepairOptions
+}
+
+// NewAdvisor builds an advisor over the given instance and initial FD set.
+// Multi-attribute consequents are decomposed to single-consequent FDs up
+// front (§1: "without loss of generality").
+func NewAdvisor(counter pli.Counter, fds []FD, scope ConflictScope, opts RepairOptions) *Advisor {
+	var decomposed []FD
+	for _, fd := range fds {
+		decomposed = append(decomposed, fd.Decompose()...)
+	}
+	return &Advisor{counter: counter, fds: decomposed, scope: scope, opts: opts}
+}
+
+// Relation returns the instance under review.
+func (a *Advisor) Relation() *relation.Relation { return a.counter.Relation() }
+
+// FDs returns a copy of the current constraint set.
+func (a *Advisor) FDs() []FD {
+	out := make([]FD, len(a.fds))
+	copy(out, a.fds)
+	return out
+}
+
+// AddFD registers an additional dependency ("they are allowed to add other
+// FDs to the ones that are already defined", §6). Consequents are
+// decomposed.
+func (a *Advisor) AddFD(fd FD) {
+	a.fds = append(a.fds, fd.Decompose()...)
+}
+
+// Review ranks the current FD set and returns the violated ones in repair
+// order (§4.1).
+func (a *Advisor) Review() []RankedFD {
+	return Violated(OrderFDs(a.counter, a.fds, a.scope))
+}
+
+// Propose runs the repair search for one violated FD and returns the ranked
+// repairs.
+func (a *Advisor) Propose(fd FD) RepairResult {
+	return FindRepairs(a.counter, fd, a.opts)
+}
+
+// SessionStep records what happened to one violated FD during a session.
+type SessionStep struct {
+	Violated RankedFD
+	Proposed []Repair
+	Decision Decision
+	// Chosen is the accepted repair when Decision is DecisionAccept.
+	Chosen *Repair
+}
+
+// RunSession performs one full validation round: review, propose repairs for
+// every violated FD, apply decisions, and return the trace. After the
+// session the advisor's FD set reflects all accepted and dropped
+// constraints.
+func (a *Advisor) RunSession(decide DecisionFunc) []SessionStep {
+	if decide == nil {
+		decide = AcceptFirst
+	}
+	violated := a.Review()
+	steps := make([]SessionStep, 0, len(violated))
+	for _, v := range violated {
+		res := a.Propose(v.FD)
+		decision, choice := decide(v, res.Repairs)
+		step := SessionStep{Violated: v, Proposed: res.Repairs, Decision: decision}
+		switch decision {
+		case DecisionAccept:
+			if choice < 0 || choice >= len(res.Repairs) {
+				choice = 0
+			}
+			if len(res.Repairs) > 0 {
+				chosen := res.Repairs[choice]
+				step.Chosen = &chosen
+				a.replaceFD(v.FD, chosen.FD)
+			} else {
+				step.Decision = DecisionSkip
+			}
+		case DecisionDrop:
+			a.removeFD(v.FD)
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+func (a *Advisor) replaceFD(old, new FD) {
+	for i, fd := range a.fds {
+		if fd.Equal(old) {
+			new.Label = old.Label
+			a.fds[i] = new
+			return
+		}
+	}
+}
+
+func (a *Advisor) removeFD(old FD) {
+	for i, fd := range a.fds {
+		if fd.Equal(old) {
+			a.fds = append(a.fds[:i], a.fds[i+1:]...)
+			return
+		}
+	}
+}
+
+// Consistent reports whether every FD in the current set is exact on the
+// instance — the fixed point the periodic process drives towards.
+func (a *Advisor) Consistent() bool {
+	for _, fd := range a.fds {
+		if !Compute(a.counter, fd).Exact() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the session trace for designers, using schema names.
+func SessionSummary(schema *relation.Schema, steps []SessionStep) string {
+	if len(steps) == 0 {
+		return "all functional dependencies are satisfied\n"
+	}
+	out := ""
+	for i, s := range steps {
+		out += fmt.Sprintf("%d. %s  (%s, rank %.3f)\n", i+1,
+			s.Violated.FD.FormatWith(schema), s.Violated.Measures, s.Violated.Rank)
+		for _, r := range s.Proposed {
+			out += fmt.Sprintf("     candidate +{%s} (%s)\n", schema.FormatSet(r.Added), r.Measures)
+		}
+		switch s.Decision {
+		case DecisionAccept:
+			out += fmt.Sprintf("   → accepted: %s\n", s.Chosen.FD.FormatWith(schema))
+		case DecisionDrop:
+			out += "   → dropped\n"
+		default:
+			out += "   → skipped\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+func placesAdvisor(t *testing.T, opts RepairOptions) *Advisor {
+	t.Helper()
+	r := datasets.Places()
+	counter := pli.NewPLICounter(r)
+	var fds []FD
+	for _, label := range []string{"F1", "F2", "F3"} {
+		fd, err := ParseFD(r.Schema(), label, datasets.PlacesFDs()[label])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, fd)
+	}
+	return NewAdvisor(counter, fds, ScopeConsequentOnly, opts)
+}
+
+func TestAdvisorDecomposesConsequents(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{})
+	// F2: Zip → City,State decomposes into two FDs, so 4 in total.
+	if got := len(a.FDs()); got != 4 {
+		t.Fatalf("FDs = %d, want 4 after decomposition", got)
+	}
+}
+
+func TestAdvisorReviewFindsViolations(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{})
+	violated := a.Review()
+	// F1 violated; F2.1 (Zip→City) violated; F2.2 (Zip→State) violated;
+	// F3 violated → 4.
+	if len(violated) != 4 {
+		t.Fatalf("violated = %d, want 4", len(violated))
+	}
+	// Ranks must be non-increasing.
+	for i := 1; i < len(violated); i++ {
+		if violated[i].Rank > violated[i-1].Rank {
+			t.Fatal("review not sorted by rank")
+		}
+	}
+}
+
+func TestAdvisorSessionReachesConsistency(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	if a.Consistent() {
+		t.Fatal("initial FD set must be inconsistent")
+	}
+	// Accept the best repair when one exists; drop unrepairable FDs (F3 is
+	// genuinely unrepairable on Places — t10/t11 differ only in Street).
+	acceptOrDrop := func(v RankedFD, repairs []Repair) (Decision, int) {
+		if len(repairs) == 0 {
+			return DecisionDrop, 0
+		}
+		return DecisionAccept, 0
+	}
+	steps := a.RunSession(acceptOrDrop)
+	if len(steps) == 0 {
+		t.Fatal("session should process violations")
+	}
+	accepted, dropped := 0, 0
+	for _, s := range steps {
+		switch s.Decision {
+		case DecisionAccept:
+			accepted++
+			if s.Chosen == nil {
+				t.Fatal("accepted step must carry the chosen repair")
+			}
+		case DecisionDrop:
+			dropped++
+		}
+	}
+	if accepted == 0 || dropped == 0 {
+		t.Fatalf("expected both accepts and drops, got %d/%d", accepted, dropped)
+	}
+	if !a.Consistent() {
+		t.Fatal("after the session the FD set must be consistent")
+	}
+	// Labels survive replacement.
+	hasF1 := false
+	for _, fd := range a.FDs() {
+		if fd.Label == "F1" {
+			hasF1 = true
+			if fd.X.Len() <= 2 {
+				t.Fatal("F1 must have been extended")
+			}
+		}
+	}
+	if !hasF1 {
+		t.Fatal("F1 label lost during session")
+	}
+}
+
+func TestAdvisorDropDecision(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	before := len(a.FDs())
+	dropAll := func(RankedFD, []Repair) (Decision, int) { return DecisionDrop, 0 }
+	steps := a.RunSession(dropAll)
+	if len(a.FDs()) != before-len(steps) {
+		t.Fatalf("dropped %d FDs but set shrank by %d", len(steps), before-len(a.FDs()))
+	}
+	if !a.Consistent() {
+		t.Fatal("after dropping all violations the rest must be consistent")
+	}
+}
+
+func TestAdvisorSkipDecision(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	before := a.FDs()
+	skipAll := func(RankedFD, []Repair) (Decision, int) { return DecisionSkip, 0 }
+	a.RunSession(skipAll)
+	after := a.FDs()
+	if len(before) != len(after) {
+		t.Fatal("skip must not change the FD set")
+	}
+	for i := range before {
+		if !before[i].Equal(after[i]) {
+			t.Fatal("skip must not rewrite FDs")
+		}
+	}
+	if a.Consistent() {
+		t.Fatal("skipping leaves the violations in place")
+	}
+}
+
+func TestAdvisorAcceptOutOfRangeChoiceFallsBack(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	wild := func(RankedFD, []Repair) (Decision, int) { return DecisionAccept, 99 }
+	steps := a.RunSession(wild)
+	sawFallback := false
+	for _, s := range steps {
+		switch s.Decision {
+		case DecisionAccept:
+			if s.Chosen == nil {
+				t.Fatal("accept with wild index should fall back to best repair")
+			}
+			sawFallback = true
+		case DecisionSkip:
+			// Accept on an unrepairable FD degrades to skip.
+			if len(s.Proposed) != 0 {
+				t.Fatal("skip downgrade only allowed when nothing was proposed")
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no accepted step exercised the fallback")
+	}
+}
+
+func TestAdvisorAddFD(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	r := a.Relation()
+	f4, err := ParseFD(r.Schema(), "F4", datasets.PlacesF4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddFD(f4)
+	found := false
+	for _, fd := range a.FDs() {
+		if fd.Label == "F4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("AddFD must register the new dependency")
+	}
+}
+
+func TestSessionSummaryRendering(t *testing.T) {
+	a := placesAdvisor(t, RepairOptions{FirstOnly: true})
+	schema := a.Relation().Schema()
+	steps := a.RunSession(AcceptFirst)
+	out := SessionSummary(schema, steps)
+	for _, want := range []string{"F1", "accepted", "candidate +{"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if got := SessionSummary(schema, nil); !strings.Contains(got, "satisfied") {
+		t.Fatalf("empty summary = %q", got)
+	}
+}
+
+func TestAcceptFirstWithNoRepairs(t *testing.T) {
+	if d, _ := AcceptFirst(RankedFD{}, nil); d != DecisionSkip {
+		t.Fatal("AcceptFirst with no repairs must skip")
+	}
+	if d, i := AcceptFirst(RankedFD{}, []Repair{{}}); d != DecisionAccept || i != 0 {
+		t.Fatal("AcceptFirst must accept the top repair")
+	}
+}

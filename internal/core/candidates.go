@@ -1,0 +1,160 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// Candidate is one attribute A evaluated as an extension of a violated FD
+// X → Y, carrying the measures of the candidate FD F_A : XA → Y (§4.2).
+type Candidate struct {
+	// Attr is the schema position of the added attribute A.
+	Attr int
+	// FD is the extended dependency XA → Y.
+	FD FD
+	// Measures are the measures of the extended dependency.
+	Measures Measures
+}
+
+// CandidateOptions controls candidate generation.
+type CandidateOptions struct {
+	// Parallelism bounds the number of goroutines evaluating candidates;
+	// 0 means GOMAXPROCS, 1 disables concurrency.
+	Parallelism int
+	// MaxGoodness, when non-nil, discards candidates whose |goodness|
+	// exceeds the threshold. This is the user-specified maximum goodness
+	// threshold the paper proposes in §4.4 to keep UNIQUE-like attributes
+	// out of repairs.
+	MaxGoodness *int
+	// Allowed, when non-nil, restricts the candidate pool to this attribute
+	// set (already excluding NULL columns, for example). When nil all
+	// NULL-free attributes outside XY are candidates.
+	Allowed *bitset.Set
+}
+
+// CandidatePool returns the attribute positions eligible to extend fd on
+// counter's relation: every attribute of R except XY, minus columns
+// containing NULLs ("attributes involved in FDs do not contain NULL values",
+// §3 footnote 1 and §6.2.1).
+func CandidatePool(counter pli.Counter, fd FD, opts CandidateOptions) []int {
+	r := counter.Relation()
+	var pool []int
+	attrs := fd.Attrs()
+	for col := 0; col < r.NumCols(); col++ {
+		if attrs.Contains(col) {
+			continue
+		}
+		if r.HasNulls(col) {
+			continue
+		}
+		if opts.Allowed != nil && !opts.Allowed.Contains(col) {
+			continue
+		}
+		pool = append(pool, col)
+	}
+	return pool
+}
+
+// ExtendByOne evaluates every eligible attribute A as a one-step extension
+// of fd and returns all candidates ranked best-first (Algorithm 2). The
+// ranking is the paper's: primary key descending confidence, secondary key
+// goodness closest to zero (the tie-break Table 1 exhibits: Municipal g=0
+// precedes PhNo g=3), final deterministic tie-break on schema position.
+//
+// Candidate evaluation is read-only on the counter and fans out across
+// goroutines; results are re-sorted, so the output is deterministic
+// regardless of Parallelism.
+func ExtendByOne(counter pli.Counter, fd FD, opts CandidateOptions) []Candidate {
+	pool := CandidatePool(counter, fd, opts)
+	cands := make([]Candidate, len(pool))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pool) {
+		workers = len(pool)
+	}
+	if workers <= 1 {
+		for i, attr := range pool {
+			cands[i] = evalCandidate(counter, fd, attr)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					cands[i] = evalCandidate(counter, fd, pool[i])
+				}
+			}()
+		}
+		for i := range pool {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	if opts.MaxGoodness != nil {
+		kept := cands[:0]
+		for _, c := range cands {
+			if abs(c.Measures.Goodness) <= *opts.MaxGoodness {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	SortCandidates(cands)
+	return cands
+}
+
+func evalCandidate(counter pli.Counter, fd FD, attr int) Candidate {
+	ext := fd.WithExtendedAntecedent(bitset.New(attr))
+	return Candidate{Attr: attr, FD: ext, Measures: Compute(counter, ext)}
+}
+
+// SortCandidates orders candidates best-first: confidence descending, then
+// |goodness| ascending, then schema position ascending.
+func SortCandidates(cands []Candidate) {
+	sort.SliceStable(cands, func(a, b int) bool {
+		return CompareCandidates(cands[a], cands[b]) < 0
+	})
+}
+
+// CompareCandidates returns <0 when a ranks strictly better than b under the
+// candidate ordering, >0 when worse, 0 never (the attribute position breaks
+// all ties).
+func CompareCandidates(a, b Candidate) int {
+	switch {
+	case a.Measures.Confidence > b.Measures.Confidence:
+		return -1
+	case a.Measures.Confidence < b.Measures.Confidence:
+		return 1
+	}
+	ga, gb := abs(a.Measures.Goodness), abs(b.Measures.Goodness)
+	switch {
+	case ga < gb:
+		return -1
+	case ga > gb:
+		return 1
+	}
+	switch {
+	case a.Attr < b.Attr:
+		return -1
+	case a.Attr > b.Attr:
+		return 1
+	}
+	return 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+func TestCandidatePoolExcludesFDAndNullColumns(t *testing.T) {
+	rows := [][]string{
+		{"1", "x", "p", ""},
+		{"2", "y", "q", "v"},
+	}
+	counter := pli.NewPLICounter(buildRelation(t, []string{"a", "b", "c", "n"}, rows))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+	pool := CandidatePool(counter, fd, CandidateOptions{})
+	if len(pool) != 1 || pool[0] != 2 {
+		t.Fatalf("pool = %v, want [2] (c only: a,b are in the FD, n has NULLs)", pool)
+	}
+	// Allowed restricts further.
+	allowed := bitset.New(3) // not even eligible
+	pool = CandidatePool(counter, fd, CandidateOptions{Allowed: &allowed})
+	if len(pool) != 0 {
+		t.Fatalf("restricted pool = %v, want empty", pool)
+	}
+}
+
+func TestExtendByOneParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cols := []string{"x", "y", "a", "b", "c", "d", "e", "f", "g", "h"}
+	rows := make([][]string, 200)
+	for i := range rows {
+		row := make([]string, len(cols))
+		for c := range row {
+			row[c] = string(rune('A' + rng.Intn(5)))
+		}
+		rows[i] = row
+	}
+	counter := pli.NewPLICounter(buildRelation(t, cols, rows))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+
+	serial := ExtendByOne(counter, fd, CandidateOptions{Parallelism: 1})
+	parallel := ExtendByOne(counter, fd, CandidateOptions{Parallelism: 8})
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Attr != parallel[i].Attr ||
+			serial[i].Measures != parallel[i].Measures {
+			t.Fatalf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestExtendByOneRankingOrder(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F1", "District, Region -> AreaCode")
+	cands := ExtendByOne(counter, fd, CandidateOptions{})
+	for i := 1; i < len(cands); i++ {
+		if CompareCandidates(cands[i-1], cands[i]) > 0 {
+			t.Fatalf("candidates out of order at %d", i)
+		}
+	}
+}
+
+func TestCompareCandidatesTotalOrder(t *testing.T) {
+	mk := func(attr int, conf float64, good int) Candidate {
+		return Candidate{Attr: attr, Measures: Measures{Confidence: conf, Goodness: good}}
+	}
+	a := mk(1, 1.0, 0)
+	b := mk(2, 1.0, 3)
+	c := mk(3, 0.9, 0)
+	d := mk(4, 0.9, 0)
+	if CompareCandidates(a, b) >= 0 {
+		t.Error("g=0 must beat g=3 at equal confidence")
+	}
+	if CompareCandidates(b, c) >= 0 {
+		t.Error("higher confidence must win over better goodness")
+	}
+	if CompareCandidates(c, d) >= 0 || CompareCandidates(d, c) <= 0 {
+		t.Error("attr index must break full ties")
+	}
+	// Negative goodness compares by magnitude: |−1| < |3|.
+	e := mk(5, 1.0, -1)
+	if CompareCandidates(e, b) >= 0 {
+		t.Error("|g|=1 must beat |g|=3")
+	}
+}
+
+func TestExtendByOneGoodnessThreshold(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F1", "District, Region -> AreaCode")
+	maxG := 0
+	cands := ExtendByOne(counter, fd, CandidateOptions{MaxGoodness: &maxG})
+	for _, c := range cands {
+		if abs(c.Measures.Goodness) > 0 {
+			t.Fatalf("candidate %d violates threshold: g=%d", c.Attr, c.Measures.Goodness)
+		}
+	}
+	// Table 1: Municipal(0), Zip(0), City(0) survive a |g| ≤ 0 threshold.
+	if len(cands) != 3 {
+		t.Fatalf("thresholded candidates = %d, want 3", len(cands))
+	}
+}
+
+func TestExtendByOneEmptyPool(t *testing.T) {
+	// FD covers every column: nothing to extend with.
+	counter := pli.NewPLICounter(buildRelation(t, []string{"a", "b"}, [][]string{{"1", "x"}, {"1", "y"}}))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+	if got := ExtendByOne(counter, fd, CandidateOptions{}); len(got) != 0 {
+		t.Fatalf("candidates = %d, want 0", len(got))
+	}
+}
+
+func TestComputeOnEmptyRelation(t *testing.T) {
+	schema, _ := placesSchema(t), 0
+	_ = schema
+	r := buildRelation(t, []string{"a", "b"}, nil)
+	counter := pli.NewPLICounter(r)
+	m := Compute(counter, MustFD("F", bitset.New(0), bitset.New(1)))
+	if !m.Exact() {
+		t.Fatal("every FD is vacuously exact on the empty instance")
+	}
+	if m.Confidence != 1 {
+		t.Fatalf("confidence on empty = %v, want 1", m.Confidence)
+	}
+}
+
+func TestMeasuresStringFormats(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F1", "District, Region -> AreaCode")
+	m := Compute(counter, fd)
+	if got := m.ConfidenceRatio(); got != "2/4" {
+		t.Fatalf("ratio = %q", got)
+	}
+	if got := m.String(); got != "c=0.500 (2/4), g=-2" {
+		t.Fatalf("String = %q", got)
+	}
+}

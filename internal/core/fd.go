@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the
+// confidence-based (CB) method for detecting violated functional
+// dependencies and evolving them by extending their antecedents.
+//
+// The package provides:
+//
+//   - the FD type with parsing and formatting (Definition 1);
+//   - the confidence and goodness measures (Definition 3) and the ε_CB
+//     measure of §5;
+//   - the FD ordering of §4.1 (inconsistency degree + conflict score);
+//   - single-step candidate ranking, ExtendByOne (§4.2, Algorithm 2);
+//   - the best-first multi-attribute repair search, Extend (§4.3,
+//     Algorithm 3), in find-first (minimal repair) and find-all variants;
+//   - the semi-automatic Advisor loop that presents ranked repairs to a
+//     designer (§1, §6: "present them to the designer to be evaluated").
+//
+// All measure evaluation goes through pli.Counter, so the counting strategy
+// (PLI products, hashing, sorting, or SQL via internal/query) is pluggable.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// FD is a functional dependency X → Y over a relation schema (Definition 1).
+// Attributes are identified by schema position; use ParseFD / FormatWith to
+// cross the name boundary.
+type FD struct {
+	// Label is an optional designer-facing name such as "F1".
+	Label string
+	// X is the antecedent attribute set; never empty.
+	X bitset.Set
+	// Y is the consequent attribute set; never empty, disjoint from X.
+	Y bitset.Set
+}
+
+// NewFD validates and builds an FD. X and Y must be non-empty and disjoint:
+// a trivial FD (Y ⊆ X) always holds and can never need repair.
+func NewFD(label string, x, y bitset.Set) (FD, error) {
+	if x.IsEmpty() {
+		return FD{}, errors.New("core: FD antecedent must not be empty")
+	}
+	if y.IsEmpty() {
+		return FD{}, errors.New("core: FD consequent must not be empty")
+	}
+	if x.Intersects(y) {
+		return FD{}, errors.New("core: FD antecedent and consequent must be disjoint")
+	}
+	return FD{Label: label, X: x.Clone(), Y: y.Clone()}, nil
+}
+
+// MustFD is NewFD that panics on error, for statically-known FDs.
+func MustFD(label string, x, y bitset.Set) FD {
+	fd, err := NewFD(label, x, y)
+	if err != nil {
+		panic(err)
+	}
+	return fd
+}
+
+// ParseFD parses "X1,X2 -> Y1" (also accepting the paper's bracketed form
+// "[X1, X2] → [Y1]") against a schema. The arrow may be "->" or "→".
+func ParseFD(schema *relation.Schema, label, text string) (FD, error) {
+	normalized := strings.ReplaceAll(text, "→", "->")
+	lhs, rhs, ok := strings.Cut(normalized, "->")
+	if !ok {
+		return FD{}, fmt.Errorf("core: FD %q must contain '->'", text)
+	}
+	x, err := parseAttrList(schema, lhs)
+	if err != nil {
+		return FD{}, fmt.Errorf("core: FD %q antecedent: %w", text, err)
+	}
+	y, err := parseAttrList(schema, rhs)
+	if err != nil {
+		return FD{}, fmt.Errorf("core: FD %q consequent: %w", text, err)
+	}
+	return NewFD(label, x, y)
+}
+
+func parseAttrList(schema *relation.Schema, s string) (bitset.Set, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		names = append(names, part)
+	}
+	if len(names) == 0 {
+		return bitset.Set{}, errors.New("empty attribute list")
+	}
+	return schema.IndexSet(names...)
+}
+
+// Attrs returns XY, the union of antecedent and consequent.
+func (f FD) Attrs() bitset.Set { return f.X.Union(f.Y) }
+
+// Size returns |F| = |XY|, the number of attributes in the FD (§3).
+func (f FD) Size() int { return f.Attrs().Len() }
+
+// Overlap returns |F ∩ F′|: the number of attributes the two FDs share,
+// used by the conflict score of §4.1.
+func (f FD) Overlap(o FD) int { return f.Attrs().Intersect(o.Attrs()).Len() }
+
+// WithExtendedAntecedent returns the FD XU → Y, i.e. f with the attributes
+// of u added to the antecedent. u must be disjoint from XY.
+func (f FD) WithExtendedAntecedent(u bitset.Set) FD {
+	label := f.Label
+	if label != "" {
+		label += "+"
+	}
+	return FD{Label: label, X: f.X.Union(u), Y: f.Y.Clone()}
+}
+
+// Equal reports whether two FDs have the same antecedent and consequent
+// (labels are ignored).
+func (f FD) Equal(o FD) bool { return f.X.Equal(o.X) && f.Y.Equal(o.Y) }
+
+// Decompose splits a multi-attribute consequent into one FD per consequent
+// attribute ("without loss of generality we can assume that all FDs are
+// decomposed so that their consequent contains a single attribute", §1).
+// Single-consequent FDs decompose to themselves.
+func (f FD) Decompose() []FD {
+	ys := f.Y.Members()
+	if len(ys) == 1 {
+		return []FD{f}
+	}
+	out := make([]FD, len(ys))
+	for i, y := range ys {
+		label := f.Label
+		if label != "" {
+			label = fmt.Sprintf("%s.%d", f.Label, i+1)
+		}
+		out[i] = FD{Label: label, X: f.X.Clone(), Y: bitset.New(y)}
+	}
+	return out
+}
+
+// FormatWith renders the FD with attribute names in the paper's style:
+// "F1: [District, Region] -> [AreaCode]".
+func (f FD) FormatWith(schema *relation.Schema) string {
+	body := fmt.Sprintf("[%s] -> [%s]",
+		strings.Join(schema.NameSet(f.X), ", "),
+		strings.Join(schema.NameSet(f.Y), ", "))
+	if f.Label == "" {
+		return body
+	}
+	return f.Label + ": " + body
+}
+
+// String renders the FD with raw attribute positions; prefer FormatWith when
+// a schema is available.
+func (f FD) String() string {
+	if f.Label == "" {
+		return fmt.Sprintf("%v -> %v", f.X, f.Y)
+	}
+	return fmt.Sprintf("%s: %v -> %v", f.Label, f.X, f.Y)
+}

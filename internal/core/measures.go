@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// Measures bundles the paper's quantitative view of one FD on one instance:
+// the raw projection cardinalities and the derived confidence and goodness
+// (Definition 3).
+type Measures struct {
+	// NumX is |π_X(r)|.
+	NumX int
+	// NumXY is |π_XY(r)|.
+	NumXY int
+	// NumY is |π_Y(r)|.
+	NumY int
+	// Confidence is c_F,r = |π_X| / |π_XY| ∈ (0, 1] on non-empty instances.
+	Confidence float64
+	// Goodness is g_F,r = |π_X| − |π_Y|; 0 together with confidence 1 means
+	// the FD induces a bijection between C_X and C_Y (§3).
+	Goodness int
+}
+
+// Compute evaluates the measures of fd using the given counter.
+func Compute(counter pli.Counter, fd FD) Measures {
+	numX := counter.Count(fd.X)
+	numXY := counter.Count(fd.Attrs())
+	numY := counter.Count(fd.Y)
+	m := Measures{NumX: numX, NumXY: numXY, NumY: numY, Goodness: numX - numY}
+	if numXY > 0 {
+		m.Confidence = float64(numX) / float64(numXY)
+	} else {
+		// Empty instance: every FD is vacuously exact.
+		m.Confidence = 1
+	}
+	return m
+}
+
+// Exact reports whether the FD is exact on the instance (Definition 4:
+// confidence = 1). Because C_XY refines C_X, |π_X| = |π_XY| is an integer
+// equality — no floating-point tolerance is needed.
+func (m Measures) Exact() bool { return m.NumX == m.NumXY }
+
+// Inconsistency returns ic_F,r = 1 − c_F,r, the "degree of inconsistency"
+// (§4.1).
+func (m Measures) Inconsistency() float64 { return 1 - m.Confidence }
+
+// EpsilonCB returns ε_CB = ic + |g| (§5): zero exactly when the FD induces a
+// bijective function between the antecedent and consequent clusterings.
+func (m Measures) EpsilonCB() float64 {
+	return m.Inconsistency() + math.Abs(float64(m.Goodness))
+}
+
+// ConfidenceRatio renders confidence in the paper's tabular style "4/5".
+func (m Measures) ConfidenceRatio() string {
+	return fmt.Sprintf("%d/%d", m.NumX, m.NumXY)
+}
+
+// String renders the measures compactly, e.g.
+// "c=0.500 (2/4), g=-2".
+func (m Measures) String() string {
+	return fmt.Sprintf("c=%.3f (%s), g=%d", m.Confidence, m.ConfidenceRatio(), m.Goodness)
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// TestQuickExactnessIsMonotone: once an FD is exact, adding any attribute to
+// the antecedent keeps it exact — the property that lets Algorithm 3 stop
+// expanding exact nodes (their supersets are redundant repairs).
+func TestQuickExactnessIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	checked := 0
+	for iter := 0; iter < 300; iter++ {
+		r := randomMonotonicityRelation(rng)
+		counter := pli.NewPLICounter(r)
+		x, y := bitset.New(0), bitset.New(1)
+		// Grow X until the FD becomes exact, then check all further
+		// single-attribute extensions.
+		cur := x.Clone()
+		for c := 2; c < r.NumCols(); c++ {
+			cur.Add(c)
+			fd := FD{Label: "F", X: cur, Y: y}
+			if !Compute(counter, fd).Exact() {
+				continue
+			}
+			for d := 2; d < r.NumCols(); d++ {
+				if cur.Contains(d) {
+					continue
+				}
+				ext := fd.WithExtendedAntecedent(bitset.New(d))
+				if !Compute(counter, ext).Exact() {
+					t.Fatalf("iter %d: exact FD %v became inexact after adding %d", iter, fd, d)
+				}
+				checked++
+			}
+			break
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("too few monotonicity checks: %d", checked)
+	}
+}
+
+// TestConfidenceIsNotMonotone pins the counterexample family from DESIGN.md
+// §2: adding an attribute to the antecedent can LOWER confidence. Take
+// groups g1 = {(x1, y1)} (one row) and g2 = three rows (x2, y2) with an
+// extra attribute A splitting g2 into two classes that both contain all the
+// g2 Y-values:
+//
+//	without A: |π_X| = 2, |π_XY| = 4 → c = 1/2
+//	with A:    |π_XA| = 3, |π_XAY| = 7 → c = 3/7 < 1/2
+func TestConfidenceIsNotMonotone(t *testing.T) {
+	r := buildRelation(t, []string{"x", "y", "a"}, [][]string{
+		{"x1", "y1", "a0"},
+		// x2 carries three y-values; attribute a splits it into a1/a2, and
+		// each part still carries all three y-values.
+		{"x2", "p", "a1"}, {"x2", "q", "a1"}, {"x2", "r", "a1"},
+		{"x2", "p", "a2"}, {"x2", "q", "a2"}, {"x2", "r", "a2"},
+	})
+	counter := pli.NewPLICounter(r)
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+	base := Compute(counter, fd)
+	ext := Compute(counter, fd.WithExtendedAntecedent(bitset.New(2)))
+	if base.NumX != 2 || base.NumXY != 4 {
+		t.Fatalf("base counts = %d/%d, want 2/4", base.NumX, base.NumXY)
+	}
+	if ext.NumX != 3 || ext.NumXY != 7 {
+		t.Fatalf("extended counts = %d/%d, want 3/7", ext.NumX, ext.NumXY)
+	}
+	if ext.Confidence >= base.Confidence {
+		t.Fatalf("expected confidence drop: %v → %v", base.Confidence, ext.Confidence)
+	}
+}
+
+// TestQuickNumXMonotone: |π_XA| ≥ |π_X| always (partition refinement), the
+// inequality goodness relies on.
+func TestQuickNumXMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for iter := 0; iter < 200; iter++ {
+		r := randomMonotonicityRelation(rng)
+		counter := pli.NewPLICounter(r)
+		var x bitset.Set
+		for c := 0; c < r.NumCols(); c++ {
+			if rng.Intn(2) == 0 {
+				x.Add(c)
+			}
+		}
+		if x.IsEmpty() {
+			x.Add(0)
+		}
+		base := counter.Count(x)
+		for c := 0; c < r.NumCols(); c++ {
+			if x.Contains(c) {
+				continue
+			}
+			if got := counter.Count(x.With(c)); got < base {
+				t.Fatalf("iter %d: |π_XA| = %d < |π_X| = %d", iter, got, base)
+			}
+		}
+	}
+}
+
+// TestQuickConfidenceBounds: c ∈ (0, 1] on non-empty instances, and
+// Exact() ⟺ c = 1 exactly (integer comparison, no tolerance needed).
+func TestQuickConfidenceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 200; iter++ {
+		r := randomMonotonicityRelation(rng)
+		counter := pli.NewPLICounter(r)
+		x, y := bitset.New(rng.Intn(2)), bitset.New(2+rng.Intn(r.NumCols()-2))
+		fd := MustFD("F", x, y)
+		m := Compute(counter, fd)
+		if m.Confidence <= 0 || m.Confidence > 1 {
+			t.Fatalf("iter %d: confidence %v out of (0,1]", iter, m.Confidence)
+		}
+		if m.Exact() != (m.Confidence == 1) {
+			t.Fatalf("iter %d: Exact=%v but confidence=%v", iter, m.Exact(), m.Confidence)
+		}
+		if m.Inconsistency() != 1-m.Confidence {
+			t.Fatalf("iter %d: inconsistency mismatch", iter)
+		}
+	}
+}
+
+func randomMonotonicityRelation(rng *rand.Rand) *relation.Relation {
+	cols := 4 + rng.Intn(3)
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	schema, err := relation.SchemaOf(names...)
+	if err != nil {
+		panic(err)
+	}
+	r := relation.New("rand", schema)
+	rows := 2 + rng.Intn(25)
+	row := make([]relation.Value, cols)
+	for i := 0; i < rows; i++ {
+		for c := range row {
+			row[c] = relation.String(string(rune('A' + rng.Intn(3))))
+		}
+		r.MustAppend(row...)
+	}
+	return r
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// uniqueVsPairRelation is §4.4's drawback scenario: the UNIQUE attribute u
+// (column 2) is the only single-attribute repair; b and c (columns 3, 4)
+// repair together with goodness 0.
+func uniqueVsPairRelation(t *testing.T) *relation.Relation {
+	return buildRelation(t, []string{"x", "y", "u", "b", "c"}, [][]string{
+		{"1", "p", "k1", "b1", "c1"},
+		{"1", "q", "k2", "b1", "c2"},
+		{"1", "r", "k3", "b2", "c1"},
+		{"1", "s", "k4", "b2", "c2"},
+		{"1", "p", "k5", "b1", "c1"},
+		{"1", "q", "k6", "b1", "c2"},
+		{"1", "r", "k7", "b2", "c1"},
+	})
+}
+
+func TestBalancedObjectivePrefersGoodRepair(t *testing.T) {
+	counter := pli.NewPLICounter(uniqueVsPairRelation(t))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+
+	// Minimal-first (the paper's default): the UNIQUE single-attribute
+	// repair wins on size.
+	rep, _, ok := FindFirstRepair(counter, fd, RepairOptions{})
+	if !ok || !rep.Added.Equal(bitset.New(2)) {
+		t.Fatalf("minimal-first repair = %v, want {u}", rep.Added)
+	}
+
+	// Balanced objective: score({u}) = 1 + 0 + 3 = 4;
+	// score({b,c}) = 2 + 0 + 0 = 2 → the two-attribute repair wins without
+	// any hard threshold.
+	rep, _, ok = FindFirstRepair(counter, fd, RepairOptions{Objective: ObjectiveBalanced})
+	if !ok {
+		t.Fatal("balanced repair must exist")
+	}
+	if !rep.Added.Equal(bitset.New(3, 4)) {
+		t.Fatalf("balanced repair = %v, want {b,c}", rep.Added)
+	}
+	if rep.Measures.Goodness != 0 {
+		t.Fatalf("balanced repair goodness = %d, want 0", rep.Measures.Goodness)
+	}
+}
+
+func TestBalancedObjectiveGoodnessWeightZeroish(t *testing.T) {
+	counter := pli.NewPLICounter(uniqueVsPairRelation(t))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+	// A tiny λ makes goodness nearly free: score({u}) ≈ 1 beats
+	// score({b,c}) = 2, recovering minimal-first behaviour.
+	rep, _, ok := FindFirstRepair(counter, fd, RepairOptions{
+		Objective:      ObjectiveBalanced,
+		GoodnessWeight: 0.01,
+	})
+	if !ok || !rep.Added.Equal(bitset.New(2)) {
+		t.Fatalf("λ→0 balanced repair = %v, want {u}", rep.Added)
+	}
+}
+
+func TestBalancedFindAllOrderedByScore(t *testing.T) {
+	counter := pli.NewPLICounter(uniqueVsPairRelation(t))
+	fd := MustFD("F", bitset.New(0), bitset.New(1))
+	res := FindRepairs(counter, fd, RepairOptions{Objective: ObjectiveBalanced})
+	if len(res.Repairs) < 2 {
+		t.Fatalf("repairs = %d, want ≥ 2", len(res.Repairs))
+	}
+	scoreOf := func(r Repair) float64 {
+		return float64(r.Added.Len()) + r.Measures.Inconsistency() +
+			math.Abs(float64(r.Measures.Goodness))
+	}
+	for i := 1; i < len(res.Repairs); i++ {
+		if scoreOf(res.Repairs[i]) < scoreOf(res.Repairs[i-1]) {
+			t.Fatalf("find-all not in score order at %d", i)
+		}
+	}
+	// {b,c} must rank first.
+	if !res.Repairs[0].Added.Equal(bitset.New(3, 4)) {
+		t.Fatalf("best balanced repair = %v, want {b,c}", res.Repairs[0].Added)
+	}
+}
+
+// TestQuickBalancedFirstIsOptimal cross-validates the stopping rule: the
+// repair returned by FirstOnly+balanced must achieve the minimum objective
+// over ALL repairs, found by brute-force enumeration.
+func TestQuickBalancedFirstIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	lambda := 1.0
+	for iter := 0; iter < 60; iter++ {
+		cols := []string{"x", "y", "a", "b", "c", "d"}
+		rows := make([][]string, 4+rng.Intn(18))
+		for i := range rows {
+			rows[i] = []string{
+				string(rune('A' + rng.Intn(2))),
+				string(rune('A' + rng.Intn(3))),
+				string(rune('A' + rng.Intn(4))),
+				string(rune('A' + rng.Intn(3))),
+				string(rune('A' + rng.Intn(len(rows)))), // near-key column
+				string(rune('A' + rng.Intn(3))),
+			}
+		}
+		r := buildRelation(t, cols, rows)
+		counter := pli.NewPLICounter(r)
+		fd := MustFD("F", bitset.New(0), bitset.New(1))
+		if Compute(counter, fd).Exact() {
+			continue
+		}
+		rep, _, ok := FindFirstRepair(counter, fd, RepairOptions{Objective: ObjectiveBalanced})
+		bestScore, anyRepair := bruteForceBestScore(counter, r, fd, lambda)
+		if ok != anyRepair {
+			t.Fatalf("iter %d: found=%v bruteforce=%v", iter, ok, anyRepair)
+		}
+		if !ok {
+			continue
+		}
+		got := float64(rep.Added.Len()) + rep.Measures.Inconsistency() +
+			lambda*math.Abs(float64(rep.Measures.Goodness))
+		if math.Abs(got-bestScore) > 1e-9 {
+			t.Fatalf("iter %d: balanced first score %v, brute-force best %v (added %v)",
+				iter, got, bestScore, rep.Added)
+		}
+	}
+}
+
+// bruteForceBestScore enumerates every subset of candidate attributes and
+// returns the best balanced score among exact extensions.
+func bruteForceBestScore(counter pli.Counter, r *relation.Relation, fd FD, lambda float64) (float64, bool) {
+	var pool []int
+	attrs := fd.Attrs()
+	for c := 0; c < r.NumCols(); c++ {
+		if !attrs.Contains(c) && !r.HasNulls(c) {
+			pool = append(pool, c)
+		}
+	}
+	best := math.Inf(1)
+	found := false
+	for mask := 1; mask < 1<<len(pool); mask++ {
+		var u bitset.Set
+		for i, c := range pool {
+			if mask&(1<<i) != 0 {
+				u.Add(c)
+			}
+		}
+		m := Compute(counter, fd.WithExtendedAntecedent(u))
+		if !m.Exact() {
+			continue
+		}
+		found = true
+		score := float64(u.Len()) + m.Inconsistency() + lambda*math.Abs(float64(m.Goodness))
+		if score < best {
+			best = score
+		}
+	}
+	return best, found
+}
+
+func TestBalancedObjectiveUnrepairable(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F3", "PhNo, Zip -> Street")
+	rep, stats, ok := FindFirstRepair(counter, fd, RepairOptions{Objective: ObjectiveBalanced})
+	if ok {
+		t.Fatalf("F3 is unrepairable, got %v", rep.Added)
+	}
+	if !stats.Exhausted {
+		t.Fatal("unrepairable balanced search should exhaust the space")
+	}
+}
+
+func TestBalancedObjectiveRespectsBudget(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F4", "District -> PhNo")
+	res := FindRepairs(counter, fd, RepairOptions{
+		Objective:    ObjectiveBalanced,
+		FirstOnly:    true,
+		MaxEvaluated: 8,
+	})
+	// The single-attribute seeding (7 candidates) always completes; the
+	// budget stops the search right after.
+	if res.Stats.Evaluated > 8 {
+		t.Fatalf("budget exceeded: %d", res.Stats.Evaluated)
+	}
+	if res.Stats.Exhausted {
+		t.Fatal("tripped budget must clear Exhausted")
+	}
+}

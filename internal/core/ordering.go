@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// ConflictScope selects which attributes count towards the conflict score
+// cf_F of §4.1.
+//
+// The paper's formula sums |F ∩ F′| / max(|F|, |F′|) over the other FDs and
+// divides by |𝓕|. With full-FD attribute overlap (AllAttributes) the
+// running example yields cf(F2) = cf(F3) = 1/9 ≠ 0, yet the ranks printed in
+// §4.1 (0.25, 0.167, 0.056) equal ic/2, i.e. cf = 0 for all three — which is
+// what consequent-only overlap produces (F1, F2, F3 share no consequent
+// attribute). Both scopes are provided; both orderings agree on the running
+// example. See DESIGN.md §2.
+type ConflictScope int
+
+const (
+	// ScopeAllAttributes counts overlap over XY, the formula as printed.
+	ScopeAllAttributes ConflictScope = iota
+	// ScopeConsequentOnly counts overlap over Y only; reproduces the
+	// example's printed rank values.
+	ScopeConsequentOnly
+)
+
+// ConflictScore computes cf_F with respect to the other FDs. The FD itself
+// is excluded from the sum (including it would add a constant 1/|𝓕| to every
+// FD, contradicting the printed example values); the divisor |𝓕| counts the
+// full set, as printed.
+func ConflictScore(fd FD, all []FD, scope ConflictScope) float64 {
+	if len(all) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, other := range all {
+		if other.Equal(fd) {
+			continue
+		}
+		var overlap int
+		switch scope {
+		case ScopeConsequentOnly:
+			overlap = fd.Y.Intersect(other.Y).Len()
+		default:
+			overlap = fd.Overlap(other)
+		}
+		max := fd.Size()
+		if o := other.Size(); o > max {
+			max = o
+		}
+		if max > 0 {
+			sum += float64(overlap) / float64(max)
+		}
+	}
+	return sum / float64(len(all))
+}
+
+// RankedFD is an FD with its repair-priority rank O_F = (ic + cf)/2 (§4.1).
+type RankedFD struct {
+	FD FD
+	// Measures are the FD's instance measures (confidence, goodness, …).
+	Measures Measures
+	// Conflict is cf_F, the instance-independent conflict score.
+	Conflict float64
+	// Rank is O_F = (Inconsistency + Conflict) / 2; higher ranks are
+	// repaired first.
+	Rank float64
+}
+
+// OrderFDs computes ranks for every FD and returns them sorted by
+// decreasing rank (the repair order of Algorithm 1). Ties break by label
+// then by antecedent attribute order, so the output is deterministic.
+func OrderFDs(counter pli.Counter, fds []FD, scope ConflictScope) []RankedFD {
+	out := make([]RankedFD, len(fds))
+	for i, fd := range fds {
+		m := Compute(counter, fd)
+		cf := ConflictScore(fd, fds, scope)
+		out[i] = RankedFD{
+			FD:       fd,
+			Measures: m,
+			Conflict: cf,
+			Rank:     (m.Inconsistency() + cf) / 2,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Rank != out[b].Rank {
+			return out[a].Rank > out[b].Rank
+		}
+		if out[a].FD.Label != out[b].FD.Label {
+			return out[a].FD.Label < out[b].FD.Label
+		}
+		return out[a].FD.X.Min() < out[b].FD.X.Min()
+	})
+	return out
+}
+
+// Violated filters an ordered FD list down to the FDs that are not exact on
+// the instance — the ones Algorithm 1 proceeds to repair.
+func Violated(ranked []RankedFD) []RankedFD {
+	var out []RankedFD
+	for _, r := range ranked {
+		if !r.Measures.Exact() {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// This file pins every number the paper prints for the running example:
+// the confidence/goodness of F1–F4 (§3, §4.2, §4.3), the FD repair order
+// (§4.1), and Tables 1, 2 and 3. A change that breaks any of these breaks
+// the reproduction.
+
+func placesCounter(t testing.TB) pli.Counter {
+	t.Helper()
+	return pli.NewPLICounter(datasets.Places())
+}
+
+func placesFD(t testing.TB, r *relation.Relation, label, spec string) FD {
+	t.Helper()
+	fd, err := ParseFD(r.Schema(), label, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperSection3Measures(t *testing.T) {
+	counter := placesCounter(t)
+	r := counter.Relation()
+
+	cases := []struct {
+		label, spec string
+		numX, numXY int
+		conf        float64
+		good        int
+	}{
+		// §3: c_F1 = 0.5, g_F1 = −2; c_F2 = 0.667, g_F2 = −1;
+		//     c_F3 = 0.889, g_F3 = 1.
+		{"F1", "District, Region -> AreaCode", 2, 4, 0.5, -2},
+		{"F2", "Zip -> City, State", 4, 6, 2.0 / 3.0, -1},
+		{"F3", "PhNo, Zip -> Street", 8, 9, 8.0 / 9.0, 1},
+		// §4.3: c_F4 = 2/7 ≈ 0.29, g_F4 = −4.
+		{"F4", "District -> PhNo", 2, 7, 2.0 / 7.0, -4},
+	}
+	for _, c := range cases {
+		fd := placesFD(t, r, c.label, c.spec)
+		m := Compute(counter, fd)
+		if m.NumX != c.numX || m.NumXY != c.numXY {
+			t.Errorf("%s: |π_X|/|π_XY| = %d/%d, want %d/%d", c.label, m.NumX, m.NumXY, c.numX, c.numXY)
+		}
+		if !almostEqual(m.Confidence, c.conf) {
+			t.Errorf("%s: confidence = %v, want %v", c.label, m.Confidence, c.conf)
+		}
+		if m.Goodness != c.good {
+			t.Errorf("%s: goodness = %d, want %d", c.label, m.Goodness, c.good)
+		}
+		if m.Exact() {
+			t.Errorf("%s must be approximate (Definition 4)", c.label)
+		}
+	}
+}
+
+func TestPaperSection41RepairOrder(t *testing.T) {
+	counter := placesCounter(t)
+	r := counter.Relation()
+	fds := []FD{
+		placesFD(t, r, "F1", "District, Region -> AreaCode"),
+		placesFD(t, r, "F2", "Zip -> City, State"),
+		placesFD(t, r, "F3", "PhNo, Zip -> Street"),
+	}
+
+	// With consequent-only conflict scope the printed ranks (0.25, 0.167,
+	// 0.056) are reproduced exactly: no consequent attributes are shared,
+	// so cf = 0 and O_F = ic/2.
+	ranked := OrderFDs(counter, fds, ScopeConsequentOnly)
+	wantOrder := []string{"F1", "F2", "F3"}
+	wantRanks := []float64{0.25, (1 - 2.0/3.0) / 2, (1 - 8.0/9.0) / 2}
+	for i, rf := range ranked {
+		if rf.FD.Label != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, rf.FD.Label, wantOrder[i])
+		}
+		if !almostEqual(rf.Rank, wantRanks[i]) {
+			t.Errorf("rank(%s) = %v, want %v", rf.FD.Label, rf.Rank, wantRanks[i])
+		}
+		if rf.Conflict != 0 {
+			t.Errorf("cf(%s) = %v, want 0 under consequent scope", rf.FD.Label, rf.Conflict)
+		}
+	}
+
+	// With the formula as printed (full attribute overlap) F2 and F3 share
+	// Zip, so their conflict scores are 1/9 — the ordering is unchanged.
+	rankedAll := OrderFDs(counter, fds, ScopeAllAttributes)
+	for i, rf := range rankedAll {
+		if rf.FD.Label != wantOrder[i] {
+			t.Fatalf("full-overlap order[%d] = %s, want %s", i, rf.FD.Label, wantOrder[i])
+		}
+	}
+	if !almostEqual(rankedAll[1].Conflict, 1.0/9.0) {
+		t.Errorf("cf(F2) full overlap = %v, want 1/9", rankedAll[1].Conflict)
+	}
+	if !almostEqual(rankedAll[2].Conflict, 1.0/9.0) {
+		t.Errorf("cf(F3) full overlap = %v, want 1/9", rankedAll[2].Conflict)
+	}
+	if rankedAll[0].Conflict != 0 {
+		t.Errorf("cf(F1) = %v, want 0 (F1 shares no attribute)", rankedAll[0].Conflict)
+	}
+}
+
+// expectTable asserts ExtendByOne's ranked output: attribute order,
+// confidence ratios, and goodness values.
+func expectTable(t *testing.T, counter pli.Counter, fd FD, want []struct {
+	attr  string
+	numX  int
+	numXY int
+	good  int
+}) {
+	t.Helper()
+	r := counter.Relation()
+	got := ExtendByOne(counter, fd, CandidateOptions{})
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d candidates, want %d", fd.Label, len(got), len(want))
+	}
+	for i, w := range want {
+		name := r.Schema().Column(got[i].Attr).Name
+		if name != w.attr {
+			t.Errorf("%s row %d: attr = %s, want %s", fd.Label, i, name, w.attr)
+			continue
+		}
+		m := got[i].Measures
+		if m.NumX != w.numX || m.NumXY != w.numXY {
+			t.Errorf("%s row %s: c = %d/%d, want %d/%d", fd.Label, w.attr, m.NumX, m.NumXY, w.numX, w.numXY)
+		}
+		if m.Goodness != w.good {
+			t.Errorf("%s row %s: g = %d, want %d", fd.Label, w.attr, m.Goodness, w.good)
+		}
+	}
+}
+
+func TestPaperTable1(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F1", "District, Region -> AreaCode")
+	// Table 1, all six rows in printed order.
+	expectTable(t, counter, fd, []struct {
+		attr  string
+		numX  int
+		numXY int
+		good  int
+	}{
+		{"Municipal", 4, 4, 0},
+		{"PhNo", 7, 7, 3},
+		{"Street", 7, 8, 3},
+		{"Zip", 4, 5, 0},
+		{"City", 4, 5, 0},
+		{"State", 3, 5, -1},
+	})
+}
+
+func TestPaperTable2(t *testing.T) {
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F4", "District -> PhNo")
+	// Table 2, all seven rows in printed order.
+	expectTable(t, counter, fd, []struct {
+		attr  string
+		numX  int
+		numXY int
+		good  int
+	}{
+		{"Street", 7, 8, 1},
+		{"Municipal", 4, 7, -2},
+		{"AreaCode", 4, 7, -2},
+		{"City", 4, 7, -2},
+		{"Zip", 4, 8, -2},
+		{"State", 3, 7, -3},
+		{"Region", 2, 7, -4},
+	})
+}
+
+func TestPaperTable3(t *testing.T) {
+	counter := placesCounter(t)
+	r := counter.Relation()
+	fd := placesFD(t, r, "F4Street", "District, Street -> PhNo")
+	// Table 3's confidence column is reproduced exactly. Two deviations
+	// from the printed table, both documented in EXPERIMENTS.md:
+	//
+	//  1. the printed goodness column (4,4,4,4,3) does not follow
+	//     Definition 3: it equals |π_{XA}| − |π_AreaCode| (the consequent
+	//     of F1 — a slip carried over from Table 1) with one further
+	//     misprint in the City row. Under Definition 3, g = |π_{XA}| −
+	//     |π_PhNo| with |π_PhNo| = 6, giving the values asserted here;
+	//  2. the paper omits the Region row although Region ∈ R \ XY. Region
+	//     is a no-op extension (District ↔ Region is 1:1, so π_{XA} = π_X
+	//     and the measures equal the parent's); we keep it, ranked within
+	//     the 0.875 tie by schema position.
+	expectTable(t, counter, fd, []struct {
+		attr  string
+		numX  int
+		numXY int
+		good  int
+	}{
+		{"Municipal", 8, 8, 2},
+		{"AreaCode", 8, 8, 2},
+		{"Zip", 8, 9, 2},
+		{"Region", 7, 8, 1},
+		{"City", 7, 8, 1},
+		{"State", 7, 8, 1},
+	})
+}
+
+func TestPaperSection43IterativeRepair(t *testing.T) {
+	// §4.3: repairing F4 needs two attributes; the first step picks Street
+	// (best rank in Table 2), the second finds Municipal and AreaCode as
+	// exact completions. The two repairs {Street, Municipal} and
+	// {Street, AreaCode} tie.
+	counter := placesCounter(t)
+	r := counter.Relation()
+	fd := placesFD(t, r, "F4", "District -> PhNo")
+
+	res := FindRepairs(counter, fd, RepairOptions{})
+	if len(res.Repairs) == 0 {
+		t.Fatal("F4 must be repairable")
+	}
+	// No single-attribute repair exists (Table 2 has no confidence-1 row).
+	for _, rep := range res.Repairs {
+		if rep.Added.Len() < 2 {
+			t.Fatalf("unexpected single-attribute repair +{%s}", r.Schema().FormatSet(rep.Added))
+		}
+	}
+	// The two §4.3 repairs must be found, as minimal (size 2), before any
+	// larger repair.
+	first, second := res.Repairs[0], res.Repairs[1]
+	got := map[string]bool{
+		r.Schema().FormatSet(first.Added):  true,
+		r.Schema().FormatSet(second.Added): true,
+	}
+	if !got["Municipal,Street"] || !got["AreaCode,Street"] {
+		t.Fatalf("top-2 repairs = %v, want {Street,Municipal} and {Street,AreaCode}", got)
+	}
+	if first.Added.Len() != 2 || second.Added.Len() != 2 {
+		t.Fatal("both §4.3 repairs must have exactly 2 added attributes")
+	}
+	// Both tie on measures: c = 1 and equal goodness (§4.3: "They score the
+	// same value also for the goodness thus they are actually equivalent").
+	if !first.Measures.Exact() || !second.Measures.Exact() {
+		t.Fatal("repairs must be exact")
+	}
+	if first.Measures.Goodness != second.Measures.Goodness {
+		t.Fatal("the two §4.3 repairs must tie on goodness")
+	}
+}
+
+func TestPaperSection42SingleRepairsForF1(t *testing.T) {
+	// §4.2: Municipal and PhNo both give exact FDs for F1; Municipal ranks
+	// first because its goodness (0) is closer to zero than PhNo's (3).
+	counter := placesCounter(t)
+	r := counter.Relation()
+	fd := placesFD(t, r, "F1", "District, Region -> AreaCode")
+	res := FindRepairs(counter, fd, RepairOptions{MaxAdded: 1})
+	if len(res.Repairs) != 2 {
+		t.Fatalf("single-attribute repairs = %d, want 2", len(res.Repairs))
+	}
+	if name := r.Schema().FormatSet(res.Repairs[0].Added); name != "Municipal" {
+		t.Errorf("best repair = %s, want Municipal", name)
+	}
+	if name := r.Schema().FormatSet(res.Repairs[1].Added); name != "PhNo" {
+		t.Errorf("second repair = %s, want PhNo", name)
+	}
+}
+
+func TestEpsilonCBOnPlaces(t *testing.T) {
+	// ε_CB = ic + |g| (§5). For F1: (1−0.5) + 2 = 2.5.
+	counter := placesCounter(t)
+	fd := placesFD(t, counter.Relation(), "F1", "District, Region -> AreaCode")
+	m := Compute(counter, fd)
+	if !almostEqual(m.EpsilonCB(), 2.5) {
+		t.Fatalf("ε_CB(F1) = %v, want 2.5", m.EpsilonCB())
+	}
+	// For the repaired F1+Municipal: ic = 0, g = 0 → ε_CB = 0 (best case).
+	repaired := fd.WithExtendedAntecedent(mustIndexSet(t, counter.Relation(), "Municipal"))
+	mr := Compute(counter, repaired)
+	if mr.EpsilonCB() != 0 {
+		t.Fatalf("ε_CB(F1+Municipal) = %v, want 0", mr.EpsilonCB())
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// Repair is one way to evolve a violated FD X → Y into an exact FD XU → Y.
+type Repair struct {
+	// Added is the attribute set U added to the antecedent.
+	Added bitset.Set
+	// FD is the repaired dependency XU → Y.
+	FD FD
+	// Measures are the measures of the repaired dependency; Exact() is true.
+	Measures Measures
+}
+
+// SearchStats describes the work done by a repair search.
+type SearchStats struct {
+	// Evaluated counts candidate FDs whose measures were computed.
+	Evaluated int
+	// Expanded counts queue nodes whose children were generated.
+	Expanded int
+	// Enqueued counts nodes pushed onto the priority queue.
+	Enqueued int
+	// Exhausted is true when the bounded search space was fully explored
+	// (as opposed to stopping at the first repair or on a budget).
+	Exhausted bool
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// Objective selects the order in which the repair search explores and
+// returns candidates.
+type Objective int
+
+const (
+	// ObjectiveMinimalFirst is the paper's Algorithm 3 order: antecedent
+	// cardinality ascending, then rank (confidence descending, |goodness|
+	// ascending). The first repair found is minimal in size.
+	ObjectiveMinimalFirst Objective = iota
+	// ObjectiveBalanced implements the §4.4 proposal of "combining such a
+	// threshold with our confidence and goodness measures … an objective
+	// function that guides our repair strategy": nodes are ordered by
+	//
+	//	score(U) = |U| + ic(F_U) + λ·|goodness(F_U)|
+	//
+	// (λ = GoodnessWeight), i.e. |U| + λ-weighted ε_CB. A slightly longer
+	// repair with near-bijective goodness can now beat a short repair built
+	// on a UNIQUE attribute, without a hard threshold. With FirstOnly the
+	// returned repair provably minimises the score: the search only stops
+	// once no unexplored node can beat it (score ≥ |U| for every node).
+	ObjectiveBalanced
+)
+
+// RepairOptions controls the Extend search (Algorithm 3).
+type RepairOptions struct {
+	// FirstOnly stops at the first (minimal) repair — the early-stop variant
+	// the paper measures in Table 8. When false the whole bounded space is
+	// explored (Table 7).
+	FirstOnly bool
+	// Objective selects the search order; the zero value is the paper's
+	// minimal-first order.
+	Objective Objective
+	// GoodnessWeight is λ in the balanced objective; values ≤ 0 mean 1.
+	// Ignored under ObjectiveMinimalFirst.
+	GoodnessWeight float64
+	// MaxAdded bounds |U|, the number of attributes added to the
+	// antecedent; 0 means no bound (every NULL-free attribute outside XY
+	// may be added).
+	MaxAdded int
+	// MaxEvaluated aborts the search after this many candidate evaluations;
+	// 0 means unlimited. A tripped budget sets Stats.Exhausted = false.
+	// The initial single-attribute seeding (ExtendByOne) always runs to
+	// completion, so up to one full candidate pool may be evaluated even
+	// under a smaller budget.
+	MaxEvaluated int
+	// PruneNonMinimal drops repairs that are supersets of other found
+	// repairs from the result. The paper's Algorithm 3 keeps them (they are
+	// reachable through paths whose prefixes are non-exact); pruning is an
+	// extension for designers who want only minimal suggestions.
+	PruneNonMinimal bool
+	// Candidates configures per-step candidate generation.
+	Candidates CandidateOptions
+}
+
+// RepairResult is the outcome of repairing one FD.
+type RepairResult struct {
+	// FD is the original, violated dependency.
+	FD FD
+	// Initial holds the original FD's measures.
+	Initial Measures
+	// Repairs lists the exact extensions found, in discovery order — which,
+	// by the queue invariant, is (|U| ascending, rank descending). With
+	// FirstOnly it has at most one element; it is empty when no repair
+	// exists within the bounds.
+	Repairs []Repair
+	// Stats describes the search effort.
+	Stats SearchStats
+}
+
+// node is a queue entry: the set of added attributes, the measures of the
+// corresponding extended FD, and the balanced-objective score (0 under
+// minimal-first).
+type node struct {
+	added    bitset.Set
+	addedKey []int // sorted members, for deterministic comparison
+	measures Measures
+	score    float64
+}
+
+// nodeQueue is the priority queue of Algorithm 3. Under the minimal-first
+// objective it orders by increasing cardinality of the added set (so the
+// first repair popped is minimal), then by decreasing rank (confidence
+// desc, |goodness| asc); under the balanced objective it orders by score.
+// Added-attribute order breaks all remaining ties deterministically.
+type nodeQueue struct {
+	nodes    []*node
+	balanced bool
+}
+
+func (q *nodeQueue) Len() int { return len(q.nodes) }
+
+func (q *nodeQueue) Less(i, j int) bool {
+	a, b := q.nodes[i], q.nodes[j]
+	if q.balanced && a.score != b.score {
+		return a.score < b.score
+	}
+	if len(a.addedKey) != len(b.addedKey) {
+		return len(a.addedKey) < len(b.addedKey)
+	}
+	if a.measures.Confidence != b.measures.Confidence {
+		return a.measures.Confidence > b.measures.Confidence
+	}
+	ga, gb := abs(a.measures.Goodness), abs(b.measures.Goodness)
+	if ga != gb {
+		return ga < gb
+	}
+	for k := range a.addedKey {
+		if a.addedKey[k] != b.addedKey[k] {
+			return a.addedKey[k] < b.addedKey[k]
+		}
+	}
+	return false
+}
+
+func (q *nodeQueue) Swap(i, j int) { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
+func (q *nodeQueue) Push(x any)    { q.nodes = append(q.nodes, x.(*node)) }
+func (q *nodeQueue) Pop() any {
+	old := q.nodes
+	n := old[len(old)-1]
+	q.nodes = old[:len(old)-1]
+	return n
+}
+
+// FindRepairs runs the Extend search (Algorithm 3) for one FD. If the FD is
+// already exact the result carries no repairs and zero search stats.
+//
+// The search explores added-attribute sets in best-first order. Exact nodes
+// are recorded and not expanded (an exact FD stays exact under further
+// extension, so children would be redundant supersets); non-exact nodes are
+// expanded by adding one attribute with a schema position greater than any
+// already added, which enumerates every subset exactly once.
+func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
+	start := time.Now()
+	res := RepairResult{FD: fd, Initial: Compute(counter, fd)}
+	if res.Initial.Exact() {
+		res.Stats.Exhausted = true
+		res.Stats.Elapsed = time.Since(start)
+		return res
+	}
+
+	pool := CandidatePool(counter, fd, opts.Candidates)
+	maxAdded := opts.MaxAdded
+	if maxAdded <= 0 || maxAdded > len(pool) {
+		maxAdded = len(pool)
+	}
+	balanced := opts.Objective == ObjectiveBalanced
+	lambda := opts.GoodnessWeight
+	if lambda <= 0 {
+		lambda = 1
+	}
+	score := func(size int, m Measures) float64 {
+		if !balanced {
+			return 0
+		}
+		return float64(size) + m.Inconsistency() + lambda*math.Abs(float64(m.Goodness))
+	}
+
+	q := &nodeQueue{balanced: balanced}
+	heap.Init(q)
+	// sizeCounts tracks how many queued nodes exist per added-set size: the
+	// balanced objective's stopping rule needs the smallest live size.
+	sizeCounts := make(map[int]int)
+	push := func(added bitset.Set, m Measures) {
+		key := added.Members()
+		heap.Push(q, &node{added: added, addedKey: key, measures: m, score: score(len(key), m)})
+		sizeCounts[len(key)]++
+		res.Stats.Enqueued++
+	}
+	minLiveSize := func() int {
+		for size := 1; size <= maxAdded; size++ {
+			if sizeCounts[size] > 0 {
+				return size
+			}
+		}
+		return maxAdded + 1
+	}
+
+	// Seed with all single-attribute extensions (ExtendByOne).
+	for _, c := range ExtendByOne(counter, fd, opts.Candidates) {
+		res.Stats.Evaluated++
+		push(bitset.New(c.Attr), c.Measures)
+	}
+
+	// best tracks the lowest-score exact node under FirstOnly+balanced; the
+	// search may stop only when no live or future node can beat it (every
+	// node's score is at least its size).
+	var best *node
+	budgetTripped := false
+	for q.Len() > 0 {
+		n := heap.Pop(q).(*node)
+		sizeCounts[len(n.addedKey)]--
+		if n.measures.Exact() {
+			if opts.FirstOnly && balanced {
+				if best == nil || n.score < best.score {
+					best = n
+				}
+				if float64(minLiveSize()) >= best.score {
+					break
+				}
+				continue
+			}
+			res.Repairs = append(res.Repairs, Repair{
+				Added:    n.added,
+				FD:       fd.WithExtendedAntecedent(n.added),
+				Measures: n.measures,
+			})
+			if opts.FirstOnly {
+				break
+			}
+			continue
+		}
+		if len(n.addedKey) >= maxAdded {
+			continue
+		}
+		if opts.MaxEvaluated > 0 && res.Stats.Evaluated >= opts.MaxEvaluated {
+			budgetTripped = true
+			break
+		}
+		// Under FirstOnly+balanced, expanding nodes whose children cannot
+		// beat the incumbent is wasted work.
+		if best != nil && float64(len(n.addedKey)+1) >= best.score {
+			continue
+		}
+		res.Stats.Expanded++
+		maxIdx := n.addedKey[len(n.addedKey)-1]
+		extFD := fd.WithExtendedAntecedent(n.added)
+		for _, attr := range pool {
+			if attr <= maxIdx {
+				continue
+			}
+			if opts.MaxEvaluated > 0 && res.Stats.Evaluated >= opts.MaxEvaluated {
+				budgetTripped = true
+				break
+			}
+			c := evalCandidate(counter, extFD, attr)
+			res.Stats.Evaluated++
+			if opts.Candidates.MaxGoodness != nil && abs(c.Measures.Goodness) > *opts.Candidates.MaxGoodness {
+				continue
+			}
+			push(n.added.With(attr), c.Measures)
+		}
+	}
+	if best != nil {
+		res.Repairs = append(res.Repairs, Repair{
+			Added:    best.added,
+			FD:       fd.WithExtendedAntecedent(best.added),
+			Measures: best.measures,
+		})
+	}
+
+	if opts.PruneNonMinimal {
+		res.Repairs = pruneNonMinimal(res.Repairs)
+	}
+	res.Stats.Exhausted = !budgetTripped && (!opts.FirstOnly || len(res.Repairs) == 0)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// pruneNonMinimal removes repairs whose added set is a proper superset of
+// another repair's added set. Discovery order (size-ascending) guarantees
+// subsets appear before supersets, so one backward pass suffices.
+func pruneNonMinimal(repairs []Repair) []Repair {
+	var out []Repair
+	for _, r := range repairs {
+		minimal := true
+		for _, kept := range out {
+			if kept.Added.ProperSubsetOf(r.Added) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FindFirstRepair is FindRepairs with FirstOnly set: it returns the minimal
+// repair (smallest |U|, best rank among those) or ok=false when none exists
+// within the bounds.
+func FindFirstRepair(counter pli.Counter, fd FD, opts RepairOptions) (Repair, SearchStats, bool) {
+	opts.FirstOnly = true
+	res := FindRepairs(counter, fd, opts)
+	if len(res.Repairs) == 0 {
+		return Repair{}, res.Stats, false
+	}
+	return res.Repairs[0], res.Stats, true
+}
+
+// EvolveDatabase implements Algorithm 1 generalised to multi-attribute
+// repairs: it ranks the FD set (§4.1), then repairs each violated FD in
+// rank order. Exact FDs pass through with empty Repairs.
+func EvolveDatabase(counter pli.Counter, fds []FD, scope ConflictScope, opts RepairOptions) []RepairResult {
+	ranked := OrderFDs(counter, fds, scope)
+	out := make([]RepairResult, 0, len(ranked))
+	for _, rf := range ranked {
+		out = append(out, FindRepairs(counter, rf.FD, opts))
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+func TestPlacesShape(t *testing.T) {
+	r := Places()
+	if r.NumCols() != 9 {
+		t.Fatalf("arity = %d, want 9", r.NumCols())
+	}
+	if r.NumRows() != 11 {
+		t.Fatalf("cardinality = %d, want 11 (Figure 1)", r.NumRows())
+	}
+	for col := 0; col < r.NumCols(); col++ {
+		if r.HasNulls(col) {
+			t.Errorf("column %s must be NULL-free", r.Schema().Column(col).Name)
+		}
+	}
+	// Spot checks against Figure 1.
+	if r.Value(0, 0) != relation.String("Brookside") {
+		t.Error("t1 District wrong")
+	}
+	if r.Value(10, 5) != relation.String("Bay") {
+		t.Error("t11 Street wrong")
+	}
+	if got := r.DistinctCount([]int{3}); got != 4 {
+		t.Errorf("|π_AreaCode| = %d, want 4", got)
+	}
+	if got := r.DistinctCount([]int{4}); got != 6 {
+		t.Errorf("|π_PhNo| = %d, want 6", got)
+	}
+}
+
+func TestPlacesFDSpecsParse(t *testing.T) {
+	r := Places()
+	for label, spec := range PlacesFDs() {
+		if _, err := core.ParseFD(r.Schema(), label, spec); err != nil {
+			t.Errorf("%s: %v", label, err)
+		}
+	}
+	if _, err := core.ParseFD(r.Schema(), "F4", PlacesF4()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeDeterminismAndPrefix(t *testing.T) {
+	specs := []ColumnSpec{
+		{Name: "a", Card: 5},
+		{Name: "b", Card: 3, DerivedFrom: []int{0}, Salt: 9},
+		{Name: "c", Card: 4, NullRate: 0.3, Salt: 1},
+		{Name: "d", Card: 0},
+	}
+	r1 := Synthesize("s", 200, 42, specs)
+	r2 := Synthesize("s", 200, 42, specs)
+	for row := 0; row < 200; row++ {
+		for col := 0; col < 4; col++ {
+			if r1.Value(row, col) != r2.Value(row, col) {
+				t.Fatalf("cell (%d,%d) differs across identical seeds", row, col)
+			}
+		}
+	}
+	// Column-prefix property: truncating the spec list reproduces the
+	// leading columns exactly.
+	r3 := Synthesize("s", 200, 42, specs[:2])
+	for row := 0; row < 200; row++ {
+		for col := 0; col < 2; col++ {
+			if r1.Value(row, col) != r3.Value(row, col) {
+				t.Fatalf("prefix cell (%d,%d) differs after truncation", row, col)
+			}
+		}
+	}
+	// A different seed changes the data.
+	r4 := Synthesize("s", 200, 43, specs)
+	same := true
+	for row := 0; row < 200 && same; row++ {
+		if r1.Value(row, 0) != r4.Value(row, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seed produced identical data")
+	}
+}
+
+func TestSynthesizeDerivedFDExact(t *testing.T) {
+	specs := []ColumnSpec{
+		{Name: "a", Card: 6},
+		{Name: "r", Card: 4, Salt: 3},
+		{Name: "b", Card: 5, DerivedFrom: []int{0, 1}, Salt: 7},
+	}
+	r := Synthesize("s", 500, 7, specs)
+	x, _ := r.Schema().IndexSet("a", "r")
+	y, _ := r.Schema().IndexSet("b")
+	if !r.SatisfiesFD(x, y) {
+		t.Fatal("derived column must make sources → derived exact")
+	}
+	// The planted FD a → b must be approximate at this size.
+	a, _ := r.Schema().IndexSet("a")
+	if r.SatisfiesFD(a, y) {
+		t.Fatal("a → b should be approximate (derived also from r)")
+	}
+}
+
+func TestSynthesizeKeyColumnsUnique(t *testing.T) {
+	r := Synthesize("s", 100, 1, []ColumnSpec{{Name: "k", Card: 0}})
+	if r.DictLen(0) != 100 {
+		t.Fatalf("key column distinct = %d, want 100", r.DictLen(0))
+	}
+}
+
+func TestSynthesizeForwardDerivation(t *testing.T) {
+	// Derived columns may reference independent columns at any position —
+	// the Veterans layout puts the consequent at column 1 with sources at
+	// columns 5 and 12.
+	r := Synthesize("s", 300, 1, []ColumnSpec{
+		{Name: "b", Card: 4, DerivedFrom: []int{1}, Salt: 3},
+		{Name: "a", Card: 6, Salt: 4},
+	})
+	x, _ := r.Schema().IndexSet("a")
+	y, _ := r.Schema().IndexSet("b")
+	if !r.SatisfiesFD(x, y) {
+		t.Fatal("forward-derived FD must be exact")
+	}
+}
+
+func TestSynthesizeBadSpecPanics(t *testing.T) {
+	t.Run("out of range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range derivation must panic")
+			}
+		}()
+		Synthesize("s", 10, 1, []ColumnSpec{
+			{Name: "a", Card: 2, DerivedFrom: []int{5}},
+			{Name: "b", Card: 2},
+		})
+	})
+	t.Run("cycle", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("derivation cycles must panic")
+			}
+		}()
+		Synthesize("s", 10, 1, []ColumnSpec{
+			{Name: "a", Card: 2, DerivedFrom: []int{1}},
+			{Name: "b", Card: 2, DerivedFrom: []int{0}},
+		})
+	})
+	t.Run("bad virtual card", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-positive virtual card must panic")
+			}
+		}()
+		Synthesize("s", 10, 1, []ColumnSpec{
+			{Name: "a", Card: 2, VirtualFrom: []VirtualSource{{Col: 7, Card: 0}}},
+		})
+	})
+}
+
+func TestSynthesizeDerivationChain(t *testing.T) {
+	// a → b → c chains must work: {a} → c exact through the chain.
+	r := Synthesize("s", 300, 2, []ColumnSpec{
+		{Name: "a", Card: 6, Salt: 1},
+		{Name: "b", Card: 5, DerivedFrom: []int{0}, Salt: 2},
+		{Name: "c", Card: 4, DerivedFrom: []int{1}, Salt: 3},
+	})
+	x, _ := r.Schema().IndexSet("a")
+	y, _ := r.Schema().IndexSet("c")
+	if !r.SatisfiesFD(x, y) {
+		t.Fatal("chained derivation must keep a → c exact")
+	}
+}
+
+func TestInjectDrift(t *testing.T) {
+	specs := []ColumnSpec{
+		{Name: "a", Card: 5},
+		{Name: "b", Card: 5, DerivedFrom: []int{0}, Salt: 2},
+	}
+	r := Synthesize("s", 400, 9, specs)
+	x, _ := r.Schema().IndexSet("a")
+	y, _ := r.Schema().IndexSet("b")
+	if !r.SatisfiesFD(x, y) {
+		t.Fatal("baseline FD must be exact")
+	}
+	drifted := InjectDrift(r, 1, 0.1, 5)
+	if drifted.NumRows() != r.NumRows() {
+		t.Fatal("drift must preserve cardinality")
+	}
+	if drifted.SatisfiesFD(x, y) {
+		t.Fatal("drift must break the FD")
+	}
+	// Rate 0 must be a no-op.
+	same := InjectDrift(r, 1, 0, 5)
+	for row := 0; row < r.NumRows(); row++ {
+		if same.Value(row, 1) != r.Value(row, 1) {
+			t.Fatal("rate-0 drift changed data")
+		}
+	}
+}
+
+// checkRealDataset verifies shape, FD parseability and planted repair
+// length of one Table 6 stand-in.
+func checkRealDataset(t *testing.T, ds RealDataset, wantCols int, wantName string) {
+	t.Helper()
+	r := ds.Relation
+	if r.Name() != wantName {
+		t.Errorf("name = %q, want %q", r.Name(), wantName)
+	}
+	if r.NumCols() != wantCols {
+		t.Errorf("%s arity = %d, want %d", wantName, r.NumCols(), wantCols)
+	}
+	fd, err := core.ParseFD(r.Schema(), "F", ds.FDSpec)
+	if err != nil {
+		t.Fatalf("%s: %v", wantName, err)
+	}
+	counter := pli.NewPLICounter(r)
+	m := core.Compute(counter, fd)
+	if m.Exact() {
+		t.Fatalf("%s: FD %s must be violated", wantName, ds.FDSpec)
+	}
+	rep, _, ok := core.FindFirstRepair(counter, fd, core.RepairOptions{})
+	if ds.RepairLen == 0 {
+		if ok {
+			t.Fatalf("%s: expected no repair, found +%d attrs", wantName, rep.Added.Len())
+		}
+		return
+	}
+	if !ok {
+		t.Fatalf("%s: expected a repair of length %d, found none", wantName, ds.RepairLen)
+	}
+	if rep.Added.Len() != ds.RepairLen {
+		t.Fatalf("%s: first repair adds %d attrs (%s), want %d", wantName,
+			rep.Added.Len(), r.Schema().FormatSet(rep.Added), ds.RepairLen)
+	}
+}
+
+func TestCountryDataset(t *testing.T) {
+	ds := Country(0)
+	if ds.Relation.NumRows() != CountryRows {
+		t.Fatalf("rows = %d, want %d", ds.Relation.NumRows(), CountryRows)
+	}
+	checkRealDataset(t, ds, 15, "country")
+}
+
+func TestRentalDataset(t *testing.T) {
+	checkRealDataset(t, Rental(4000), 7, "rental")
+}
+
+func TestImageDataset(t *testing.T) {
+	checkRealDataset(t, Image(8000), 14, "image")
+}
+
+func TestPageLinksDataset(t *testing.T) {
+	ds := PageLinks(20000)
+	checkRealDataset(t, ds, 3, "pagelinks")
+	// Only one candidate attribute exists; the repair must be exactly it.
+	r := ds.Relation
+	fd, _ := core.ParseFD(r.Schema(), "F", ds.FDSpec)
+	pool := core.CandidatePool(pli.NewPLICounter(r), fd, core.CandidateOptions{})
+	if len(pool) != 1 {
+		t.Fatalf("candidate pool = %d, want 1", len(pool))
+	}
+}
+
+func TestPlacesAsTable6Row(t *testing.T) {
+	ds := PlacesDataset()
+	checkRealDataset(t, ds, 9, "places")
+}
+
+func TestVeteransShapeAndGridProperties(t *testing.T) {
+	full := Veterans(300, 0)
+	if full.Relation.NumCols() != VeteransAttrs {
+		t.Fatalf("attrs = %d, want %d", full.Relation.NumCols(), VeteransAttrs)
+	}
+	// Exactly 481−323 columns carry NULLs at full width (NULL rates are per
+	// cell, so count columns with a non-zero configured rate via HasNulls —
+	// at 300 rows and ≥5%% rate every nullable column should have hit at
+	// least one NULL).
+	nullCols := 0
+	for c := 0; c < full.Relation.NumCols(); c++ {
+		if full.Relation.HasNulls(c) {
+			nullCols++
+		}
+	}
+	if nullCols != VeteransAttrs-VeteransNullFreeAttrs {
+		t.Errorf("columns with NULLs = %d, want %d", nullCols, VeteransAttrs-VeteransNullFreeAttrs)
+	}
+
+	// Grid slices: 30-attr instance repairable with exactly {repair_a,
+	// repair_b}; 10-attr instance unrepairable (repair_b out of range).
+	wide := Veterans(2000, 30)
+	if wide.Relation.NumCols() != 30 {
+		t.Fatalf("slice attrs = %d", wide.Relation.NumCols())
+	}
+	checkRealDataset(t, wide, 30, "veterans")
+
+	narrow := Veterans(2000, 10)
+	if narrow.RepairLen != 0 {
+		t.Fatal("10-attr Veterans must advertise no repair")
+	}
+	checkRealDataset(t, narrow, 10, "veterans")
+
+	// Prefix property across widths.
+	for row := 0; row < 50; row++ {
+		for col := 0; col < 10; col++ {
+			if wide.Relation.Value(row, col) != narrow.Relation.Value(row, col) {
+				t.Fatalf("grid prefix mismatch at (%d,%d)", row, col)
+			}
+		}
+	}
+}
+
+func TestRealDatasetsScaling(t *testing.T) {
+	small := RealDatasets(0.001)
+	if len(small) != 6 {
+		t.Fatalf("datasets = %d, want 6", len(small))
+	}
+	names := []string{"places", "country", "rental", "image", "pagelinks", "veterans"}
+	for i, ds := range small {
+		if ds.Relation.Name() != names[i] {
+			t.Errorf("dataset %d = %s, want %s", i, ds.Relation.Name(), names[i])
+		}
+	}
+	// Places is never scaled; the rest shrink but keep a floor.
+	if small[0].Relation.NumRows() != 11 {
+		t.Error("places must keep its 11 tuples")
+	}
+	if small[4].Relation.NumRows() >= PageLinksRows {
+		t.Error("pagelinks must shrink at scale 0.001")
+	}
+	if small[4].Relation.NumRows() < 50 {
+		t.Error("scaling floor of 50 rows violated")
+	}
+}

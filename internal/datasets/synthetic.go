@@ -1,0 +1,189 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// ColumnSpec describes one synthetic column.
+type ColumnSpec struct {
+	// Name is the attribute name.
+	Name string
+	// Card is the number of distinct values for independent categorical
+	// columns, and the output cardinality for derived columns. Card 0 makes
+	// the column a unique key.
+	Card int
+	// NullRate is the probability of a NULL cell (independent columns
+	// only).
+	NullRate float64
+	// DerivedFrom lists source column indices. When non-empty, the value is
+	// a deterministic function of the sources' values (a salted hash folded
+	// into Card buckets), so the FD sources → this column is exact by
+	// construction. Together with noise-free sources this plants known
+	// repairs: if B is derived from {A, R1, R2}, then A → B is approximate
+	// and {R1, R2} repairs it. Sources may appear at any position and may
+	// themselves be derived, as long as the dependency graph is acyclic.
+	DerivedFrom []int
+	// VirtualFrom adds derivation sources that need not be materialised in
+	// the relation: each describes the (position, card, salt) of an
+	// independent NULL-free column, and contributes exactly the value that
+	// column would have. A truncated spec list can therefore keep derived
+	// values identical to the full layout's — how the Veterans grid keeps
+	// its consequent stable across attribute widths while the second repair
+	// attribute (column 12) falls outside the 10-attribute slices.
+	VirtualFrom []VirtualSource
+	// Salt differentiates derived columns with identical sources.
+	Salt uint64
+}
+
+// VirtualSource identifies a conceptual independent column for VirtualFrom.
+// When a real column with the same position, Card and Salt is materialised,
+// its values coincide with the virtual contribution.
+type VirtualSource struct {
+	Col  int
+	Card int
+	Salt uint64
+}
+
+// Synthesize builds a relation from column specs. Cell values are pure
+// hash functions of (seed, column, row), so the same inputs always produce
+// identical data AND truncating the spec list yields a column-prefix of the
+// wider relation — the property the Veterans grid experiments (Tables 7–8)
+// rely on when sweeping attribute counts.
+func Synthesize(name string, rows int, seed int64, specs []ColumnSpec) *relation.Relation {
+	cols := make([]relation.Column, len(specs))
+	for i, s := range specs {
+		cols[i] = relation.Column{Name: s.Name, Kind: relation.KindString}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic("datasets: bad synthetic spec: " + err.Error())
+	}
+	for i, s := range specs {
+		for _, src := range s.DerivedFrom {
+			if src < 0 || src >= len(specs) {
+				panic(fmt.Sprintf("datasets: column %d derives from out-of-range column %d", i, src))
+			}
+		}
+		for _, v := range s.VirtualFrom {
+			if v.Card <= 0 {
+				panic(fmt.Sprintf("datasets: column %d has virtual source with card %d", i, v.Card))
+			}
+		}
+	}
+	derivedOrder := topoOrder(specs)
+	r := relation.New(name, schema)
+	tuple := make([]relation.Value, len(specs))
+	raw := make([]uint64, len(specs)) // numeric value per column, pre-render
+	for row := 0; row < rows; row++ {
+		// First pass: independent columns (keys and categoricals).
+		for i, s := range specs {
+			if len(s.DerivedFrom) > 0 || len(s.VirtualFrom) > 0 {
+				continue
+			}
+			if s.Card == 0 {
+				raw[i] = uint64(row)
+				tuple[i] = relation.String(fmt.Sprintf("%s_%d", s.Name, row))
+				continue
+			}
+			h := cellHash(seed, i, row, s.Salt)
+			if s.NullRate > 0 && float64(h>>11)/float64(1<<53) < s.NullRate {
+				raw[i] = 0
+				tuple[i] = relation.Null
+				continue
+			}
+			v := fnvMix(h) % uint64(s.Card)
+			raw[i] = v
+			tuple[i] = relation.String(fmt.Sprintf("%s_%d", s.Name, v))
+		}
+		// Second pass: derived columns in dependency order; sources may sit
+		// at any position and may themselves be derived or virtual.
+		for _, i := range derivedOrder {
+			s := specs[i]
+			h := fnvMix(s.Salt)
+			for _, src := range s.DerivedFrom {
+				h = fnvMix(h ^ raw[src])
+			}
+			for _, v := range s.VirtualFrom {
+				vraw := fnvMix(cellHash(seed, v.Col, row, v.Salt)) % uint64(v.Card)
+				h = fnvMix(h ^ vraw)
+			}
+			card := s.Card
+			if card <= 0 {
+				card = 1
+			}
+			raw[i] = h % uint64(card)
+			tuple[i] = relation.String(fmt.Sprintf("%s_%d", s.Name, raw[i]))
+		}
+		r.MustAppend(tuple...)
+	}
+	return r
+}
+
+// cellHash derives the independent randomness of one cell.
+func cellHash(seed int64, col, row int, salt uint64) uint64 {
+	return fnvMix(fnvMix(uint64(seed)^salt^uint64(col)*0x9e3779b97f4a7c15) ^ uint64(row))
+}
+
+// topoOrder returns the derived column indices in dependency order, or
+// panics on a cycle.
+func topoOrder(specs []ColumnSpec) []int {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(specs))
+	var order []int
+	var visit func(i int)
+	visit = func(i int) {
+		switch state[i] {
+		case done:
+			return
+		case visiting:
+			panic(fmt.Sprintf("datasets: derivation cycle through column %d", i))
+		}
+		state[i] = visiting
+		for _, src := range specs[i].DerivedFrom {
+			visit(src)
+		}
+		state[i] = done
+		if len(specs[i].DerivedFrom) > 0 || len(specs[i].VirtualFrom) > 0 {
+			order = append(order, i)
+		}
+	}
+	for i := range specs {
+		visit(i)
+	}
+	return order
+}
+
+// fnvMix is a 64-bit avalanche mix (splitmix64 finaliser) used to derive
+// column values deterministically.
+func fnvMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// InjectDrift returns a copy of r in which each value of column col is
+// remapped to a fresh value with probability rate — the "reality changed"
+// perturbation used by the evolution example: it turns exact FDs with col in
+// their consequent into approximate ones, simulating a semantic change such
+// as an area-code split.
+func InjectDrift(r *relation.Relation, col int, rate float64, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	out := relation.New(r.Name(), r.Schema())
+	for row := 0; row < r.NumRows(); row++ {
+		tuple := r.Row(row)
+		if !tuple[col].IsNull() && rng.Float64() < rate {
+			tuple[col] = relation.String(fmt.Sprintf("%s*drift%d",
+				tuple[col].String(), rng.Intn(4)))
+		}
+		out.MustAppend(tuple...)
+	}
+	return out
+}

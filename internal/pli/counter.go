@@ -1,0 +1,289 @@
+package pli
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Counter computes distinct-projection cardinalities |π_X(r)| for a fixed
+// relation instance. All FD measures in the paper are ratios/differences of
+// these counts, so a Counter is the only capability the repair algorithms
+// need from the storage layer. Implementations must be safe for concurrent
+// use: candidate evaluation fans out across goroutines.
+type Counter interface {
+	// Count returns |π_X(r)| for the attribute set x. An empty x counts as
+	// 1 on non-empty instances and 0 on empty ones.
+	Count(x bitset.Set) int
+	// Relation returns the instance the counter is bound to.
+	Relation() *relation.Relation
+}
+
+// Strategy names a Counter construction; used by CLI flags and the ablation
+// benchmarks.
+type Strategy string
+
+const (
+	// StrategyPLI counts via cached stripped-partition products (default).
+	StrategyPLI Strategy = "pli"
+	// StrategyHash counts by hashing encoded code-tuples.
+	StrategyHash Strategy = "hash"
+	// StrategySort counts by sorting row indices then counting boundaries —
+	// the O(n log n) sort + O(n) count route the paper's complexity
+	// discussion describes (§4.4).
+	StrategySort Strategy = "sort"
+)
+
+// NewCounter builds a Counter of the given strategy over r.
+func NewCounter(r *relation.Relation, s Strategy) Counter {
+	switch s {
+	case StrategyHash:
+		return NewHashCounter(r)
+	case StrategySort:
+		return NewSortCounter(r)
+	default:
+		return NewPLICounter(r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PLI strategy
+
+// defaultCacheEntries bounds the number of memoised multi-column partitions.
+// Single-column partitions are pinned (they are the product factors of every
+// evaluation); multi-column entries are evicted FIFO beyond the bound, which
+// keeps memory proportional to the working set of the current search node
+// instead of the whole explored space — a find-all sweep over a wide
+// relation touches hundreds of thousands of attribute sets.
+const defaultCacheEntries = 1024
+
+// PLICounter counts classes of cached stripped partitions. Single-column
+// partitions are built once and pinned; multi-column partitions are
+// assembled by products and memoised in a bounded FIFO cache.
+type PLICounter struct {
+	r  *relation.Relation
+	mu sync.Mutex
+	// pinned holds the empty-set and single-column partitions, never
+	// evicted.
+	pinned map[string]*Partition
+	// cache holds multi-column partitions, bounded by maxEntries.
+	cache map[string]*Partition
+	// order tracks cache insertion order for FIFO eviction.
+	order      []string
+	maxEntries int
+}
+
+// NewPLICounter builds a PLI-based counter over r with the default cache
+// bound.
+func NewPLICounter(r *relation.Relation) *PLICounter {
+	return NewPLICounterSize(r, defaultCacheEntries)
+}
+
+// NewPLICounterSize builds a PLI-based counter with an explicit bound on
+// memoised multi-column partitions (minimum 16).
+func NewPLICounterSize(r *relation.Relation, maxEntries int) *PLICounter {
+	if maxEntries < 16 {
+		maxEntries = 16
+	}
+	return &PLICounter{
+		r:          r,
+		pinned:     make(map[string]*Partition),
+		cache:      make(map[string]*Partition),
+		maxEntries: maxEntries,
+	}
+}
+
+// Relation returns the bound instance.
+func (c *PLICounter) Relation() *relation.Relation { return c.r }
+
+// Count returns |π_X(r)| via partition products.
+func (c *PLICounter) Count(x bitset.Set) int {
+	if c.r.NumRows() == 0 {
+		return 0
+	}
+	return c.Partition(x).NumClasses()
+}
+
+// Partition returns the (memoised) stripped partition for x.
+func (c *PLICounter) Partition(x bitset.Set) *Partition {
+	key := x.Key()
+	c.mu.Lock()
+	if p, ok := c.pinned[key]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	if p, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+
+	var p *Partition
+	members := x.Members()
+	switch len(members) {
+	case 0:
+		p = universal(c.r.NumRows())
+	case 1:
+		p = FromColumn(c.r, members[0])
+	default:
+		// Build from the largest cached proper subset if available: try
+		// removing one attribute at a time. Otherwise fold columns.
+		p = c.fromBestPrefix(x, members)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(members) <= 1 {
+		c.pinned[key] = p
+		return p
+	}
+	if _, dup := c.cache[key]; !dup {
+		c.cache[key] = p
+		c.order = append(c.order, key)
+		for len(c.cache) > c.maxEntries {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.cache, oldest)
+		}
+	}
+	return p
+}
+
+func (c *PLICounter) fromBestPrefix(x bitset.Set, members []int) *Partition {
+	c.mu.Lock()
+	var base *Partition
+	rest := -1
+	for _, m := range members {
+		sub := x.Without(m)
+		if p, ok := c.cache[sub.Key()]; ok {
+			base, rest = p, m
+			break
+		}
+	}
+	c.mu.Unlock()
+	if base != nil {
+		return base.Product(c.Partition(bitset.New(rest)), nil)
+	}
+	p := c.Partition(bitset.New(members[0]))
+	for _, m := range members[1:] {
+		p = p.Product(c.Partition(bitset.New(m)), nil)
+	}
+	return p
+}
+
+// CacheSize reports how many partitions are memoised, pinned singletons
+// included (for tests and stats).
+func (c *PLICounter) CacheSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache) + len(c.pinned)
+}
+
+// ---------------------------------------------------------------------------
+// Hash strategy
+
+// HashCounter counts distinct code-tuples with a hash set, recomputing from
+// scratch on every call (no state shared between calls beyond the relation).
+type HashCounter struct {
+	r *relation.Relation
+}
+
+// NewHashCounter builds a hash-based counter over r.
+func NewHashCounter(r *relation.Relation) *HashCounter { return &HashCounter{r: r} }
+
+// Relation returns the bound instance.
+func (c *HashCounter) Relation() *relation.Relation { return c.r }
+
+// Count returns |π_X(r)| by hashing the code tuple of every row.
+func (c *HashCounter) Count(x bitset.Set) int {
+	n := c.r.NumRows()
+	if n == 0 {
+		return 0
+	}
+	cols := x.Members()
+	if len(cols) == 0 {
+		return 1
+	}
+	if len(cols) == 1 {
+		d := c.r.DictLen(cols[0])
+		if c.r.HasNulls(cols[0]) {
+			d++
+		}
+		return d
+	}
+	columns := make([][]int32, len(cols))
+	for i, col := range cols {
+		columns[i] = c.r.ColumnCodes(col)
+	}
+	seen := make(map[string]struct{}, n)
+	key := make([]byte, len(cols)*4)
+	for row := 0; row < n; row++ {
+		k := key[:0]
+		for _, codes := range columns {
+			v := codes[row]
+			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		seen[string(k)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ---------------------------------------------------------------------------
+// Sort strategy
+
+// SortCounter counts by lexicographically sorting row indices over the
+// projected code columns and counting adjacent differences: the paper's
+// "counting the distinct values corresponds to a sorting (O(n log n))
+// followed by counting (O(n))".
+type SortCounter struct {
+	r *relation.Relation
+}
+
+// NewSortCounter builds a sort-based counter over r.
+func NewSortCounter(r *relation.Relation) *SortCounter { return &SortCounter{r: r} }
+
+// Relation returns the bound instance.
+func (c *SortCounter) Relation() *relation.Relation { return c.r }
+
+// Count returns |π_X(r)| by sort + boundary count.
+func (c *SortCounter) Count(x bitset.Set) int {
+	n := c.r.NumRows()
+	if n == 0 {
+		return 0
+	}
+	cols := x.Members()
+	if len(cols) == 0 {
+		return 1
+	}
+	columns := make([][]int32, len(cols))
+	for i, col := range cols {
+		columns[i] = c.r.ColumnCodes(col)
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for _, codes := range columns {
+			va, vb := codes[ra], codes[rb]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	})
+	count := 1
+	for i := 1; i < n; i++ {
+		prev, cur := rows[i-1], rows[i]
+		for _, codes := range columns {
+			if codes[prev] != codes[cur] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}

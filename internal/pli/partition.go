@@ -1,0 +1,217 @@
+// Package pli implements position list indices (stripped partitions) and the
+// distinct-counting strategies used to evaluate functional-dependency
+// measures.
+//
+// Every measure in the paper — confidence |π_X|/|π_XY|, goodness
+// |π_X|−|π_Y|, and the entropy quantities of the EB baseline — reduces to
+// counting the classes of the partition of tuples induced by an attribute
+// set (Definition 5 of the paper). Partitions compose: the partition of XA
+// is the product of the partitions of X and A, computable in O(n). This is
+// the classic PLI representation of the FD-discovery literature (TANE,
+// Metanome); the paper computes the same cardinalities with SQL
+// COUNT(DISTINCT …) queries, which this package also offers (hash and sort
+// strategies; the SQL text route lives in internal/query).
+package pli
+
+import (
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Partition is the X-clustering of a relation instance in stripped form:
+// only classes with at least two rows are stored explicitly; singleton
+// classes are implied. The number of classes |π_X| is recovered as
+// numRows − Σ(|c|−1) over stored classes.
+type Partition struct {
+	classes [][]int32
+	numRows int
+}
+
+// FromColumn builds the partition induced by a single column. NULL cells
+// (code −1) form their own class, consistent with COUNT(DISTINCT) treating
+// NULL as one group in GROUP BY semantics.
+func FromColumn(r *relation.Relation, col int) *Partition {
+	codes := r.ColumnCodes(col)
+	// groups indexed by code+1 so NULL (−1) lands at 0.
+	groups := make([][]int32, r.DictLen(col)+1)
+	for row, code := range codes {
+		groups[code+1] = append(groups[code+1], int32(row))
+	}
+	p := &Partition{numRows: len(codes)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.classes = append(p.classes, g)
+		}
+	}
+	return p
+}
+
+// FromSet builds the partition induced by an attribute set by multiplying
+// single-column partitions left to right. An empty set yields the single
+// all-rows class.
+func FromSet(r *relation.Relation, x bitset.Set) *Partition {
+	cols := x.Members()
+	if len(cols) == 0 {
+		return universal(r.NumRows())
+	}
+	p := FromColumn(r, cols[0])
+	for _, c := range cols[1:] {
+		p = p.Product(FromColumn(r, c), nil)
+	}
+	return p
+}
+
+// universal is the partition with one class holding every row.
+func universal(n int) *Partition {
+	p := &Partition{numRows: n}
+	if n >= 2 {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		p.classes = [][]int32{all}
+	}
+	return p
+}
+
+// NumRows returns the number of tuples the partition covers.
+func (p *Partition) NumRows() int { return p.numRows }
+
+// NumClasses returns |π_X|: the number of equivalence classes, counting the
+// implied singletons.
+func (p *Partition) NumClasses() int {
+	merged := 0
+	for _, c := range p.classes {
+		merged += len(c) - 1
+	}
+	return p.numRows - merged
+}
+
+// NumStrippedClasses returns the number of explicitly stored (size ≥ 2)
+// classes.
+func (p *Partition) NumStrippedClasses() int { return len(p.classes) }
+
+// Classes returns the stored (size ≥ 2) classes. The returned slices are
+// owned by the partition and must not be modified.
+func (p *Partition) Classes() [][]int32 { return p.classes }
+
+// Error returns the g3-style error Σ(|c|−1)/n, the fraction of rows that
+// would need removing to make the partition all-singletons. It is 0 when X
+// is a candidate key.
+func (p *Partition) Error() float64 {
+	if p.numRows == 0 {
+		return 0
+	}
+	return float64(p.numRows-p.NumClasses()) / float64(p.numRows)
+}
+
+// productScratch holds reusable buffers for Product so repeated products
+// (the hot loop of candidate evaluation) avoid reallocating O(n) tables.
+type productScratch struct {
+	probe []int32 // row → class index in lhs, −1 if singleton there
+	accum [][]int32
+}
+
+// NewScratch allocates product scratch space for relations with n rows.
+func NewScratch(n int) *productScratch {
+	probe := make([]int32, n)
+	for i := range probe {
+		probe[i] = -1
+	}
+	return &productScratch{probe: probe}
+}
+
+// Product computes the partition of X∪Q from the partitions of X and Q using
+// the stripped-product algorithm (TANE). scratch may be nil, in which case
+// temporary tables are allocated; passing a scratch from NewScratch reuses
+// them across calls.
+func (p *Partition) Product(q *Partition, scratch *productScratch) *Partition {
+	if scratch == nil || len(scratch.probe) < p.numRows {
+		scratch = NewScratch(p.numRows)
+	}
+	probe := scratch.probe
+	// Mark rows belonging to lhs stripped classes.
+	for ci, class := range p.classes {
+		for _, row := range class {
+			probe[row] = int32(ci)
+		}
+	}
+	if cap(scratch.accum) < len(p.classes) {
+		scratch.accum = make([][]int32, len(p.classes))
+	}
+	accum := scratch.accum[:len(p.classes)]
+	for i := range accum {
+		accum[i] = accum[i][:0]
+	}
+
+	out := &Partition{numRows: p.numRows}
+	touched := make([]int32, 0, 16)
+	for _, class := range q.classes {
+		touched = touched[:0]
+		for _, row := range class {
+			if ci := probe[row]; ci >= 0 {
+				if len(accum[ci]) == 0 {
+					touched = append(touched, ci)
+				}
+				accum[ci] = append(accum[ci], row)
+			}
+		}
+		for _, ci := range touched {
+			if len(accum[ci]) >= 2 {
+				cls := make([]int32, len(accum[ci]))
+				copy(cls, accum[ci])
+				out.classes = append(out.classes, cls)
+			}
+			accum[ci] = accum[ci][:0]
+		}
+	}
+	// Restore probe for reuse.
+	for _, class := range p.classes {
+		for _, row := range class {
+			probe[row] = -1
+		}
+	}
+	return out
+}
+
+// RefinesOrEquals reports whether p refines q (every class of p is contained
+// in one class of q); since both partition the same row set this is
+// equivalent to NumClasses(p·q) == NumClasses(p).
+func (p *Partition) RefinesOrEquals(q *Partition) bool {
+	return p.Product(q, nil).NumClasses() == p.NumClasses()
+}
+
+// sortedClasses returns the stripped classes with rows ascending and classes
+// ordered by first row, for deterministic comparison in tests.
+func (p *Partition) sortedClasses() [][]int32 {
+	out := make([][]int32, len(p.classes))
+	for i, c := range p.classes {
+		cc := make([]int32, len(c))
+		copy(cc, c)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		out[i] = cc
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// EqualPartition reports whether p and q induce exactly the same clustering.
+func (p *Partition) EqualPartition(q *Partition) bool {
+	if p.numRows != q.numRows || len(p.classes) != len(q.classes) {
+		return false
+	}
+	a, b := p.sortedClasses(), q.sortedClasses()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

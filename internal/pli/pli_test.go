@@ -1,0 +1,303 @@
+package pli
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// buildRelation makes a relation with the given string columns.
+func buildRelation(t testing.TB, cols []string, rows [][]string) *relation.Relation {
+	t.Helper()
+	schema, err := relation.SchemaOf(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New("t", schema)
+	for _, row := range rows {
+		if err := r.AppendStrings(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestFromColumn(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{"x"}, {"y"}, {"x"}, {"z"}, {"x"}})
+	p := FromColumn(r, 0)
+	if p.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", p.NumRows())
+	}
+	if p.NumClasses() != 3 { // x, y, z
+		t.Fatalf("NumClasses = %d, want 3", p.NumClasses())
+	}
+	if p.NumStrippedClasses() != 1 { // only {0,2,4}
+		t.Fatalf("stripped = %d, want 1", p.NumStrippedClasses())
+	}
+	if got := p.Classes()[0]; len(got) != 3 {
+		t.Fatalf("class = %v", got)
+	}
+}
+
+func TestFromColumnWithNulls(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{"x"}, {""}, {""}, {"x"}})
+	p := FromColumn(r, 0)
+	// Classes: {x rows}, {null rows} → 2 classes.
+	if p.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d, want 2 (NULLs group together)", p.NumClasses())
+	}
+}
+
+func TestUniversalPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5} {
+		p := universal(n)
+		want := 1
+		if n == 0 {
+			want = 0
+		}
+		if p.NumClasses() != want {
+			t.Errorf("universal(%d).NumClasses = %d, want %d", n, p.NumClasses(), want)
+		}
+	}
+}
+
+func TestProductMatchesFromSet(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b", "c"}, [][]string{
+		{"1", "x", "p"}, {"1", "y", "p"}, {"2", "x", "q"},
+		{"1", "x", "q"}, {"2", "x", "p"}, {"1", "y", "q"},
+	})
+	pa, pb := FromColumn(r, 0), FromColumn(r, 1)
+	prod := pa.Product(pb, nil)
+	direct := FromSet(r, bitset.New(0, 1))
+	if !prod.EqualPartition(direct) {
+		t.Fatal("product ≠ direct partition for {a,b}")
+	}
+	if prod.NumClasses() != r.DistinctCount([]int{0, 1}) {
+		t.Fatalf("product classes %d ≠ distinct %d", prod.NumClasses(), r.DistinctCount([]int{0, 1}))
+	}
+}
+
+func TestProductWithScratchReuse(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "y"}, {"2", "x"}, {"1", "x"}, {"2", "x"},
+	})
+	pa, pb := FromColumn(r, 0), FromColumn(r, 1)
+	scratch := NewScratch(r.NumRows())
+	p1 := pa.Product(pb, scratch)
+	p2 := pa.Product(pb, scratch) // reuse must give identical results
+	if !p1.EqualPartition(p2) {
+		t.Fatal("scratch reuse changed the product")
+	}
+	if p1.NumClasses() != r.DistinctCount([]int{0, 1}) {
+		t.Fatal("scratch product wrong")
+	}
+}
+
+func TestPartitionError(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{"x"}, {"x"}, {"y"}, {"z"}})
+	p := FromColumn(r, 0)
+	// 4 rows, 3 classes → error = (4-3)/4 = 0.25
+	if got := p.Error(); got != 0.25 {
+		t.Fatalf("Error = %v, want 0.25", got)
+	}
+	if universal(0).Error() != 0 {
+		t.Fatal("empty partition error must be 0")
+	}
+}
+
+func TestRefinesOrEquals(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "x"}, {"2", "x"}, {"3", "y"},
+	})
+	pa := FromColumn(r, 0) // {1,1},{2},{3}
+	pb := FromColumn(r, 1) // {x,x,x},{y}
+	pab := pa.Product(pb, nil)
+	if !pa.RefinesOrEquals(pb) {
+		t.Fatal("π_a refines π_b here (a→b holds)")
+	}
+	if pb.RefinesOrEquals(pa) {
+		t.Fatal("π_b does not refine π_a")
+	}
+	if !pab.RefinesOrEquals(pa) || !pab.RefinesOrEquals(pb) {
+		t.Fatal("π_ab refines both factors")
+	}
+}
+
+func randomRelation(rng *rand.Rand, rows, cols, domain int) *relation.Relation {
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	schema, _ := relation.SchemaOf(names...)
+	r := relation.New("rand", schema)
+	row := make([]relation.Value, cols)
+	for i := 0; i < rows; i++ {
+		for c := range row {
+			row[c] = relation.String(string(rune('A' + rng.Intn(domain))))
+		}
+		r.MustAppend(row...)
+	}
+	return r
+}
+
+// TestQuickAllStrategiesAgree cross-checks pli, hash, and sort counters
+// against the relation.DistinctCount oracle over random relations and
+// attribute sets.
+func TestQuickAllStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 120; iter++ {
+		r := randomRelation(rng, 1+rng.Intn(60), 2+rng.Intn(5), 2+rng.Intn(5))
+		counters := []Counter{NewPLICounter(r), NewHashCounter(r), NewSortCounter(r)}
+		for trial := 0; trial < 8; trial++ {
+			var x bitset.Set
+			for c := 0; c < r.NumCols(); c++ {
+				if rng.Intn(2) == 0 {
+					x.Add(c)
+				}
+			}
+			want := r.DistinctCountSet(x)
+			for _, c := range counters {
+				if got := c.Count(x); got != want {
+					t.Fatalf("iter %d: %T.Count(%v) = %d, want %d", iter, c, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountEmptyRelationAndEmptySet(t *testing.T) {
+	schema, _ := relation.SchemaOf("a", "b")
+	empty := relation.New("e", schema)
+	full := buildRelation(t, []string{"a", "b"}, [][]string{{"1", "2"}})
+	for _, s := range []Strategy{StrategyPLI, StrategyHash, StrategySort} {
+		if got := NewCounter(empty, s).Count(bitset.New(0)); got != 0 {
+			t.Errorf("%s: count on empty relation = %d, want 0", s, got)
+		}
+		if got := NewCounter(empty, s).Count(bitset.Set{}); got != 0 {
+			t.Errorf("%s: count(∅) on empty relation = %d, want 0", s, got)
+		}
+		if got := NewCounter(full, s).Count(bitset.Set{}); got != 1 {
+			t.Errorf("%s: count(∅) on non-empty relation = %d, want 1", s, got)
+		}
+	}
+}
+
+func TestNewCounterStrategySelection(t *testing.T) {
+	r := buildRelation(t, []string{"a"}, [][]string{{"1"}})
+	if _, ok := NewCounter(r, StrategyPLI).(*PLICounter); !ok {
+		t.Error("pli strategy should build PLICounter")
+	}
+	if _, ok := NewCounter(r, StrategyHash).(*HashCounter); !ok {
+		t.Error("hash strategy should build HashCounter")
+	}
+	if _, ok := NewCounter(r, StrategySort).(*SortCounter); !ok {
+		t.Error("sort strategy should build SortCounter")
+	}
+	if _, ok := NewCounter(r, Strategy("bogus")).(*PLICounter); !ok {
+		t.Error("unknown strategy should default to PLI")
+	}
+	if NewCounter(r, StrategyPLI).Relation() != r {
+		t.Error("Relation() must return the bound instance")
+	}
+}
+
+func TestPLICacheGrowsAndHits(t *testing.T) {
+	r := buildRelation(t, []string{"a", "b", "c"}, [][]string{
+		{"1", "x", "p"}, {"1", "y", "q"}, {"2", "x", "p"},
+	})
+	c := NewPLICounter(r)
+	x := bitset.New(0, 1)
+	first := c.Count(x)
+	sizeAfterFirst := c.CacheSize()
+	second := c.Count(x)
+	if first != second {
+		t.Fatal("memoised count differs")
+	}
+	if c.CacheSize() != sizeAfterFirst {
+		t.Fatal("second Count should hit the cache, not grow it")
+	}
+	// Superset reuses the cached subset partition.
+	c.Count(x.With(2))
+	if c.CacheSize() <= sizeAfterFirst {
+		t.Fatal("superset count should add cache entries")
+	}
+}
+
+// TestQuickProductCommutes: partition product must be commutative in class
+// structure.
+func TestQuickProductCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 80; iter++ {
+		r := randomRelation(rng, 2+rng.Intn(40), 2, 2+rng.Intn(4))
+		pa, pb := FromColumn(r, 0), FromColumn(r, 1)
+		ab := pa.Product(pb, nil)
+		ba := pb.Product(pa, nil)
+		if !ab.EqualPartition(ba) {
+			t.Fatalf("iter %d: product not commutative", iter)
+		}
+	}
+}
+
+// TestQuickProductRefines: |π_XA| ≥ max(|π_X|, |π_A|) — the refinement
+// monotonicity the repair search relies on (§3: C_XY is finer than C_X).
+func TestQuickProductRefines(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 80; iter++ {
+		r := randomRelation(rng, 2+rng.Intn(50), 3, 2+rng.Intn(5))
+		pa, pb := FromColumn(r, 0), FromColumn(r, 1)
+		prod := pa.Product(pb, nil)
+		if prod.NumClasses() < pa.NumClasses() || prod.NumClasses() < pb.NumClasses() {
+			t.Fatalf("iter %d: refinement monotonicity violated", iter)
+		}
+	}
+}
+
+func BenchmarkProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := randomRelation(rng, 10000, 2, 50)
+	pa, pb := FromColumn(r, 0), FromColumn(r, 1)
+	scratch := NewScratch(r.NumRows())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pa.Product(pb, scratch)
+	}
+}
+
+func BenchmarkCountStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	r := randomRelation(rng, 20000, 4, 40)
+	x := bitset.New(0, 1, 2)
+	for _, s := range []Strategy{StrategyPLI, StrategyHash, StrategySort} {
+		b.Run(string(s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := NewCounter(r, s) // fresh counter: no cross-iteration memoisation
+				_ = c.Count(x)
+			}
+		})
+	}
+}
+
+func TestPLICacheEvictionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := randomRelation(rng, 50, 8, 3)
+	c := NewPLICounterSize(r, 16)
+	// Touch many distinct multi-column sets; the cache must stay bounded.
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			for d := b + 1; d < 8; d++ {
+				c.Count(bitset.New(a, b, d))
+			}
+		}
+	}
+	// Pinned singletons (8) + empty + at most 16 multi-column entries.
+	if got := c.CacheSize(); got > 16+9 {
+		t.Fatalf("cache grew past bound: %d", got)
+	}
+	// Counts remain correct after eviction.
+	x := bitset.New(0, 1, 2)
+	if got, want := c.Count(x), r.DistinctCountSet(x); got != want {
+		t.Fatalf("post-eviction count = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,267 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Expr is a scalar expression evaluated against one row.
+type Expr interface {
+	fmt.Stringer
+	// eval returns the expression value for the given row of r.
+	eval(r *relation.Relation, row int) relation.Value
+}
+
+// ColumnRef names a column.
+type ColumnRef struct {
+	Name string
+	// index is resolved against the FROM relation before execution.
+	index int
+}
+
+func (c *ColumnRef) String() string { return formatIdent(c.Name) }
+
+// formatIdent renders an identifier, backquoting it when it is not a plain
+// word (or would collide with a keyword), so String() output re-parses.
+func formatIdent(name string) string {
+	plain := name != ""
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain && !keywords[strings.ToUpper(name)] {
+		return name
+	}
+	return "`" + name + "`"
+}
+
+// escapeString renders a string literal with SQL ” escaping.
+func escapeString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func (c *ColumnRef) eval(r *relation.Relation, row int) relation.Value {
+	return r.Value(row, c.index)
+}
+
+// Literal is a constant value.
+type Literal struct{ Value relation.Value }
+
+func (l *Literal) String() string {
+	if l.Value.Kind() == relation.KindString {
+		return escapeString(l.Value.AsString())
+	}
+	if l.Value.IsNull() {
+		return "NULL"
+	}
+	return l.Value.String()
+}
+
+func (l *Literal) eval(*relation.Relation, int) relation.Value { return l.Value }
+
+// Binary is a binary operation: comparisons return Bool; AND/OR combine
+// Bools. NULL comparisons yield false (SQL's UNKNOWN folded to false).
+type Binary struct {
+	Op          string // = <> != < <= > >= AND OR
+	Left, Right Expr
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+func (b *Binary) eval(r *relation.Relation, row int) relation.Value {
+	switch b.Op {
+	case "AND":
+		return relation.Bool(truthy(b.Left.eval(r, row)) && truthy(b.Right.eval(r, row)))
+	case "OR":
+		return relation.Bool(truthy(b.Left.eval(r, row)) || truthy(b.Right.eval(r, row)))
+	}
+	lv, rv := b.Left.eval(r, row), b.Right.eval(r, row)
+	if lv.IsNull() || rv.IsNull() {
+		return relation.Bool(false)
+	}
+	cmp := compareValues(lv, rv)
+	switch b.Op {
+	case "=":
+		return relation.Bool(cmp == 0)
+	case "<>", "!=":
+		return relation.Bool(cmp != 0)
+	case "<":
+		return relation.Bool(cmp < 0)
+	case "<=":
+		return relation.Bool(cmp <= 0)
+	case ">":
+		return relation.Bool(cmp > 0)
+	case ">=":
+		return relation.Bool(cmp >= 0)
+	default:
+		return relation.Bool(false)
+	}
+}
+
+// compareValues compares across numeric kinds (int vs float) numerically and
+// otherwise uses the Value total order.
+func compareValues(a, b relation.Value) int {
+	na := a.Kind() == relation.KindInt || a.Kind() == relation.KindFloat
+	nb := b.Kind() == relation.KindInt || b.Kind() == relation.KindFloat
+	if na && nb {
+		fa, fb := a.AsFloat(), b.AsFloat()
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return a.Compare(b)
+}
+
+func truthy(v relation.Value) bool {
+	return v.Kind() == relation.KindBool && v.AsBool()
+}
+
+// Not negates a boolean expression.
+type Not struct{ Inner Expr }
+
+func (n *Not) String() string { return "(NOT " + n.Inner.String() + ")" }
+
+func (n *Not) eval(r *relation.Relation, row int) relation.Value {
+	return relation.Bool(!truthy(n.Inner.eval(r, row)))
+}
+
+// IsNull tests a column for NULL (IS NULL / IS NOT NULL).
+type IsNull struct {
+	Inner  Expr
+	Negate bool
+}
+
+func (i *IsNull) String() string {
+	if i.Negate {
+		return "(" + i.Inner.String() + " IS NOT NULL)"
+	}
+	return "(" + i.Inner.String() + " IS NULL)"
+}
+
+func (i *IsNull) eval(r *relation.Relation, row int) relation.Value {
+	isNull := i.Inner.eval(r, row).IsNull()
+	if i.Negate {
+		isNull = !isNull
+	}
+	return relation.Bool(isNull)
+}
+
+// CountSpec describes a COUNT aggregate projection.
+type CountSpec struct {
+	// Star is COUNT(*).
+	Star bool
+	// Distinct is COUNT(DISTINCT cols...).
+	Distinct bool
+	// Cols are the counted columns (empty for Star).
+	Cols []*ColumnRef
+}
+
+func (c *CountSpec) String() string {
+	if c.Star {
+		return "COUNT(*)"
+	}
+	names := make([]string, len(c.Cols))
+	for i, col := range c.Cols {
+		names[i] = col.String()
+	}
+	inner := strings.Join(names, ", ")
+	if c.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return "COUNT(" + inner + ")"
+}
+
+// SelectItem is one projection: either a plain column or a COUNT aggregate.
+type SelectItem struct {
+	Column *ColumnRef
+	Count  *CountSpec
+	// Alias is the output column name when "AS alias" was given.
+	Alias string
+}
+
+func (s *SelectItem) String() string {
+	var base string
+	if s.Count != nil {
+		base = s.Count.String()
+	} else {
+		base = s.Column.String()
+	}
+	if s.Alias != "" {
+		base += " AS " + formatIdent(s.Alias)
+	}
+	return base
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	// Column indexes the output columns (resolved by name or position).
+	Column string
+	Desc   bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items    []*SelectItem
+	Distinct bool // SELECT DISTINCT over plain columns
+	From     string
+	Where    Expr
+	GroupBy  []*ColumnRef
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// String reassembles a canonical SQL text for the statement.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM " + formatIdent(s.From))
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		names := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			names[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(names, ", "))
+	}
+	for i, k := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatIdent(k.Column))
+		if k.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

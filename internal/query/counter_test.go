@@ -1,0 +1,123 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Counter must satisfy pli.Counter.
+var _ pli.Counter = (*Counter)(nil)
+
+func randomRelation(rng *rand.Rand, rows, cols, domain int, nullRate float64) *relation.Relation {
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	schema, _ := relation.SchemaOf(names...)
+	r := relation.New("rand", schema)
+	row := make([]relation.Value, cols)
+	for i := 0; i < rows; i++ {
+		for c := range row {
+			if rng.Float64() < nullRate {
+				row[c] = relation.Null
+			} else {
+				row[c] = relation.String(string(rune('A' + rng.Intn(domain))))
+			}
+		}
+		r.MustAppend(row...)
+	}
+	return r
+}
+
+// TestQuickSQLCounterMatchesPLI: the SQL text route must produce the same
+// cardinalities as the PLI, hash and sort strategies for random relations
+// and attribute sets, including columns with NULLs.
+func TestQuickSQLCounterMatchesPLI(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 80; iter++ {
+		r := randomRelation(rng, 1+rng.Intn(40), 2+rng.Intn(4), 2+rng.Intn(5), 0.15)
+		sqlCounter := NewCounter(r)
+		pliCounter := pli.NewPLICounter(r)
+		for trial := 0; trial < 6; trial++ {
+			var x bitset.Set
+			for c := 0; c < r.NumCols(); c++ {
+				if rng.Intn(2) == 0 {
+					x.Add(c)
+				}
+			}
+			want := pliCounter.Count(x)
+			if got := sqlCounter.Count(x); got != want {
+				t.Fatalf("iter %d: sql=%d pli=%d for %v", iter, got, want, x)
+			}
+		}
+	}
+}
+
+func TestSQLCounterEdgeCases(t *testing.T) {
+	schema, _ := relation.SchemaOf("a", "b")
+	empty := relation.New("t", schema)
+	c := NewCounter(empty)
+	if got := c.Count(bitset.New(0)); got != 0 {
+		t.Fatalf("count on empty = %d", got)
+	}
+	if got := c.Count(bitset.Set{}); got != 0 {
+		t.Fatalf("count(∅) on empty = %d", got)
+	}
+
+	full := relation.New("t", schema)
+	full.MustAppend(relation.String("x"), relation.Null)
+	full.MustAppend(relation.Null, relation.Null)
+	fc := NewCounter(full)
+	if got := fc.Count(bitset.Set{}); got != 1 {
+		t.Fatalf("count(∅) = %d, want 1", got)
+	}
+	// Column a: {x, NULL} → 2 groups.
+	if got := fc.Count(bitset.New(0)); got != 2 {
+		t.Fatalf("count(a) = %d, want 2", got)
+	}
+	// Column b: all NULL → 1 group.
+	if got := fc.Count(bitset.New(1)); got != 1 {
+		t.Fatalf("count(b) = %d, want 1", got)
+	}
+	// Pair: (x,NULL), (NULL,NULL) → 2 groups.
+	if got := fc.Count(bitset.New(0, 1)); got != 2 {
+		t.Fatalf("count(a,b) = %d, want 2", got)
+	}
+}
+
+func TestSQLCounterMemoises(t *testing.T) {
+	r := randomRelation(rand.New(rand.NewSource(3)), 20, 3, 3, 0)
+	c := NewCounter(r)
+	x := bitset.New(0, 1)
+	first := c.Count(x)
+	if len(c.memo) != 1 {
+		t.Fatalf("memo size = %d", len(c.memo))
+	}
+	if second := c.Count(x); second != first {
+		t.Fatal("memoised count differs")
+	}
+	if len(c.memo) != 1 {
+		t.Fatal("second call should not grow the memo")
+	}
+}
+
+func TestSQLCounterWithSpacedColumnNames(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "area code", Kind: relation.KindString},
+		relation.Column{Name: "Ph No", Kind: relation.KindString},
+	)
+	r := relation.New("weird names", schema)
+	r.MustAppend(relation.String("613"), relation.String("974"))
+	r.MustAppend(relation.String("613"), relation.String("299"))
+	c := NewCounter(r)
+	if got := c.Count(bitset.New(0)); got != 1 {
+		t.Fatalf("count(area code) = %d, want 1", got)
+	}
+	if got := c.Count(bitset.New(0, 1)); got != 2 {
+		t.Fatalf("count pair = %d, want 2", got)
+	}
+}

@@ -1,0 +1,364 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Result is the output of executing a statement: named columns and rows of
+// values.
+type Result struct {
+	Columns []string
+	Rows    [][]relation.Value
+}
+
+// Run parses and executes SQL text against a database.
+func Run(db *relation.Database, sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, stmt)
+}
+
+// Execute runs a parsed statement against a database.
+func Execute(db *relation.Database, stmt *SelectStmt) (*Result, error) {
+	rel, err := db.Get(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	if err := resolveStmt(rel, stmt); err != nil {
+		return nil, err
+	}
+
+	rows, err := filterRows(rel, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAggregate := false
+	for _, item := range stmt.Items {
+		if item.Count != nil {
+			hasAggregate = true
+		}
+	}
+
+	var res *Result
+	switch {
+	case hasAggregate && len(stmt.GroupBy) == 0:
+		res, err = execGlobalAggregate(rel, stmt, rows)
+	case len(stmt.GroupBy) > 0:
+		res, err = execGroupBy(rel, stmt, rows)
+	default:
+		res, err = execPlainSelect(rel, stmt, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if err := orderResult(res, stmt.OrderBy); err != nil {
+		return nil, err
+	}
+	if stmt.Limit >= 0 && stmt.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return res, nil
+}
+
+// resolveStmt binds every column reference to its schema position.
+func resolveStmt(rel *relation.Relation, stmt *SelectStmt) error {
+	resolve := func(c *ColumnRef) error {
+		idx := rel.Schema().Index(c.Name)
+		if idx < 0 {
+			return fmt.Errorf("query: unknown column %q in table %s", c.Name, rel.Name())
+		}
+		c.index = idx
+		return nil
+	}
+	for _, item := range stmt.Items {
+		if item.Column != nil {
+			if err := resolve(item.Column); err != nil {
+				return err
+			}
+		}
+		if item.Count != nil {
+			for _, c := range item.Count.Cols {
+				if err := resolve(c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		if err := resolve(g); err != nil {
+			return err
+		}
+	}
+	if stmt.Where != nil {
+		if err := resolveExpr(rel, stmt.Where); err != nil {
+			return err
+		}
+	}
+	// Plain columns must be grouped when GROUP BY is present.
+	if len(stmt.GroupBy) > 0 {
+		grouped := map[int]bool{}
+		for _, g := range stmt.GroupBy {
+			grouped[g.index] = true
+		}
+		for _, item := range stmt.Items {
+			if item.Column != nil && !grouped[item.Column.index] {
+				return fmt.Errorf("query: column %q must appear in GROUP BY", item.Column.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func resolveExpr(rel *relation.Relation, e Expr) error {
+	switch v := e.(type) {
+	case *ColumnRef:
+		idx := rel.Schema().Index(v.Name)
+		if idx < 0 {
+			return fmt.Errorf("query: unknown column %q in table %s", v.Name, rel.Name())
+		}
+		v.index = idx
+	case *Binary:
+		if err := resolveExpr(rel, v.Left); err != nil {
+			return err
+		}
+		return resolveExpr(rel, v.Right)
+	case *Not:
+		return resolveExpr(rel, v.Inner)
+	case *IsNull:
+		return resolveExpr(rel, v.Inner)
+	}
+	return nil
+}
+
+// filterRows returns the row indices passing the WHERE clause.
+func filterRows(rel *relation.Relation, where Expr) ([]int, error) {
+	rows := make([]int, 0, rel.NumRows())
+	for row := 0; row < rel.NumRows(); row++ {
+		if where == nil || truthy(where.eval(rel, row)) {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func outputName(item *SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if item.Count != nil {
+		return item.Count.String()
+	}
+	return item.Column.Name
+}
+
+// execGlobalAggregate handles SELECT COUNT(...) [, COUNT(...)] FROM t: one
+// output row.
+func execGlobalAggregate(rel *relation.Relation, stmt *SelectStmt, rows []int) (*Result, error) {
+	res := &Result{}
+	out := make([]relation.Value, len(stmt.Items))
+	for i, item := range stmt.Items {
+		if item.Count == nil {
+			return nil, fmt.Errorf("query: mixing plain columns with aggregates requires GROUP BY")
+		}
+		res.Columns = append(res.Columns, outputName(item))
+		out[i] = relation.Int(int64(countRows(rel, item.Count, rows)))
+	}
+	res.Rows = [][]relation.Value{out}
+	return res, nil
+}
+
+// countRows evaluates one COUNT spec over the given rows.
+func countRows(rel *relation.Relation, spec *CountSpec, rows []int) int {
+	if spec.Star {
+		return len(rows)
+	}
+	if !spec.Distinct {
+		// COUNT(col): non-NULL values.
+		n := 0
+		for _, row := range rows {
+			if !rel.Value(row, spec.Cols[0].index).IsNull() {
+				n++
+			}
+		}
+		return n
+	}
+	seen := make(map[string]struct{}, len(rows))
+	var key []byte
+	for _, row := range rows {
+		key = key[:0]
+		allNull := true
+		for _, c := range spec.Cols {
+			code := rel.ColumnCodes(c.index)[row]
+			if code != rel.NullCode() {
+				allNull = false
+			}
+			key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+		}
+		// COUNT(DISTINCT a) skips NULLs per SQL; for multi-column tuples we
+		// skip only all-NULL tuples and let partial NULLs form groups (the
+		// engine's documented deviation from MySQL, which drops a tuple on
+		// any NULL — FD attributes are NULL-free so the difference never
+		// reaches the measures; query.Counter compensates for the all-NULL
+		// case).
+		if allNull {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// execGroupBy handles grouped aggregates and grouped plain columns.
+func execGroupBy(rel *relation.Relation, stmt *SelectStmt, rows []int) (*Result, error) {
+	res := &Result{}
+	for _, item := range stmt.Items {
+		res.Columns = append(res.Columns, outputName(item))
+	}
+	groups := make(map[string][]int)
+	var order []string
+	var key []byte
+	for _, row := range rows {
+		key = key[:0]
+		for _, g := range stmt.GroupBy {
+			code := rel.ColumnCodes(g.index)[row]
+			key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+		}
+		k := string(key)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	for _, k := range order {
+		members := groups[k]
+		out := make([]relation.Value, len(stmt.Items))
+		for i, item := range stmt.Items {
+			if item.Count != nil {
+				out[i] = relation.Int(int64(countRows(rel, item.Count, members)))
+			} else {
+				out[i] = rel.Value(members[0], item.Column.index)
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// execPlainSelect handles projection with optional DISTINCT.
+func execPlainSelect(rel *relation.Relation, stmt *SelectStmt, rows []int) (*Result, error) {
+	res := &Result{}
+	for _, item := range stmt.Items {
+		res.Columns = append(res.Columns, outputName(item))
+	}
+	seen := make(map[string]struct{})
+	var key []byte
+	for _, row := range rows {
+		out := make([]relation.Value, len(stmt.Items))
+		for i, item := range stmt.Items {
+			out[i] = rel.Value(row, item.Column.index)
+		}
+		if stmt.Distinct {
+			key = key[:0]
+			for _, item := range stmt.Items {
+				code := rel.ColumnCodes(item.Column.index)[row]
+				key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// orderResult sorts rows by the ORDER BY keys, which reference output column
+// names.
+func orderResult(res *Result, keys []OrderKey) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		found := -1
+		for j, name := range res.Columns {
+			if strings.EqualFold(name, k.Column) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("query: ORDER BY column %q is not in the output", k.Column)
+		}
+		idx[i] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, k := range keys {
+			cmp := compareValues(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
+			if cmp != 0 {
+				if k.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// Format renders a result as an aligned text table for the REPL.
+func (r *Result) Format() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if v.IsNull() {
+				s = "NULL"
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// FuzzParse feeds arbitrary text through the lexer and parser: neither may
+// panic, and any statement that parses must re-parse from its canonical
+// String() form (idempotent round-trip). Run long with:
+//
+//	go test -fuzz=FuzzParse ./internal/query
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(DISTINCT District, Region) FROM Places",
+		"SELECT a, b FROM t WHERE x = 1 AND y <> 'z' ORDER BY a DESC LIMIT 3",
+		"SELECT DISTINCT a FROM t WHERE n IS NOT NULL",
+		"SELECT state, COUNT(*) AS n FROM places GROUP BY state",
+		"SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND NOT c = 3",
+		"select `q col` from t where s = 'it''s'",
+		"SELECT",
+		") FROM (",
+		"SELECT ; --",
+		"SELECT a FROM t WHERE x >= -1.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		canonical := stmt.String()
+		again, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, input, err)
+		}
+		if again.String() != canonical {
+			t.Fatalf("String() not a fixed point: %q → %q", canonical, again.String())
+		}
+	})
+}
+
+// FuzzExecute runs parsed statements against a small database: execution
+// must never panic regardless of the statement shape.
+func FuzzExecute(f *testing.F) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindString},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	)
+	rel := relation.New("t", schema)
+	rel.MustAppend(relation.String("x"), relation.Int(1))
+	rel.MustAppend(relation.Null, relation.Int(2))
+	db := relation.NewDatabase("fuzz")
+	db.Put(rel)
+
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT COUNT(DISTINCT a, b) FROM t",
+		"SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a LIMIT 1",
+		"SELECT b FROM t WHERE a IS NULL OR b > 0",
+		"SELECT a FROM missing",
+		"SELECT ghost FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if strings.Count(input, "(") > 50 {
+			return // bound recursive descent depth on pathological input
+		}
+		res, err := Run(db, input)
+		if err != nil {
+			return
+		}
+		_ = res.Format() // rendering must not panic either
+	})
+}

@@ -1,0 +1,205 @@
+// Package query implements a small SQL engine over internal/relation: a
+// lexer, a recursive-descent parser and an executor for the query shapes the
+// paper's prototype issued against MySQL, most importantly
+//
+//	SELECT COUNT(DISTINCT a, b) FROM t
+//
+// (§4.4: "the computation of confidence and goodness can be implemented
+// using SQL queries") plus enough of SELECT/WHERE/GROUP BY/ORDER BY/LIMIT to
+// inspect violating tuples interactively. It also provides a pli.Counter
+// implementation that routes every cardinality through SQL text, which is
+// the ablation baseline closest to the paper's actual implementation.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <> != < <= > >=
+)
+
+// keywords recognised case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "COUNT": true, "FROM": true,
+	"WHERE": true, "AND": true, "OR": true, "NOT": true, "GROUP": true,
+	"BY": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"IS": true, "NULL": true, "AS": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers verbatim
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+// lexAll tokenises the whole input.
+func (l *lexer) lexAll() ([]token, error) {
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.input) && (l.input[l.pos] == '=' || l.input[l.pos] == '>') {
+			l.pos++
+			return token{kind: tokOp, text: l.input[start:l.pos], pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("query: stray '!' at offset %d", start)
+	case c == '\'':
+		return l.lexString()
+	case c == '"' || c == '`':
+		return l.lexQuotedIdent(c)
+	case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.input) && unicode.IsDigit(rune(l.input[l.pos+1]))):
+		return l.lexNumber()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return l.lexWord()
+	default:
+		return token{}, fmt.Errorf("query: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			// '' escapes a quote, SQL style.
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("query: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexQuotedIdent(quote byte) (token, error) {
+	start := l.pos
+	l.pos++
+	from := l.pos
+	for l.pos < len(l.input) && l.input[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{}, fmt.Errorf("query: unterminated quoted identifier at offset %d", start)
+	}
+	text := l.input[from:l.pos]
+	l.pos++
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexWord() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) {
+		c := rune(l.input[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	word := l.input[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: word, pos: start}, nil
+}

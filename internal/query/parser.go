@@ -1,0 +1,322 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := newLexer(input).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("query: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind) bool { return p.peek().kind == kind }
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("query: expected %s at offset %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if !p.at(kind) {
+		return token{}, fmt.Errorf("query: expected %s at offset %d, got %q", what, p.peek().pos, p.peek().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.atKeyword("DISTINCT") {
+		p.advance()
+		stmt.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.at(tokComma) {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from.text
+
+	if p.atKeyword("WHERE") {
+		p.advance()
+		stmt.Where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "group-by column")
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, &ColumnRef{Name: col.text})
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "order-by column")
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: col.text}
+			if p.atKeyword("DESC") {
+				p.advance()
+				key.Desc = true
+			} else if p.atKeyword("ASC") {
+				p.advance()
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		num, err := p.expect(tokNumber, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: invalid LIMIT %q", num.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (*SelectItem, error) {
+	var item *SelectItem
+	if p.atKeyword("COUNT") {
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		spec := &CountSpec{}
+		if p.at(tokStar) {
+			p.advance()
+			spec.Star = true
+		} else {
+			if p.atKeyword("DISTINCT") {
+				p.advance()
+				spec.Distinct = true
+			}
+			for {
+				col, err := p.expect(tokIdent, "column in COUNT")
+				if err != nil {
+					return nil, err
+				}
+				spec.Cols = append(spec.Cols, &ColumnRef{Name: col.text})
+				if !p.at(tokComma) {
+					break
+				}
+				p.advance()
+			}
+			if len(spec.Cols) > 1 && !spec.Distinct {
+				return nil, fmt.Errorf("query: COUNT of multiple columns requires DISTINCT")
+			}
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		item = &SelectItem{Count: spec}
+	} else {
+		col, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		item = &SelectItem{Column: &ColumnRef{Name: col.text}}
+	}
+	if p.atKeyword("AS") {
+		p.advance()
+		alias, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return nil, err
+		}
+		item.Alias = alias.text
+	}
+	return item, nil
+}
+
+// parseOr handles: or := and (OR and)*
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseAnd handles: and := unary (AND unary)*
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseUnary handles NOT and parenthesised predicates.
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	if p.at(tokLParen) {
+		p.advance()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison handles: operand (op operand | IS [NOT] NULL)
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKeyword("IS") {
+		p.advance()
+		negate := false
+		if p.atKeyword("NOT") {
+			p.advance()
+			negate = true
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Inner: left, Negate: negate}, nil
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op.text, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.advance()
+		return &ColumnRef{Name: t.text}, nil
+	case tokNumber:
+		p.advance()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return &Literal{Value: relation.Int(i)}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad number %q at offset %d", t.text, t.pos)
+		}
+		return &Literal{Value: relation.Float(f)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Value: relation.String(t.text)}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.advance()
+			return &Literal{Value: relation.Null}, nil
+		}
+	}
+	return nil, fmt.Errorf("query: expected operand at offset %d, got %q", t.pos, t.text)
+}

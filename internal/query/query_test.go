@@ -1,0 +1,272 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+func testDB(t testing.TB) *relation.Database {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Column{Name: "city", Kind: relation.KindString},
+		relation.Column{Name: "state", Kind: relation.KindString},
+		relation.Column{Name: "pop", Kind: relation.KindInt},
+		relation.Column{Name: "note", Kind: relation.KindString},
+	)
+	r := relation.New("places", schema)
+	rows := []struct {
+		city, state string
+		pop         int64
+		note        relation.Value
+	}{
+		{"NY", "NY", 8000, relation.String("big")},
+		{"Boston", "MA", 700, relation.Null},
+		{"Chicago", "IL", 2700, relation.String("windy")},
+		{"Chester", "IL", 34, relation.Null},
+		{"NY", "NY", 8000, relation.String("dup")},
+	}
+	for _, row := range rows {
+		r.MustAppend(relation.String(row.city), relation.String(row.state),
+			relation.Int(row.pop), row.note)
+	}
+	db := relation.NewDatabase("test")
+	db.Put(r)
+	return db
+}
+
+func mustRun(t *testing.T, db *relation.Database, sql string) *Result {
+	t.Helper()
+	res, err := Run(db, sql)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectAllColumns(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT city, state FROM places")
+	if len(res.Rows) != 5 || len(res.Columns) != 2 {
+		t.Fatalf("shape = %dx%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Columns[0] != "city" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT DISTINCT city, state FROM places")
+	if len(res.Rows) != 4 {
+		t.Fatalf("distinct rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestWhereFilters(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT city FROM places WHERE state = 'IL'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("IL rows = %d, want 2", len(res.Rows))
+	}
+	res = mustRun(t, db, "SELECT city FROM places WHERE pop > 1000 AND state <> 'IL'")
+	if len(res.Rows) != 2 { // the two NY rows
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	res = mustRun(t, db, "SELECT city FROM places WHERE pop < 100 OR pop >= 8000")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	res = mustRun(t, db, "SELECT city FROM places WHERE NOT (state = 'IL')")
+	if len(res.Rows) != 3 {
+		t.Fatalf("NOT rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestWhereIsNull(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT city FROM places WHERE note IS NULL")
+	if len(res.Rows) != 2 {
+		t.Fatalf("IS NULL rows = %d, want 2", len(res.Rows))
+	}
+	res = mustRun(t, db, "SELECT city FROM places WHERE note IS NOT NULL")
+	if len(res.Rows) != 3 {
+		t.Fatalf("IS NOT NULL rows = %d, want 3", len(res.Rows))
+	}
+	// Comparisons against NULL are never true.
+	res = mustRun(t, db, "SELECT city FROM places WHERE note = 'big' OR note <> 'big'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("NULL comparison rows = %d, want 3 (NULLs excluded)", len(res.Rows))
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT COUNT(*) FROM places")
+	if got := res.Rows[0][0].AsInt(); got != 5 {
+		t.Fatalf("COUNT(*) = %d", got)
+	}
+	res = mustRun(t, db, "SELECT COUNT(*) FROM places WHERE state = 'IL'")
+	if got := res.Rows[0][0].AsInt(); got != 2 {
+		t.Fatalf("filtered COUNT(*) = %d", got)
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT COUNT(note) FROM places")
+	if got := res.Rows[0][0].AsInt(); got != 3 {
+		t.Fatalf("COUNT(note) = %d, want 3 (NULLs skipped)", got)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := testDB(t)
+	// The paper's exact query shape (§4.4, Q1/Q2).
+	res := mustRun(t, db, "SELECT COUNT(DISTINCT city, state) FROM places")
+	if got := res.Rows[0][0].AsInt(); got != 4 {
+		t.Fatalf("COUNT(DISTINCT city,state) = %d, want 4", got)
+	}
+	res = mustRun(t, db, "SELECT COUNT(DISTINCT state) FROM places")
+	if got := res.Rows[0][0].AsInt(); got != 3 {
+		t.Fatalf("COUNT(DISTINCT state) = %d, want 3", got)
+	}
+	// Multiple aggregates in one statement.
+	res = mustRun(t, db, "SELECT COUNT(DISTINCT city) AS c, COUNT(*) AS n FROM places")
+	if res.Columns[0] != "c" || res.Columns[1] != "n" {
+		t.Fatalf("aliases = %v", res.Columns)
+	}
+	if res.Rows[0][0].AsInt() != 4 || res.Rows[0][1].AsInt() != 5 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT state, COUNT(*) AS n FROM places GROUP BY state ORDER BY n DESC, state")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Rows))
+	}
+	if res.Rows[0][0].AsString() != "IL" && res.Rows[0][1].AsInt() != 2 {
+		t.Fatalf("first group = %v", res.Rows[0])
+	}
+	// Grouped COUNT DISTINCT — the violation-inspection query.
+	res = mustRun(t, db, "SELECT state, COUNT(DISTINCT city) AS cities FROM places GROUP BY state ORDER BY cities DESC")
+	if res.Rows[0][1].AsInt() != 2 { // IL has Chicago+Chester
+		t.Fatalf("top group = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByRequiresGroupedColumns(t *testing.T) {
+	db := testDB(t)
+	if _, err := Run(db, "SELECT city, COUNT(*) FROM places GROUP BY state"); err == nil {
+		t.Fatal("ungrouped projection must be rejected")
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT city, pop FROM places ORDER BY pop DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].AsInt() != 8000 {
+		t.Fatalf("top pop = %v", res.Rows[0][1])
+	}
+	res = mustRun(t, db, "SELECT city FROM places ORDER BY city LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Fatal("LIMIT 0 must return nothing")
+	}
+	if _, err := Run(db, "SELECT city FROM places ORDER BY pop"); err == nil {
+		t.Fatal("ORDER BY on a column missing from output must error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := testDB(t)
+	for _, bad := range []string{
+		"",
+		"SELEC city FROM places",
+		"SELECT FROM places",
+		"SELECT city places",
+		"SELECT city FROM",
+		"SELECT city FROM places WHERE",
+		"SELECT city FROM places WHERE city =",
+		"SELECT city FROM places LIMIT x",
+		"SELECT city FROM places trailing",
+		"SELECT COUNT(city, state) FROM places", // multi-col needs DISTINCT
+		"SELECT city FROM places WHERE city = 'unterminated",
+		"SELECT ghost FROM places",
+		"SELECT city FROM ghost_table",
+		"SELECT city FROM places WHERE ghost = 1",
+		"SELECT city FROM places GROUP BY ghost",
+	} {
+		if _, err := Run(db, bad); err == nil {
+			t.Errorf("Run(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexerCoverage(t *testing.T) {
+	toks, err := newLexer("SELECT a, b FROM t WHERE x >= -1.5 AND y != 'it''s' OR `q col` <> 2").lexAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Fatal("missing EOF")
+	}
+	// The escaped string must contain a single quote.
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokString && tok.text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("string escape '' not handled")
+	}
+	if _, err := newLexer("SELECT ; FROM t").lexAll(); err == nil {
+		t.Fatal("stray ';' must be a lex error")
+	}
+	if _, err := newLexer("a ! b").lexAll(); err == nil {
+		t.Fatal("stray '!' must be a lex error")
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	stmt, err := Parse("SELECT DISTINCT city, state FROM places WHERE pop > 10 AND note IS NOT NULL ORDER BY city DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := stmt.String()
+	for _, want := range []string{"SELECT DISTINCT", "FROM places", "WHERE", "IS NOT NULL", "ORDER BY city DESC", "LIMIT 3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("String() = %q missing %q", text, want)
+		}
+	}
+	// Round-trip: the canonical text must re-parse.
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("canonical text does not re-parse: %v", err)
+	}
+	stmt2, _ := Parse("SELECT COUNT(DISTINCT a, b) AS n FROM t GROUP BY a")
+	if !strings.Contains(stmt2.String(), "COUNT(DISTINCT a, b) AS n") {
+		t.Fatalf("count String() = %q", stmt2.String())
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	db := testDB(t)
+	res := mustRun(t, db, "SELECT city, note FROM places ORDER BY city LIMIT 3")
+	text := res.Format()
+	if !strings.Contains(text, "NULL") {
+		t.Fatalf("NULL rendering missing:\n%s", text)
+	}
+	if !strings.Contains(text, "city") || !strings.Contains(text, "---") {
+		t.Fatalf("header/separator missing:\n%s", text)
+	}
+}

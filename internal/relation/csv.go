@@ -1,0 +1,206 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSVOptions controls CSV reading.
+type CSVOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// NullTokens are cell spellings read as NULL. Defaults to "" and "NULL".
+	NullTokens []string
+	// InferKinds samples the data rows to pick column kinds when the header
+	// carries no ":kind" annotations. When false, unannotated columns are
+	// strings.
+	InferKinds bool
+	// SampleRows bounds how many rows kind inference examines; 0 means all.
+	SampleRows int
+}
+
+func (o CSVOptions) nullSet() map[string]bool {
+	toks := o.NullTokens
+	if toks == nil {
+		toks = []string{"", "NULL"}
+	}
+	m := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		m[t] = true
+	}
+	return m
+}
+
+// ReadCSV loads a relation from CSV data. The first record is the header;
+// each header cell is either a bare attribute name (kind inferred or string)
+// or "name:kind" with kind in {string,int,float,bool}.
+func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = 0 // require rectangular input
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv %s has no header", name)
+	}
+	header := records[0]
+	body := records[1:]
+	nulls := opts.nullSet()
+
+	cols := make([]Column, len(header))
+	annotated := make([]bool, len(header))
+	for i, h := range header {
+		name, kindName, hasKind := strings.Cut(h, ":")
+		cols[i] = Column{Name: strings.TrimSpace(name), Kind: KindString}
+		if hasKind {
+			k, err := ParseKind(kindName)
+			if err != nil {
+				return nil, err
+			}
+			cols[i].Kind = k
+			annotated[i] = true
+		}
+	}
+	if opts.InferKinds {
+		for i := range cols {
+			if annotated[i] {
+				continue
+			}
+			cols[i].Kind = inferColumnKind(body, i, nulls, opts.SampleRows)
+		}
+	}
+
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(name, schema)
+	tuple := make([]Value, len(cols))
+	for rowIdx, rec := range body {
+		for i, cell := range rec {
+			if nulls[cell] {
+				tuple[i] = Null
+				continue
+			}
+			v, err := ParseValue(cell, cols[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv %s row %d: %w", name, rowIdx+2, err)
+			}
+			tuple[i] = v
+		}
+		if err := rel.Append(tuple...); err != nil {
+			return nil, fmt.Errorf("relation: csv %s row %d: %w", name, rowIdx+2, err)
+		}
+	}
+	return rel, nil
+}
+
+// inferColumnKind picks the narrowest kind that parses every sampled non-NULL
+// cell of column i; ties fall back towards string.
+func inferColumnKind(body [][]string, i int, nulls map[string]bool, sample int) Kind {
+	canInt, canFloat, canBool := true, true, true
+	seen := false
+	for rowIdx, rec := range body {
+		if sample > 0 && rowIdx >= sample {
+			break
+		}
+		cell := rec[i]
+		if nulls[cell] {
+			continue
+		}
+		seen = true
+		if canInt {
+			if _, err := ParseValue(cell, KindInt); err != nil {
+				canInt = false
+			}
+		}
+		if canFloat {
+			if _, err := ParseValue(cell, KindFloat); err != nil {
+				canFloat = false
+			}
+		}
+		if canBool {
+			if _, err := ParseValue(cell, KindBool); err != nil {
+				canBool = false
+			}
+		}
+		if !canInt && !canFloat && !canBool {
+			break
+		}
+	}
+	switch {
+	case !seen:
+		return KindString
+	case canInt:
+		return KindInt
+	case canFloat:
+		return KindFloat
+	case canBool:
+		return KindBool
+	default:
+		return KindString
+	}
+}
+
+// ReadCSVFile loads a relation from a CSV file; the relation name is the file
+// base name without extension.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f, opts)
+}
+
+// WriteCSV serialises the relation with a typed header ("name:kind"). NULLs
+// are written as empty cells, so WriteCSV → ReadCSV round-trips.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.NumCols())
+	for i := 0; i < r.NumCols(); i++ {
+		c := r.schema.Column(i)
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, r.NumCols())
+	for row := 0; row < r.rows; row++ {
+		for i := range rec {
+			rec[i] = r.Value(row, i).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile serialises the relation to a file path, creating parent
+// directories as needed.
+func (r *Relation) WriteCSVFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

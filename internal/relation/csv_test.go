@@ -1,0 +1,212 @@
+package relation
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `city:string,pop:int,area:float,capital:bool
+milan,1352000,181.8,false
+rome,2873000,1285.0,true
+,260000,,false
+`
+
+func TestReadCSVTypedHeader(t *testing.T) {
+	r, err := ReadCSV("cities", strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 3 || r.NumCols() != 4 {
+		t.Fatalf("shape = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if r.Schema().Column(1).Kind != KindInt || r.Schema().Column(3).Kind != KindBool {
+		t.Fatalf("kinds wrong: %v", r.Schema())
+	}
+	if !r.IsNull(2, 0) || !r.IsNull(2, 2) {
+		t.Fatal("empty cells must be NULL")
+	}
+	if r.Value(1, 3) != Bool(true) {
+		t.Fatal("bool parse wrong")
+	}
+}
+
+func TestReadCSVInference(t *testing.T) {
+	data := "a,b,c\n1,2.5,x\n3,7,y\n"
+	r, err := ReadCSV("t", strings.NewReader(data), CSVOptions{InferKinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Column(0).Kind != KindInt {
+		t.Errorf("a should infer int, got %v", r.Schema().Column(0).Kind)
+	}
+	if r.Schema().Column(1).Kind != KindFloat {
+		t.Errorf("b should infer float (2.5 breaks int), got %v", r.Schema().Column(1).Kind)
+	}
+	if r.Schema().Column(2).Kind != KindString {
+		t.Errorf("c should stay string, got %v", r.Schema().Column(2).Kind)
+	}
+}
+
+func TestReadCSVWithoutInferenceIsAllStrings(t *testing.T) {
+	data := "a,b\n1,2\n"
+	r, err := ReadCSV("t", strings.NewReader(data), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Column(0).Kind != KindString {
+		t.Fatal("without inference unannotated columns must be strings")
+	}
+	if r.Value(0, 0) != String("1") {
+		t.Fatal("values must stay textual")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a:int\nnot-int\n"), CSVOptions{}); err == nil {
+		t.Fatal("non-int cell in int column must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a:blob\n1\n"), CSVOptions{}); err == nil {
+		t.Fatal("unknown kind annotation must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n"), CSVOptions{}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r, err := ReadCSV("cities", strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("cities", bytes.NewReader(buf.Bytes()), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(r.Schema()) {
+		t.Fatalf("schema did not round-trip: %v vs %v", back.Schema(), r.Schema())
+	}
+	if back.NumRows() != r.NumRows() {
+		t.Fatalf("rows did not round-trip: %d vs %d", back.NumRows(), r.NumRows())
+	}
+	for row := 0; row < r.NumRows(); row++ {
+		for col := 0; col < r.NumCols(); col++ {
+			if back.Value(row, col) != r.Value(row, col) {
+				t.Fatalf("cell (%d,%d): %v vs %v", row, col, back.Value(row, col), r.Value(row, col))
+			}
+		}
+	}
+}
+
+func TestCSVFileAndDatabaseDirectory(t *testing.T) {
+	dir := t.TempDir()
+	r, err := ReadCSV("cities", strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cities.csv")
+	if err := r.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "cities" {
+		t.Fatalf("file relation name = %q", back.Name())
+	}
+
+	db, err := LoadDirectory(dir, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("db.Len = %d", db.Len())
+	}
+	got, err := db.Get("CITIES") // case-insensitive
+	if err != nil || got.NumRows() != 3 {
+		t.Fatalf("db.Get: %v %v", got, err)
+	}
+	if _, err := db.Get("missing"); err == nil {
+		t.Fatal("Get of missing table must error")
+	}
+
+	out := t.TempDir()
+	if err := db.SaveDirectory(out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSVFile(filepath.Join(out, "cities.csv"), CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDirectoryEmpty(t *testing.T) {
+	if _, err := LoadDirectory(t.TempDir(), CSVOptions{}); err == nil {
+		t.Fatal("directory without csv files must error")
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase("test")
+	if db.Name() != "test" {
+		t.Fatal("Name wrong")
+	}
+	r := New("t1", MustSchema(Column{Name: "a", Kind: KindString}))
+	db.Put(r)
+	db.Put(r) // idempotent replace
+	if db.Len() != 1 {
+		t.Fatal("Put should replace, not duplicate")
+	}
+	if names := db.Names(); len(names) != 1 || names[0] != "t1" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestReadCSVCustomDelimiterAndSample(t *testing.T) {
+	data := "a;b\n1;x\n2.5;y\n"
+	// With SampleRows 1 only "1" is sampled → int inferred; the unsampled
+	// 2.5 row then fails to parse as int, surfacing as a load error — the
+	// documented trade-off of bounded sampling.
+	if _, err := ReadCSV("t", strings.NewReader(data),
+		CSVOptions{Comma: ';', InferKinds: true, SampleRows: 1}); err == nil {
+		t.Fatal("bounded sampling should mis-infer and surface an error here")
+	}
+	// Full sampling handles it.
+	r, err := ReadCSV("t", strings.NewReader(data), CSVOptions{Comma: ';', InferKinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Column(0).Kind != KindFloat {
+		t.Fatalf("kind = %v, want float", r.Schema().Column(0).Kind)
+	}
+}
+
+func TestReadCSVCustomNullTokens(t *testing.T) {
+	data := "a\nN/A\nx\n"
+	r, err := ReadCSV("t", strings.NewReader(data), CSVOptions{NullTokens: []string{"N/A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsNull(0, 0) || r.IsNull(1, 0) {
+		t.Fatal("custom NULL token not honoured")
+	}
+}
+
+func TestWriteCSVFileCreatesParents(t *testing.T) {
+	r, _ := ReadCSV("t", strings.NewReader("a\n1\n"), CSVOptions{})
+	nested := filepath.Join(t.TempDir(), "deep", "dir", "t.csv")
+	if err := r.WriteCSVFile(nested); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSVFile(nested, CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relations, the unit the paper's tool
+// connects to ("users connect to a MySQL database and visualize its
+// relations"). Here a database is a directory of CSV files or an in-memory
+// set of generated relations.
+type Database struct {
+	name string
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, rels: make(map[string]*Relation)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// Put registers a relation, replacing any previous one with the same name.
+func (db *Database) Put(r *Relation) { db.rels[strings.ToLower(r.Name())] = r }
+
+// Get returns the named relation (case-insensitive) or an error listing the
+// available names.
+func (db *Database) Get(name string) (*Relation, error) {
+	if r, ok := db.rels[strings.ToLower(name)]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("relation: no table %q in database %s (have: %s)",
+		name, db.name, strings.Join(db.Names(), ", "))
+}
+
+// Names lists the registered relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for _, r := range db.rels {
+		out = append(out, r.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of relations.
+func (db *Database) Len() int { return len(db.rels) }
+
+// LoadDirectory builds a database from every *.csv file in dir. The database
+// name is the directory base name.
+func LoadDirectory(dir string, opts CSVOptions) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase(filepath.Base(dir))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		rel, err := ReadCSVFile(filepath.Join(dir, e.Name()), opts)
+		if err != nil {
+			return nil, err
+		}
+		db.Put(rel)
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("relation: no .csv files in %s", dir)
+	}
+	return db, nil
+}
+
+// SaveDirectory writes every relation as dir/<name>.csv.
+func (db *Database) SaveDirectory(dir string) error {
+	for _, name := range db.Names() {
+		r, _ := db.Get(name)
+		if err := r.WriteCSVFile(filepath.Join(dir, r.Name()+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

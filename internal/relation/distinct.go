@@ -1,0 +1,81 @@
+package relation
+
+import "github.com/evolvefd/evolvefd/internal/bitset"
+
+// DistinctCount returns |π_X(r)|: the number of distinct tuples over the
+// columns in cols. It is the reference implementation used as the oracle in
+// tests; the pli package provides the optimised strategies used by the
+// repair algorithms.
+//
+// NULL is treated as an ordinary (distinct) value, so π over a column with
+// NULLs counts NULL once. FD semantics sidestep the question because
+// attributes occurring in FDs must be NULL-free (§6.2.1).
+func (r *Relation) DistinctCount(cols []int) int {
+	if len(cols) == 0 {
+		if r.rows == 0 {
+			return 0
+		}
+		return 1
+	}
+	if len(cols) == 1 {
+		n := r.DictLen(cols[0])
+		if r.HasNulls(cols[0]) {
+			n++
+		}
+		return n
+	}
+	seen := make(map[string]struct{}, r.rows)
+	key := make([]byte, 0, len(cols)*4)
+	for row := 0; row < r.rows; row++ {
+		key = key[:0]
+		for _, c := range cols {
+			code := r.cols[c][row]
+			key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// DistinctCountSet is DistinctCount over a bitset of columns (members are
+// visited in increasing position order, which does not affect the count).
+func (r *Relation) DistinctCountSet(set bitset.Set) int {
+	return r.DistinctCount(set.Members())
+}
+
+// SatisfiesFD reports whether the instance satisfies X → Y under Definition 2
+// of the paper, checked pairwise-equivalently via distinct counts:
+// r ⊨ X→Y  ⟺  |π_X(r)| = |π_XY(r)|.
+func (r *Relation) SatisfiesFD(x, y bitset.Set) bool {
+	return r.DistinctCountSet(x) == r.DistinctCountSet(x.Union(y))
+}
+
+// SatisfiesFDPairwise checks Definition 2 literally: for every pair of tuples
+// t1, t2, t1[X] = t2[X] implies t1[Y] = t2[Y]. It is O(n·|groups|) with a
+// hash map and exists to cross-validate the counting shortcut in tests.
+func (r *Relation) SatisfiesFDPairwise(x, y bitset.Set) bool {
+	xs, ys := x.Members(), y.Members()
+	firstY := make(map[string][]int32, r.rows)
+	key := make([]byte, 0, len(xs)*4)
+	for row := 0; row < r.rows; row++ {
+		key = key[:0]
+		for _, c := range xs {
+			code := r.cols[c][row]
+			key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24))
+		}
+		yCodes := make([]int32, len(ys))
+		for i, c := range ys {
+			yCodes[i] = r.cols[c][row]
+		}
+		if prev, ok := firstY[string(key)]; ok {
+			for i := range prev {
+				if prev[i] != yCodes[i] {
+					return false
+				}
+			}
+		} else {
+			firstY[string(key)] = yCodes
+		}
+	}
+	return true
+}

@@ -1,0 +1,274 @@
+package relation
+
+import (
+	"fmt"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+)
+
+// nullCode is the column code reserved for NULL; it never indexes a
+// dictionary.
+const nullCode int32 = -1
+
+// dict interns the distinct non-NULL values of one column. Codes are dense,
+// starting at 0, in first-seen order.
+type dict struct {
+	values []Value
+	index  map[Value]int32
+}
+
+func newDict() *dict {
+	return &dict{index: make(map[Value]int32)}
+}
+
+func (d *dict) code(v Value) int32 {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := int32(len(d.values))
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+func (d *dict) lookup(v Value) (int32, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Relation is an instance r of a relation schema R: a bag of tuples stored
+// column-wise with per-column dictionary encoding. The paper treats instances
+// as sets of tuples; duplicates do not affect any of the distinct-projection
+// measures, and Relation preserves physical duplicates like a SQL table does.
+//
+// Relation is append-only: rows are added with Append and never modified,
+// which lets PLIs and caches reference its code slices without copying.
+type Relation struct {
+	name   string
+	schema *Schema
+	cols   [][]int32
+	dicts  []*dict
+	nulls  []int // per-column count of NULL cells
+	rows   int
+}
+
+// New creates an empty relation instance with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	r := &Relation{
+		name:   name,
+		schema: schema,
+		cols:   make([][]int32, schema.Len()),
+		dicts:  make([]*dict, schema.Len()),
+		nulls:  make([]int, schema.Len()),
+	}
+	for i := range r.dicts {
+		r.dicts[i] = newDict()
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// NumRows returns |r|, the number of tuples.
+func (r *Relation) NumRows() int { return r.rows }
+
+// NumCols returns |R|, the number of attributes.
+func (r *Relation) NumCols() int { return r.schema.Len() }
+
+// Append adds one tuple. The number of values must match the schema arity;
+// non-NULL values must match the column kind. Integer values are accepted in
+// float columns and widened.
+func (r *Relation) Append(tuple ...Value) error {
+	if len(tuple) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d",
+			r.name, len(tuple), r.schema.Len())
+	}
+	for i, v := range tuple {
+		if v.IsNull() {
+			continue
+		}
+		want := r.schema.Column(i).Kind
+		if v.Kind() == want {
+			continue
+		}
+		if want == KindFloat && v.Kind() == KindInt {
+			tuple[i] = Float(v.AsFloat())
+			continue
+		}
+		return fmt.Errorf("relation %s: column %s expects %v, got %v (%q)",
+			r.name, r.schema.Column(i).Name, want, v.Kind(), v.String())
+	}
+	for i, v := range tuple {
+		if v.IsNull() {
+			r.cols[i] = append(r.cols[i], nullCode)
+			r.nulls[i]++
+		} else {
+			r.cols[i] = append(r.cols[i], r.dicts[i].code(v))
+		}
+	}
+	r.rows++
+	return nil
+}
+
+// MustAppend is Append that panics on error; for statically-known data.
+func (r *Relation) MustAppend(tuple ...Value) {
+	if err := r.Append(tuple...); err != nil {
+		panic(err)
+	}
+}
+
+// AppendStrings parses each text cell with the column kind and appends the
+// tuple. Cells equal to the empty string or "NULL" become NULL.
+func (r *Relation) AppendStrings(cells ...string) error {
+	if len(cells) != r.schema.Len() {
+		return fmt.Errorf("relation %s: row arity %d != schema arity %d",
+			r.name, len(cells), r.schema.Len())
+	}
+	tuple := make([]Value, len(cells))
+	for i, c := range cells {
+		if c == "" || c == "NULL" {
+			tuple[i] = Null
+			continue
+		}
+		v, err := ParseValue(c, r.schema.Column(i).Kind)
+		if err != nil {
+			return err
+		}
+		tuple[i] = v
+	}
+	return r.Append(tuple...)
+}
+
+// Value returns the cell at (row, col).
+func (r *Relation) Value(row, col int) Value {
+	c := r.cols[col][row]
+	if c == nullCode {
+		return Null
+	}
+	return r.dicts[col].values[c]
+}
+
+// IsNull reports whether the cell at (row, col) is NULL.
+func (r *Relation) IsNull(row, col int) bool {
+	return r.cols[col][row] == nullCode
+}
+
+// Row materialises one tuple.
+func (r *Relation) Row(row int) []Value {
+	out := make([]Value, r.schema.Len())
+	for c := range out {
+		out[c] = r.Value(row, c)
+	}
+	return out
+}
+
+// ColumnCodes exposes the dictionary codes of one column. The returned slice
+// is owned by the relation; callers must treat it as read-only. NULL cells
+// carry the code -1.
+func (r *Relation) ColumnCodes(col int) []int32 { return r.cols[col] }
+
+// NullCode is the sentinel code used for NULL cells in ColumnCodes.
+func (r *Relation) NullCode() int32 { return nullCode }
+
+// DictLen returns the number of distinct non-NULL values in a column, i.e.
+// |π_A(r)| ignoring NULLs.
+func (r *Relation) DictLen(col int) int { return len(r.dicts[col].values) }
+
+// DictValue returns the value interned at the given dictionary code of a
+// column.
+func (r *Relation) DictValue(col int, code int32) Value {
+	return r.dicts[col].values[code]
+}
+
+// LookupCode returns the dictionary code of v in col, if v occurs there.
+func (r *Relation) LookupCode(col int, v Value) (int32, bool) {
+	return r.dicts[col].lookup(v)
+}
+
+// NullCount returns the number of NULL cells in a column.
+func (r *Relation) NullCount(col int) int { return r.nulls[col] }
+
+// HasNulls reports whether a column contains at least one NULL. Attributes
+// occurring in FDs must be NULL-free (§6.2.1 of the paper), so repair
+// candidate generation consults this.
+func (r *Relation) HasNulls(col int) bool { return r.nulls[col] > 0 }
+
+// NullFreeColumns returns the set of column positions without NULLs.
+func (r *Relation) NullFreeColumns() bitset.Set {
+	var s bitset.Set
+	for i := 0; i < r.NumCols(); i++ {
+		if !r.HasNulls(i) {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Project builds a new relation with only the columns at the given positions
+// (in the given order), preserving all rows. Dictionaries are rebuilt so the
+// result is independent of the source.
+func (r *Relation) Project(name string, idx []int) (*Relation, error) {
+	ps, err := r.schema.Project(idx)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, ps)
+	tuple := make([]Value, len(idx))
+	for row := 0; row < r.rows; row++ {
+		for i, p := range idx {
+			tuple[i] = r.Value(row, p)
+		}
+		if err := out.Append(tuple...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Head builds a new relation containing the first n rows (or all rows if
+// n >= NumRows) and all columns. Used by the Veterans-style grid experiments
+// that sweep tuple counts.
+func (r *Relation) Head(name string, n int) (*Relation, error) {
+	if n > r.rows {
+		n = r.rows
+	}
+	out := New(name, r.schema)
+	for row := 0; row < n; row++ {
+		if err := out.Append(r.Row(row)...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Filter builds a new relation containing the rows for which keep returns
+// true.
+func (r *Relation) Filter(name string, keep func(row int) bool) (*Relation, error) {
+	out := New(name, r.schema)
+	for row := 0; row < r.rows; row++ {
+		if keep(row) {
+			if err := out.Append(r.Row(row)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the relation under a new name.
+func (r *Relation) Clone(name string) *Relation {
+	out := New(name, r.schema)
+	for row := 0; row < r.rows; row++ {
+		out.MustAppend(r.Row(row)...)
+	}
+	return out
+}
+
+// String renders a compact description like "places(9 cols, 11 rows)".
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%d cols, %d rows)", r.name, r.NumCols(), r.NumRows())
+}

@@ -1,0 +1,361 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "city", Kind: KindString},
+		Column{Name: "pop", Kind: KindInt},
+		Column{Name: "area", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("pop") != 1 {
+		t.Fatalf("Index(pop) = %d", s.Index("pop"))
+	}
+	if s.Index("POP") != 1 {
+		t.Fatal("Index should fall back to case-insensitive match")
+	}
+	if s.Index("nope") != -1 {
+		t.Fatal("Index of unknown must be -1")
+	}
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"city", "pop", "area"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	set, err := s.IndexSet("area", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(bitset.New(0, 2)) {
+		t.Fatalf("IndexSet = %v", set)
+	}
+	if got := s.FormatSet(set); got != "city,area" {
+		t.Fatalf("FormatSet = %q", got)
+	}
+	if _, err := s.IndexSet("ghost"); err == nil {
+		t.Fatal("IndexSet should reject unknown attribute")
+	}
+}
+
+func TestSchemaRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a"}, Column{Name: "a"}); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	r := New("cities", testSchema(t))
+	r.MustAppend(String("milan"), Int(1352000), Float(181.8))
+	r.MustAppend(String("bordeaux"), Int(260000), Float(49.4))
+	r.MustAppend(String("milan"), Int(1352000), Null)
+
+	if r.NumRows() != 3 || r.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if got := r.Value(0, 0); got != String("milan") {
+		t.Fatalf("Value(0,0) = %v", got)
+	}
+	if !r.IsNull(2, 2) {
+		t.Fatal("cell (2,2) should be NULL")
+	}
+	if r.DictLen(0) != 2 { // milan, bordeaux
+		t.Fatalf("DictLen(city) = %d", r.DictLen(0))
+	}
+	if r.NullCount(2) != 1 || !r.HasNulls(2) || r.HasNulls(0) {
+		t.Fatal("null bookkeeping wrong")
+	}
+	if !r.NullFreeColumns().Equal(bitset.New(0, 1)) {
+		t.Fatalf("NullFreeColumns = %v", r.NullFreeColumns())
+	}
+	row := r.Row(1)
+	if row[0] != String("bordeaux") || row[1] != Int(260000) {
+		t.Fatalf("Row(1) = %v", row)
+	}
+}
+
+func TestAppendTypeChecks(t *testing.T) {
+	r := New("t", testSchema(t))
+	if err := r.Append(String("x"), String("oops"), Float(1)); err == nil {
+		t.Fatal("kind mismatch must be rejected")
+	}
+	if err := r.Append(String("x"), Int(1)); err == nil {
+		t.Fatal("arity mismatch must be rejected")
+	}
+	// Int is accepted into float columns and widened.
+	if err := r.Append(String("x"), Int(1), Int(7)); err != nil {
+		t.Fatalf("int→float widening failed: %v", err)
+	}
+	if got := r.Value(0, 2); got != Float(7) {
+		t.Fatalf("widened value = %v", got)
+	}
+	// A failed Append must not leave a partial row behind.
+	before := r.NumRows()
+	_ = r.Append(String("y"), String("bad"), Float(0))
+	if r.NumRows() != before {
+		t.Fatal("failed Append must not change row count")
+	}
+}
+
+func TestAppendStrings(t *testing.T) {
+	r := New("t", testSchema(t))
+	if err := r.AppendStrings("rome", "2873000", "1285.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendStrings("", "NULL", "3.5"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsNull(1, 0) || !r.IsNull(1, 1) || r.IsNull(1, 2) {
+		t.Fatal("empty and NULL cells should parse as NULL")
+	}
+	if err := r.AppendStrings("x", "not-a-number", "1"); err == nil {
+		t.Fatal("bad int cell must error")
+	}
+}
+
+func TestDictCodesAreDense(t *testing.T) {
+	r := New("t", MustSchema(Column{Name: "a", Kind: KindString}))
+	for _, s := range []string{"x", "y", "x", "z", "y"} {
+		r.MustAppend(String(s))
+	}
+	codes := r.ColumnCodes(0)
+	want := []int32{0, 1, 0, 2, 1}
+	if !reflect.DeepEqual(codes, want) {
+		t.Fatalf("codes = %v, want %v", codes, want)
+	}
+	if r.DictValue(0, 2) != String("z") {
+		t.Fatal("DictValue(0,2) should be z")
+	}
+	if c, ok := r.LookupCode(0, String("y")); !ok || c != 1 {
+		t.Fatalf("LookupCode(y) = %d,%v", c, ok)
+	}
+	if _, ok := r.LookupCode(0, String("missing")); ok {
+		t.Fatal("LookupCode should miss for absent value")
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	r := New("t", MustSchema(
+		Column{Name: "a", Kind: KindString},
+		Column{Name: "b", Kind: KindString},
+	))
+	rows := [][2]string{{"1", "x"}, {"1", "y"}, {"2", "x"}, {"1", "x"}}
+	for _, row := range rows {
+		r.MustAppend(String(row[0]), String(row[1]))
+	}
+	if got := r.DistinctCount([]int{0}); got != 2 {
+		t.Fatalf("|π_a| = %d, want 2", got)
+	}
+	if got := r.DistinctCount([]int{1}); got != 2 {
+		t.Fatalf("|π_b| = %d, want 2", got)
+	}
+	if got := r.DistinctCount([]int{0, 1}); got != 3 {
+		t.Fatalf("|π_ab| = %d, want 3", got)
+	}
+	if got := r.DistinctCount(nil); got != 1 {
+		t.Fatalf("|π_∅| over non-empty r = %d, want 1", got)
+	}
+	empty := New("e", r.Schema())
+	if got := empty.DistinctCount(nil); got != 0 {
+		t.Fatalf("|π_∅| over empty r = %d, want 0", got)
+	}
+}
+
+func TestDistinctCountNullIsAValue(t *testing.T) {
+	r := New("t", MustSchema(Column{Name: "a", Kind: KindString}))
+	r.MustAppend(Null)
+	r.MustAppend(String("x"))
+	r.MustAppend(Null)
+	if got := r.DistinctCount([]int{0}); got != 2 {
+		t.Fatalf("|π_a| with NULLs = %d, want 2 (NULL counted once)", got)
+	}
+}
+
+func TestSatisfiesFDAgainstPairwise(t *testing.T) {
+	// X→Y holds: a determines b.
+	r := New("t", MustSchema(
+		Column{Name: "a", Kind: KindString},
+		Column{Name: "b", Kind: KindString},
+		Column{Name: "c", Kind: KindString},
+	))
+	for _, row := range [][3]string{
+		{"1", "x", "p"}, {"1", "x", "q"}, {"2", "y", "p"}, {"3", "x", "r"},
+	} {
+		r.MustAppend(String(row[0]), String(row[1]), String(row[2]))
+	}
+	a, b, c := bitset.New(0), bitset.New(1), bitset.New(2)
+	if !r.SatisfiesFD(a, b) || !r.SatisfiesFDPairwise(a, b) {
+		t.Fatal("a→b should hold")
+	}
+	if r.SatisfiesFD(a, c) || r.SatisfiesFDPairwise(a, c) {
+		t.Fatal("a→c should not hold")
+	}
+}
+
+// TestQuickSatisfiesFDEquivalence cross-validates the counting shortcut
+// against the literal pairwise Definition 2 on random relations.
+func TestQuickSatisfiesFDEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	schema := MustSchema(
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindInt},
+		Column{Name: "c", Kind: KindInt},
+		Column{Name: "d", Kind: KindInt},
+	)
+	for iter := 0; iter < 200; iter++ {
+		r := New("t", schema)
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			r.MustAppend(
+				Int(int64(rng.Intn(4))), Int(int64(rng.Intn(4))),
+				Int(int64(rng.Intn(4))), Int(int64(rng.Intn(4))))
+		}
+		for trial := 0; trial < 6; trial++ {
+			var x, y bitset.Set
+			for c := 0; c < 4; c++ {
+				switch rng.Intn(3) {
+				case 0:
+					x.Add(c)
+				case 1:
+					y.Add(c)
+				}
+			}
+			if x.IsEmpty() || y.IsEmpty() {
+				continue
+			}
+			if got, want := r.SatisfiesFD(x, y), r.SatisfiesFDPairwise(x, y); got != want {
+				t.Fatalf("iter %d: counting=%v pairwise=%v for X=%v Y=%v", iter, got, want, x, y)
+			}
+		}
+	}
+}
+
+func TestProjectHeadFilterClone(t *testing.T) {
+	r := New("t", testSchema(t))
+	r.MustAppend(String("a"), Int(1), Float(1.5))
+	r.MustAppend(String("b"), Int(2), Float(2.5))
+	r.MustAppend(String("c"), Int(3), Float(3.5))
+
+	p, err := r.Project("p", []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Schema().Column(0).Name != "area" {
+		t.Fatalf("Project schema wrong: %v", p.Schema())
+	}
+	if p.Value(1, 1) != String("b") {
+		t.Fatalf("Project data wrong: %v", p.Value(1, 1))
+	}
+	if _, err := r.Project("bad", []int{9}); err == nil {
+		t.Fatal("Project with bad index must error")
+	}
+
+	h, err := r.Head("h", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRows() != 2 || h.Value(1, 0) != String("b") {
+		t.Fatalf("Head wrong: %v", h)
+	}
+	if h2, _ := r.Head("h2", 99); h2.NumRows() != 3 {
+		t.Fatal("Head must clamp to NumRows")
+	}
+
+	f, err := r.Filter("f", func(row int) bool { return r.Value(row, 1).AsInt() >= 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 2 || f.Value(0, 0) != String("b") {
+		t.Fatalf("Filter wrong: %v rows", f.NumRows())
+	}
+
+	c := r.Clone("c2")
+	c.MustAppend(String("d"), Int(4), Float(4.5))
+	if r.NumRows() != 3 || c.NumRows() != 4 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestSchemaConvenienceAccessors(t *testing.T) {
+	s := testSchema(t)
+	if got := s.String(); got != "(city:string, pop:int, area:float)" {
+		t.Fatalf("Schema.String = %q", got)
+	}
+	cols := s.Columns()
+	if len(cols) != 3 || cols[1].Name != "pop" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	// Columns returns a copy: mutating it must not affect the schema.
+	cols[0].Name = "hacked"
+	if s.Column(0).Name != "city" {
+		t.Fatal("Columns leaked internal storage")
+	}
+	other, err := SchemaOf("city", "pop", "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Equal(other) {
+		t.Fatal("schemas with different kinds must not be Equal")
+	}
+	if !s.Equal(s) {
+		t.Fatal("schema must equal itself")
+	}
+	short, _ := SchemaOf("city")
+	if s.Equal(short) {
+		t.Fatal("different arities must not be Equal")
+	}
+	if _, err := SchemaOf("a", "a"); err == nil {
+		t.Fatal("SchemaOf must reject duplicates")
+	}
+}
+
+func TestRelationStringAndNullCode(t *testing.T) {
+	r := New("cities", testSchema(t))
+	r.MustAppend(String("x"), Int(1), Null)
+	if got := r.String(); got != "cities(3 cols, 1 rows)" {
+		t.Fatalf("Relation.String = %q", got)
+	}
+	if r.NullCode() != -1 {
+		t.Fatalf("NullCode = %d", r.NullCode())
+	}
+	if r.ColumnCodes(2)[0] != r.NullCode() {
+		t.Fatal("NULL cell must carry the null code")
+	}
+}
+
+func TestMustAppendPanicsOnBadTuple(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAppend with bad arity should panic")
+		}
+	}()
+	r := New("t", testSchema(t))
+	r.MustAppend(String("only-one"))
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with duplicates should panic")
+		}
+	}()
+	MustSchema(Column{Name: "a"}, Column{Name: "a"})
+}

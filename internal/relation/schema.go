@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	// Name is the attribute name; unique within a schema.
+	Name string
+	// Kind is the declared type of the column's non-NULL values.
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Attribute positions (indices into the
+// schema) are the canonical attribute identity used across evolvefd; names
+// are resolved once at the boundary.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate or empty names are
+// rejected.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{
+		cols:   make([]Column, len(cols)),
+		byName: make(map[string]int, len(cols)),
+	}
+	copy(s.cols, cols)
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column name %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests and
+// statically-known schemas such as the built-in datasets.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SchemaOf builds an all-string schema from bare column names.
+func SchemaOf(names ...string) (*Schema, error) {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = Column{Name: n, Kind: KindString}
+	}
+	return NewSchema(cols...)
+}
+
+// Len returns the number of attributes |R|.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column descriptor.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of all column descriptors.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Names returns all attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute, or -1 if absent.
+// Lookup is exact first, then case-insensitive as a convenience for the CLI.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	for i, c := range s.cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexSet resolves a list of attribute names to a bitset of positions.
+func (s *Schema) IndexSet(names ...string) (bitset.Set, error) {
+	var set bitset.Set
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return bitset.Set{}, fmt.Errorf("relation: unknown attribute %q (have %s)",
+				n, strings.Join(s.Names(), ", "))
+		}
+		set.Add(i)
+	}
+	return set, nil
+}
+
+// NameSet renders a bitset of positions back to attribute names in schema
+// order.
+func (s *Schema) NameSet(set bitset.Set) []string {
+	var out []string
+	set.ForEach(func(i int) bool {
+		if i < len(s.cols) {
+			out = append(out, s.cols[i].Name)
+		}
+		return true
+	})
+	return out
+}
+
+// FormatSet renders a bitset as "A,B,C" using attribute names.
+func (s *Schema) FormatSet(set bitset.Set) string {
+	return strings.Join(s.NameSet(set), ",")
+}
+
+// Project returns a new schema containing only the columns at the given
+// positions, in the given order.
+func (s *Schema) Project(idx []int) (*Schema, error) {
+	cols := make([]Column, len(idx))
+	for i, p := range idx {
+		if p < 0 || p >= len(s.cols) {
+			return nil, fmt.Errorf("relation: column index %d out of range [0,%d)", p, len(s.cols))
+		}
+		cols[i] = s.cols[p]
+	}
+	return NewSchema(cols...)
+}
+
+// Equal reports whether two schemas have identical column lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "R(a:string, b:int)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = fmt.Sprintf("%s:%s", c.Name, c.Kind)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

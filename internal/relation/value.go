@@ -1,0 +1,242 @@
+// Package relation implements the in-memory relational substrate of evolvefd:
+// schemas, dictionary-encoded columnar relation instances, CSV input/output
+// and projection/selection utilities.
+//
+// The paper's prototype sat on MySQL; Go has no comparably rich relational or
+// dataframe library, so this package substitutes one. It is deliberately
+// column-oriented: every FD measure in the paper reduces to counting distinct
+// projections, which is fastest over dictionary codes.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by relations.
+type Kind uint8
+
+const (
+	// KindNull marks the SQL NULL value; it has no dictionary entry.
+	KindNull Kind = iota
+	// KindString is a UTF-8 string.
+	KindString
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float. NaN is rejected at construction time so
+	// Value stays comparable (map-key safe).
+	KindFloat
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the lowercase name of the kind ("null", "string", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name as used in typed CSV headers ("name:int")
+// back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string", "str", "text", "varchar":
+		return KindString, nil
+	case "int", "integer", "bigint":
+		return KindInt, nil
+	case "float", "double", "real", "decimal":
+		return KindFloat, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	case "null":
+		return KindNull, nil
+	default:
+		return KindString, fmt.Errorf("relation: unknown kind %q", s)
+	}
+}
+
+// Value is a single typed cell value. The zero Value is NULL. Value is a
+// comparable struct so it can be used directly as a map key when building
+// dictionaries.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// String wraps s as a string Value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int wraps i as an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps f as a float Value. NaN inputs are converted to the string
+// value "NaN" to keep Value comparable.
+func Float(f float64) Value {
+	if math.IsNaN(f) {
+		return String("NaN")
+	}
+	return Value{kind: KindFloat, f: f}
+}
+
+// Bool wraps b as a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsString returns the string payload; it is only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload for KindFloat, or a widened integer for
+// KindInt.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsBool returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// String renders the value the way WriteCSV serialises it. NULL renders as
+// the empty string.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return fmt.Sprintf("<invalid kind %d>", v.kind)
+	}
+}
+
+// Compare orders values: NULL first, then by kind, then by payload. It
+// provides the total order used by ORDER BY and the sort-based distinct
+// counter.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1
+		case v.b && !o.b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values are identical (same kind and payload).
+// NULL equals NULL under this predicate; FD semantics over NULLs are handled
+// at a higher level (attributes used in FDs must be NULL-free, per §6.2.1 of
+// the paper).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// ParseValue converts raw text into a Value of the requested kind. For
+// KindString the text is taken verbatim. An error is returned when the text
+// does not parse as the kind.
+func ParseValue(text string, kind Kind) (Value, error) {
+	switch kind {
+	case KindNull:
+		return Null, nil
+	case KindString:
+		return String(text), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("relation: %q is not an int: %w", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return Null, fmt.Errorf("relation: %q is not a float: %w", text, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(text))
+		if err != nil {
+			return Null, fmt.Errorf("relation: %q is not a bool: %w", text, err)
+		}
+		return Bool(b), nil
+	default:
+		return Null, fmt.Errorf("relation: cannot parse into kind %v", kind)
+	}
+}
+
+// InferValue guesses the narrowest kind for raw text: int, then float, then
+// bool, then string. It never fails.
+func InferValue(text string) Value {
+	trimmed := strings.TrimSpace(text)
+	if i, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil && !math.IsNaN(f) {
+		return Float(f)
+	}
+	if b, err := strconv.ParseBool(trimmed); err == nil {
+		return Bool(b)
+	}
+	return String(text)
+}

@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, ""},
+		{String("abc"), KindString, "abc"},
+		{Int(-42), KindInt, "-42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: Kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("Kind %v: String = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+	if !Null.IsNull() || String("").IsNull() {
+		t.Fatal("IsNull wrong")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Fatal("Int.AsFloat should widen")
+	}
+}
+
+func TestFloatNaNStaysComparable(t *testing.T) {
+	v := Float(math.NaN())
+	if v.Kind() != KindString || v.AsString() != "NaN" {
+		t.Fatalf("NaN should degrade to String(\"NaN\"), got %v %q", v.Kind(), v.String())
+	}
+	// Must be usable as a map key equal to itself.
+	m := map[Value]int{v: 1}
+	if m[Float(math.NaN())] != 1 {
+		t.Fatal("NaN values must intern consistently")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null,
+		String("a"), String("b"),
+		Int(-1), Int(0), Int(5),
+		Float(-2.5), Float(0.0), Float(9.75),
+		Bool(false), Bool(true),
+	}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			got := a.Compare(b)
+			switch {
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", a, b, got)
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", a, b, got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", a, b, got)
+			}
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("42", KindInt)
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(" 2.5 ", KindFloat)
+	if err != nil || v.AsFloat() != 2.5 {
+		t.Fatalf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue("true", KindBool)
+	if err != nil || !v.AsBool() {
+		t.Fatalf("ParseValue bool: %v %v", v, err)
+	}
+	v, err = ParseValue("  keep spaces  ", KindString)
+	if err != nil || v.AsString() != "  keep spaces  " {
+		t.Fatalf("ParseValue string must be verbatim: %q %v", v.AsString(), err)
+	}
+	if _, err = ParseValue("xyz", KindInt); err == nil {
+		t.Fatal("ParseValue should reject bad int")
+	}
+	if _, err = ParseValue("xyz", KindFloat); err == nil {
+		t.Fatal("ParseValue should reject bad float")
+	}
+	if _, err = ParseValue("xyz", KindBool); err == nil {
+		t.Fatal("ParseValue should reject bad bool")
+	}
+}
+
+func TestInferValue(t *testing.T) {
+	if InferValue("12").Kind() != KindInt {
+		t.Error("12 should infer int")
+	}
+	if InferValue("1.5").Kind() != KindFloat {
+		t.Error("1.5 should infer float")
+	}
+	if InferValue("true").Kind() != KindBool {
+		t.Error("true should infer bool")
+	}
+	if InferValue("hello").Kind() != KindString {
+		t.Error("hello should infer string")
+	}
+	// "1" parses as int before bool: documented narrowing order.
+	if InferValue("1").Kind() != KindInt {
+		t.Error("1 should infer int, not bool")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "float": KindFloat, "double": KindFloat,
+		"string": KindString, "varchar": KindString, "bool": KindBool, "null": KindNull,
+	} {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind should reject unknown kinds")
+	}
+}
+
+// Compare must be antisymmetric and consistent with Equal for random values.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64, sa, sb string, pickInt bool) bool {
+		var va, vb Value
+		if pickInt {
+			va, vb = Int(a), Int(b)
+		} else {
+			va, vb = String(sa), String(sb)
+		}
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		return (va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

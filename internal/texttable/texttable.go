@@ -1,0 +1,122 @@
+// Package texttable renders small aligned text tables, the output format of
+// the experiment harness (every table of the paper is regenerated as one of
+// these) and of the CLI tools.
+package texttable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Align selects the horizontal alignment of a column.
+type Align int
+
+const (
+	// Left aligns cells to the left (default).
+	Left Align = iota
+	// Right aligns cells to the right; use it for numeric columns.
+	Right
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{
+		title:   title,
+		headers: headers,
+		aligns:  make([]Align, len(headers)),
+	}
+}
+
+// AlignRight marks the given column indices as right-aligned.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = Right
+		}
+	}
+	return t
+}
+
+// Add appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows are truncated.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with %v.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Add(row...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if w := displayWidth(cell); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - displayWidth(cell)
+			if t.aligns[i] == Right {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// displayWidth approximates the rendered width as the rune count, which is
+// exact for the ASCII plus occasional arrows/Greek the harness emits.
+func displayWidth(s string) int { return len([]rune(s)) }

@@ -1,0 +1,83 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tab := New("Title", "name", "value").AlignRight(1)
+	tab.Add("alpha", "1")
+	tab.Add("b", "20000")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// Right-aligned numeric column: "1" ends at the same offset as "20000".
+	if !strings.HasSuffix(lines[3], "    1") {
+		t.Fatalf("right alignment broken: %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[4], "20000") {
+		t.Fatalf("row = %q", lines[4])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tab := New("", "a")
+	tab.Add("x")
+	out := tab.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("empty title must not emit a blank line")
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.Add("only")
+	tab.Add("x", "y", "overflow")
+	if tab.NumRows() != 2 {
+		t.Fatal("rows lost")
+	}
+	out := tab.Render()
+	if strings.Contains(out, "overflow") {
+		t.Fatal("extra cells must be dropped")
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tab := New("", "n", "f")
+	tab.Addf(42, 1.5)
+	out := tab.Render()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "1.5") {
+		t.Fatalf("Addf rendering wrong:\n%s", out)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tab := New("", "col")
+	tab.Add("ε_CB")
+	tab.Add("x")
+	out := tab.Render()
+	// The separator must be as wide as the rune count of ε_CB (4), not its
+	// byte count (6).
+	lines := strings.Split(out, "\n")
+	if lines[1] != "----" {
+		t.Fatalf("separator = %q, want ----", lines[1])
+	}
+}
+
+func TestAlignRightOutOfRangeIgnored(t *testing.T) {
+	tab := New("", "a").AlignRight(-1, 5, 0)
+	tab.Add("x")
+	_ = tab.Render() // must not panic
+}

@@ -1,0 +1,148 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Finite text pools. Pool sizes govern FD violation rates: e.g. customer
+// names collide (pool ≪ table size), so c_name → c_address is approximate.
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+	"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+	"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+	"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+// nationToRegion is the fixed TPC-H nation → region mapping, making
+// n_name → n_regionkey exact (its Table 5 processing is milliseconds).
+var nationToRegion = []int{
+	0, 1, 1, 1, 4, 0, 3, 3, 2, 2,
+	4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+	4, 2, 3, 3, 1,
+}
+
+var firstNames = []string{
+	"amber", "blue", "coral", "dark", "forest", "ghost", "honey",
+	"ivory", "jade", "lace", "magenta", "navy", "olive", "pale",
+	"rose", "sandy", "smoke", "spring", "steel", "turquoise",
+}
+
+var lastNames = []string{
+	"almond", "bear", "cat", "deer", "eagle", "fox", "goose",
+	"hare", "ibis", "jaguar", "koala", "lion", "mole", "newt",
+	"otter", "panda", "quail", "raven", "seal", "wolf",
+}
+
+var streets = []string{
+	"Boxwood", "Westlane", "Squire", "Napa", "Main", "Tower", "Bay",
+	"Cedar", "Dogwood", "Elm", "Fir", "Grove", "Hazel", "Ivy",
+	"Juniper", "Kirk", "Laurel", "Maple", "Oak", "Pine",
+}
+
+var cities = []string{
+	"Alexandria", "Brookside", "Chester", "Dunmore", "Eastport",
+	"Fairview", "Glendale", "Harborview", "Irvington", "Jamestown",
+	"Kingsport", "Lakeside", "Midvale", "Northfield", "Oakmont",
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var orderStatus = []string{"F", "O", "P"}
+
+var mfgrs = []string{"Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5"}
+
+var brands = []string{
+	"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22",
+	"Brand#23", "Brand#31", "Brand#32", "Brand#33", "Brand#41",
+}
+
+var partAdjectives = []string{
+	"antique", "burnished", "chiffon", "dim", "economy", "floral",
+	"frosted", "goldenrod", "hot", "ivory", "lavender", "metallic",
+	"misty", "pale", "plum", "powder", "puff", "sky", "spring", "steel",
+}
+
+var partNouns = []string{
+	"almond", "azure", "beige", "bisque", "blanched", "blush",
+	"chartreuse", "cornsilk", "cream", "drab", "firebrick", "gainsboro",
+	"honeydew", "khaki", "linen", "moccasin", "navajo", "peru", "rosy", "salmon",
+}
+
+var partTypes = []string{
+	"ECONOMY ANODIZED", "ECONOMY BRUSHED", "LARGE BURNISHED", "LARGE PLATED",
+	"MEDIUM POLISHED", "PROMO ANODIZED", "PROMO BURNISHED", "SMALL PLATED",
+	"STANDARD BRUSHED", "STANDARD POLISHED",
+}
+
+var containers = []string{
+	"JUMBO BAG", "JUMBO BOX", "LG CASE", "LG DRUM", "MED BAG",
+	"MED BOX", "SM CASE", "SM PACK", "WRAP JAR", "WRAP PKG",
+}
+
+var shipInstructs = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+
+var shipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+
+var returnFlags = []string{"A", "N", "R"}
+
+var lineStatus = []string{"F", "O"}
+
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely",
+	"requests", "deposits", "packages", "accounts", "instructions",
+	"sleep", "wake", "nag", "haggle", "integrate",
+	"after", "among", "above", "beneath", "according",
+	"the", "final", "ironic", "regular", "special",
+}
+
+// pick returns a pool element chosen by the rng.
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// personName composes a two-token name from finite pools (400 combinations):
+// small enough to collide at customer/supplier cardinalities.
+func personName(rng *rand.Rand) string {
+	return pick(rng, firstNames) + " " + pick(rng, lastNames)
+}
+
+// address composes "<number> <street>, <city>".
+func address(rng *rand.Rand) string {
+	return fmt.Sprintf("%d %s, %s", 1+rng.Intn(999), pick(rng, streets), pick(rng, cities))
+}
+
+// phone composes a TPC-H style phone number.
+func phone(rng *rand.Rand, nation int) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}
+
+// comment composes a short pseudo-sentence.
+func comment(rng *rand.Rand) string {
+	n := 3 + rng.Intn(4)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += pick(rng, commentWords)
+	}
+	return out
+}
+
+// date renders a pseudo-date in [1992, 1998], TPC-H's order window.
+func date(rng *rand.Rand) string {
+	return fmt.Sprintf("19%02d-%02d-%02d", 92+rng.Intn(7), 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+// money renders a price with two decimals as a float value.
+func money(rng *rand.Rand, lo, hi int) float64 {
+	cents := lo*100 + rng.Intn((hi-lo)*100)
+	return float64(cents) / 100
+}

@@ -1,0 +1,201 @@
+package tpch
+
+import (
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// arities are Table 4's printed column counts.
+var arities = map[string]int{
+	"customer": 8, "lineitem": 16, "nation": 4, "orders": 9,
+	"part": 9, "partsupp": 5, "region": 3, "supplier": 7,
+}
+
+func TestAritiesMatchTable4(t *testing.T) {
+	db := Generate(0.001, 1)
+	for table, want := range arities {
+		r, err := db.Get(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumCols() != want {
+			t.Errorf("%s arity = %d, want %d", table, r.NumCols(), want)
+		}
+	}
+}
+
+func TestCardinalityScaling(t *testing.T) {
+	// Fixed tables ignore SF.
+	if Rows("region", 0.001) != 5 || Rows("nation", 2) != 25 {
+		t.Fatal("region/nation must be SF-independent")
+	}
+	// Scaled tables follow base·sf: SF 0.1 reproduces Table 4's 100MB
+	// column shape (customer 15 000, part 20 000, supplier 1 000, …).
+	if got := Rows("customer", 0.1); got != 15_000 {
+		t.Errorf("customer@0.1 = %d, want 15000", got)
+	}
+	if got := Rows("part", 0.1); got != 20_000 {
+		t.Errorf("part@0.1 = %d, want 20000", got)
+	}
+	if got := Rows("supplier", 0.1); got != 1_000 {
+		t.Errorf("supplier@0.1 = %d, want 1000", got)
+	}
+	if got := Rows("orders", 1); got != 1_500_000 {
+		t.Errorf("orders@1 = %d, want 1.5M", got)
+	}
+	if Rows("customer", 0.0000001) != 1 {
+		t.Error("scaled rows must clamp to 1")
+	}
+	if Rows("unknown", 1) != 0 {
+		t.Error("unknown table must report 0 rows")
+	}
+}
+
+func TestGenerateTableRowCounts(t *testing.T) {
+	sf := 0.002
+	for _, table := range TableNames {
+		r := GenerateTable(table, sf, 7)
+		if got, want := r.NumRows(), Rows(table, sf); got != want {
+			t.Errorf("%s rows = %d, want %d", table, got, want)
+		}
+		if r.Name() != table {
+			t.Errorf("table name = %q", r.Name())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateTable("customer", 0.001, 42)
+	b := GenerateTable("customer", 0.001, 42)
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row counts differ across runs")
+	}
+	for row := 0; row < a.NumRows(); row++ {
+		for colIdx := 0; colIdx < a.NumCols(); colIdx++ {
+			if a.Value(row, colIdx) != b.Value(row, colIdx) {
+				t.Fatalf("cell (%d,%d) differs across identical seeds", row, colIdx)
+			}
+		}
+	}
+	c := GenerateTable("customer", 0.001, 43)
+	same := true
+	for row := 0; row < a.NumRows() && same; row++ {
+		if a.Value(row, 1) != c.Value(row, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestNoNullsAnywhere(t *testing.T) {
+	// TPC-H data is NULL-free; FD candidate pools must cover every column.
+	db := Generate(0.001, 3)
+	for _, name := range db.Names() {
+		r, _ := db.Get(name)
+		for colIdx := 0; colIdx < r.NumCols(); colIdx++ {
+			if r.HasNulls(colIdx) {
+				t.Errorf("%s column %s has NULLs", name, r.Schema().Column(colIdx).Name)
+			}
+		}
+	}
+}
+
+func TestTable5FDProperties(t *testing.T) {
+	db := Generate(0.005, 11)
+	fds := Table5FDs()
+	if len(fds) != 8 {
+		t.Fatalf("Table 5 FDs = %d, want 8", len(fds))
+	}
+	for table, spec := range fds {
+		r, err := db.Get(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := core.ParseFD(r.Schema(), table, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		m := core.Compute(pli.NewPLICounter(r), fd)
+		switch table {
+		case "nation":
+			// n_name → n_regionkey is exact by construction (fixed map).
+			if !m.Exact() {
+				t.Errorf("nation FD should be exact, got %v", m)
+			}
+		case "lineitem":
+			// l_partkey → l_suppkey must be clearly approximate: each part
+			// ships from several suppliers.
+			if m.Exact() || m.Confidence > 0.9 {
+				t.Errorf("lineitem FD should be strongly violated, got %v", m)
+			}
+		case "customer", "supplier", "part", "orders", "partsupp":
+			// Name pools collide at these cardinalities: approximate FDs.
+			if m.Exact() {
+				t.Errorf("%s FD should be approximate at SF 0.005, got %v", table, m)
+			}
+		}
+		if m.Confidence <= 0 || m.Confidence > 1 {
+			t.Errorf("%s confidence out of range: %v", table, m.Confidence)
+		}
+	}
+}
+
+func TestKeysAreUnique(t *testing.T) {
+	db := Generate(0.002, 5)
+	keys := map[string]string{
+		"customer": "c_custkey", "orders": "o_orderkey",
+		"part": "p_partkey", "supplier": "s_suppkey",
+		"nation": "n_nationkey", "region": "r_regionkey",
+	}
+	for table, keyCol := range keys {
+		r, _ := db.Get(table)
+		idx := r.Schema().Index(keyCol)
+		if idx < 0 {
+			t.Fatalf("%s: no column %s", table, keyCol)
+		}
+		if got := r.DictLen(idx); got != r.NumRows() {
+			t.Errorf("%s.%s: %d distinct over %d rows, want unique", table, keyCol, got, r.NumRows())
+		}
+	}
+}
+
+func TestLineitemForeignKeyRanges(t *testing.T) {
+	sf := 0.002
+	li := GenerateTable("lineitem", sf, 9)
+	maxOrder := int64(Rows("orders", sf))
+	maxPart := int64(Rows("part", sf))
+	maxSupp := int64(Rows("supplier", sf))
+	okIdx := li.Schema().Index("l_orderkey")
+	pkIdx := li.Schema().Index("l_partkey")
+	skIdx := li.Schema().Index("l_suppkey")
+	for row := 0; row < li.NumRows(); row++ {
+		if v := li.Value(row, okIdx).AsInt(); v < 1 || v > maxOrder {
+			t.Fatalf("row %d: l_orderkey %d out of [1,%d]", row, v, maxOrder)
+		}
+		if v := li.Value(row, pkIdx).AsInt(); v < 1 || v > maxPart {
+			t.Fatalf("row %d: l_partkey %d out of [1,%d]", row, v, maxPart)
+		}
+		if v := li.Value(row, skIdx).AsInt(); v < 1 || v > maxSupp {
+			t.Fatalf("row %d: l_suppkey %d out of [1,%d]", row, v, maxSupp)
+		}
+	}
+}
+
+func TestGenerateUnknownTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown table must panic")
+		}
+	}()
+	GenerateTable("ghost", 1, 1)
+}
+
+func BenchmarkGenerateCustomerSF001(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateTable("customer", 0.01, 1)
+	}
+}
