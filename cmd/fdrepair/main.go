@@ -12,6 +12,7 @@
 //	fdrepair -csv data.csv -fd "a -> b" -interactive   # designer loop
 //	fdrepair -csv data.csv -fd "a -> b" -balanced      # §4.4 objective function
 //	fdrepair -csv data.csv -discover -max-lhs 2        # §2 discovery baseline
+//	fdrepair -csv data.csv -fd "a -> b" -watch         # streaming append/re-check REPL
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	evolvefd "github.com/evolvefd/evolvefd"
 	"github.com/evolvefd/evolvefd/internal/core"
 	"github.com/evolvefd/evolvefd/internal/discovery"
 	"github.com/evolvefd/evolvefd/internal/pli"
@@ -62,6 +64,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		interactive = fs.Bool("interactive", false, "ask the designer to accept/skip each proposal")
 		discover    = fs.Bool("discover", false, "list minimal exact FDs instead of repairing (-max-lhs bounds antecedents)")
 		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover")
+		watch       = fs.Bool("watch", false, "streaming REPL: append tuples and re-check incrementally (-strategy is ignored)")
 	)
 	fs.Var(&fds, "fd", "functional dependency \"X1,X2 -> Y\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +81,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "loaded %s: %d attributes × %d tuples\n", rel.Name(), rel.NumCols(), rel.NumRows())
+
+	if *watch {
+		session := evolvefd.NewSession(rel)
+		// Decompose multi-consequent FDs exactly like the batch and
+		// interactive modes do, so -watch sees the same dependency set.
+		for i, spec := range fds {
+			fd, err := core.ParseFD(rel.Schema(), "F"+strconv.Itoa(i+1), spec)
+			if err != nil {
+				return err
+			}
+			for _, part := range fd.Decompose() {
+				body := fmt.Sprintf("[%s] -> [%s]",
+					strings.Join(rel.Schema().NameSet(part.X), ", "),
+					strings.Join(rel.Schema().NameSet(part.Y), ", "))
+				if err := session.Define(part.Label, body); err != nil {
+					return err
+				}
+			}
+		}
+		return runWatch(stdin, stdout, session, evolvefd.Options{
+			FirstOnly:   !*all,
+			MaxAdded:    *maxAdded,
+			MaxGoodness: *maxGoodness,
+			MinimalOnly: *minimal,
+			Balanced:    *balanced,
+		})
+	}
 
 	counter, err := makeCounter(rel, *strategy)
 	if err != nil {

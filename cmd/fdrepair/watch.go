@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+// runWatch drives the streaming designer loop (-watch): the relation stays
+// open, tuples are appended as they arrive, and re-validation after each
+// batch is incremental — the session folds new tuples into its partitions
+// and only recomputes the FDs whose projections actually changed. This is
+// the paper's periodic-validation workflow turned into a live loop.
+func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.Options) error {
+	fmt.Fprintln(w, "watch mode: append tuples and re-check incrementally ('help' for commands)")
+	lastRepairs := make(map[string][]evolvefd.Suggestion)
+	scanner := bufio.NewScanner(stdin)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for {
+		fmt.Fprint(w, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(w)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit", "q":
+			return nil
+		case "help", "?":
+			watchHelp(w)
+		case "append", "a":
+			if err := watchAppend(w, s, rest); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "check", "c":
+			watchCheck(w, s)
+		case "measures", "m":
+			watchMeasures(w, s)
+		case "repair", "r":
+			if err := watchRepair(w, s, rest, opts, lastRepairs); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "accept":
+			if err := watchAccept(w, s, rest, lastRepairs); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "define":
+			label, spec, ok := strings.Cut(rest, " ")
+			if !ok {
+				fmt.Fprintln(w, "usage: define <label> <X1,X2 -> Y>")
+				continue
+			}
+			if err := s.Define(label, spec); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "drop":
+			if rest == "" {
+				fmt.Fprintln(w, "usage: drop <label>")
+				continue
+			}
+			s.Drop(rest)
+			delete(lastRepairs, rest)
+		case "status", "s":
+			watchStatus(w, s)
+		default:
+			fmt.Fprintf(w, "unknown command %q ('help' for commands)\n", cmd)
+		}
+	}
+}
+
+func watchHelp(w io.Writer) {
+	fmt.Fprint(w, `commands:
+  append <c1,c2,...>   append one tuple (CSV cells; empty or NULL for NULL)
+  check                incremental re-validation: violated FDs in repair order
+  measures             confidence/goodness of every defined FD
+  repair <label>       ranked antecedent extensions for one violated FD
+  accept <label> <n>   accept the n-th suggestion of the last 'repair <label>'
+  define <label> <fd>  declare another FD, e.g. define F9 Zip -> City
+  drop <label>         remove an FD
+  status               rows, generation, measure-cache stats
+  quit
+`)
+}
+
+func watchAppend(w io.Writer, s *evolvefd.Session, rest string) error {
+	if rest == "" {
+		return fmt.Errorf("usage: append <c1,c2,...>")
+	}
+	cells := strings.Split(rest, ",")
+	for i := range cells {
+		cells[i] = strings.TrimSpace(cells[i])
+	}
+	if err := s.AppendStrings(cells...); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "appended; %d tuples\n", s.Relation().NumRows())
+	return nil
+}
+
+func watchCheck(w io.Writer, s *evolvefd.Session) {
+	reused0, recomputed0 := s.CacheStats()
+	violations := s.Check()
+	reused1, recomputed1 := s.CacheStats()
+	if len(violations) == 0 {
+		fmt.Fprintln(w, "all defined FDs are satisfied")
+	} else {
+		tab := texttable.New("violated FDs (repair order)",
+			"FD", "confidence", "goodness", "rank").AlignRight(1, 2, 3)
+		for _, v := range violations {
+			tab.Add(v.FD,
+				fmt.Sprintf("%s = %.3f", v.Measures.ConfidenceRatio, v.Measures.Confidence),
+				strconv.Itoa(v.Measures.Goodness),
+				fmt.Sprintf("%.3f", v.Rank))
+		}
+		io.WriteString(w, tab.Render())
+	}
+	fmt.Fprintf(w, "recheck: %d measures reused, %d recomputed\n",
+		reused1-reused0, recomputed1-recomputed0)
+}
+
+func watchMeasures(w io.Writer, s *evolvefd.Session) {
+	tab := texttable.New("measures", "FD", "confidence", "goodness", "status").AlignRight(1, 2)
+	for _, label := range s.Labels() {
+		m, err := s.Measures(label)
+		if err != nil {
+			continue
+		}
+		text, _ := s.FDText(label)
+		state := "violated"
+		if m.Exact {
+			state = "satisfied"
+		}
+		tab.Add(text,
+			fmt.Sprintf("%s = %.3f", m.ConfidenceRatio, m.Confidence),
+			strconv.Itoa(m.Goodness), state)
+	}
+	io.WriteString(w, tab.Render())
+}
+
+func watchRepair(w io.Writer, s *evolvefd.Session, label string, opts evolvefd.Options,
+	lastRepairs map[string][]evolvefd.Suggestion) error {
+	if label == "" {
+		return fmt.Errorf("usage: repair <label>")
+	}
+	suggestions, err := s.Repair(label, opts)
+	if err != nil {
+		return err
+	}
+	lastRepairs[label] = suggestions
+	if len(suggestions) == 0 {
+		fmt.Fprintln(w, "no repair found within the configured bounds")
+		return nil
+	}
+	tab := texttable.New("repairs for "+label,
+		"#", "add to antecedent", "repaired FD", "confidence", "goodness").AlignRight(0, 4)
+	for i, sg := range suggestions {
+		tab.Add(strconv.Itoa(i+1), "+{"+strings.Join(sg.Added, ", ")+"}", sg.FD,
+			sg.Measures.ConfidenceRatio, strconv.Itoa(sg.Measures.Goodness))
+	}
+	io.WriteString(w, tab.Render())
+	fmt.Fprintf(w, "accept with: accept %s <n>\n", label)
+	return nil
+}
+
+func watchAccept(w io.Writer, s *evolvefd.Session, rest string,
+	lastRepairs map[string][]evolvefd.Suggestion) error {
+	label, nText, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: accept <label> <n>")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nText))
+	if err != nil {
+		return fmt.Errorf("usage: accept <label> <n>")
+	}
+	suggestions, ok := lastRepairs[label]
+	if !ok {
+		return fmt.Errorf("run 'repair %s' first", label)
+	}
+	if n < 1 || n > len(suggestions) {
+		return fmt.Errorf("suggestion %d out of range 1..%d", n, len(suggestions))
+	}
+	if err := s.Accept(label, suggestions[n-1]); err != nil {
+		return err
+	}
+	delete(lastRepairs, label)
+	text, _ := s.FDText(label)
+	fmt.Fprintln(w, "accepted:", text)
+	return nil
+}
+
+func watchStatus(w io.Writer, s *evolvefd.Session) {
+	reused, recomputed := s.CacheStats()
+	fmt.Fprintf(w, "%s · generation %d · %d FDs · measures reused/recomputed %d/%d\n",
+		s.Relation().String(), s.Generation(), len(s.Labels()), reused, recomputed)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runWatchScript runs fdrepair -watch over the Places CSV with F1 defined,
+// feeding the given REPL lines, and returns the transcript.
+func runWatchScript(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := placesCSV(t)
+	var out bytes.Buffer
+	err := run([]string{"-csv", path, "-fd", "District,Region -> AreaCode", "-watch"},
+		strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestWatchAppendAndRecheck(t *testing.T) {
+	out := runWatchScript(t,
+		"check",
+		// Exact duplicate of the first Places row: no projection changes.
+		"append Brookside,Granville,Glendale,613,974-2345,Boxwood,10211,NY,NY",
+		"check",
+		"status",
+		"quit",
+	)
+	for _, want := range []string{
+		"watch mode",
+		"violated FDs (repair order)",
+		"appended; 12 tuples",
+		"recheck: 1 measures reused, 0 recomputed",
+		"generation 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchAppendChangesMeasures(t *testing.T) {
+	out := runWatchScript(t,
+		// A fresh (District, Region) pair with its own area code: the FD's
+		// projections all change, so the re-check must recompute it.
+		"append Newtown,Granville,Glendale,999,974-2345,Boxwood,10211,NY,NY",
+		"check",
+		"measures",
+		"quit",
+	)
+	if !strings.Contains(out, "recheck: 0 measures reused, 1 recomputed") {
+		t.Errorf("changed FD must be recomputed:\n%s", out)
+	}
+	if !strings.Contains(out, "3/5") {
+		t.Errorf("measures after append should show 3/5 confidence:\n%s", out)
+	}
+}
+
+func TestWatchRepairAcceptLoop(t *testing.T) {
+	out := runWatchScript(t,
+		"repair F1",
+		"accept F1 1",
+		"check",
+		"quit",
+	)
+	for _, want := range []string{
+		"repairs for F1",
+		"+{Municipal}",
+		"accepted: F1",
+		"Municipal",
+		"all defined FDs are satisfied",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repair/accept transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchDefineDropAndErrors(t *testing.T) {
+	out := runWatchScript(t,
+		"define F9 Zip -> City",
+		"drop F9",
+		"define",      // usage
+		"append",      // usage
+		"append a,b",  // arity error
+		"repair nope", // unknown label
+		"accept F1 1", // no repair run yet
+		"bogus",       // unknown command
+		"help",
+		"quit",
+	)
+	for _, want := range []string{
+		"usage: define",
+		"usage: append",
+		"error:",
+		"run 'repair F1' first",
+		"unknown command \"bogus\"",
+		"commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchDecomposesMultiConsequentFDs(t *testing.T) {
+	// -watch must see the same dependency set as batch mode: a
+	// multi-consequent -fd is decomposed into single-consequent FDs.
+	path := placesCSV(t)
+	var out bytes.Buffer
+	err := run([]string{"-csv", path, "-fd", "Zip -> City,State", "-watch"},
+		strings.NewReader("measures\nquit\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"F1.1: [Zip] -> [City]",
+		"F1.2: [Zip] -> [State]",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("decomposed FD %q missing:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "[City, State]") {
+		t.Errorf("joint consequent leaked into watch mode:\n%s", out.String())
+	}
+}
+
+func TestWatchEOFExits(t *testing.T) {
+	path := placesCSV(t)
+	var out bytes.Buffer
+	err := run([]string{"-csv", path, "-fd", "Zip -> City", "-watch"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "watch mode") {
+		t.Errorf("EOF run missing banner:\n%s", out.String())
+	}
+}

@@ -138,26 +138,57 @@ type Suggestion struct {
 }
 
 // Session owns one relation instance and a mutable set of named FDs — the
-// unit of the paper's "periodic validation" workflow.
+// unit of the paper's "periodic validation" workflow. The instance may grow:
+// Append and AppendStrings add tuples, and the session maintains its
+// partition state incrementally so that a re-Check after a small batch costs
+// time proportional to the batch, not to the whole relation.
 type Session struct {
 	rel     *Relation
-	counter pli.Counter
+	counter *pli.IncrementalCounter
+	cache   *core.MeasureCache
 	fds     map[string]core.FD
 	order   []string
 }
 
-// NewSession opens a session over a relation using the default (PLI)
-// counting strategy.
+// NewSession opens a session over a relation using the incremental PLI
+// counting strategy, so appended tuples fold into the existing partitions.
 func NewSession(rel *Relation) *Session {
+	counter := pli.NewIncrementalCounter(rel)
 	return &Session{
 		rel:     rel,
-		counter: pli.NewPLICounter(rel),
+		counter: counter,
+		cache:   core.NewMeasureCache(counter),
 		fds:     make(map[string]core.FD),
 	}
 }
 
 // Relation returns the session's instance.
 func (s *Session) Relation() *Relation { return s.rel }
+
+// Append adds one tuple to the session's instance. The tuple is folded into
+// the maintained partitions on the next measure computation; FDs whose
+// antecedent/consequent projections the new tuple leaves unchanged are not
+// recomputed by the next Check.
+func (s *Session) Append(tuple ...Value) error {
+	return s.rel.Append(tuple...)
+}
+
+// AppendStrings parses each text cell with the column kind and appends the
+// tuple; empty cells and "NULL" become NULL. See Append.
+func (s *Session) AppendStrings(cells ...string) error {
+	return s.rel.AppendStrings(cells...)
+}
+
+// Generation reports how many append batches the session has folded into
+// its partition state (starting at 1 for the initial instance).
+func (s *Session) Generation() uint64 { return s.counter.Generation() }
+
+// CacheStats reports how many measure computations were served from the
+// generation-stamped cache (reused) versus recomputed, across the life of
+// the session — the observable cost of the periodic re-validation loop.
+func (s *Session) CacheStats() (reused, recomputed uint64) {
+	return s.cache.Stats()
+}
 
 // Define declares an FD like "A, B -> C" under a unique label.
 func (s *Session) Define(label, spec string) error {
@@ -216,7 +247,7 @@ func (s *Session) Measures(label string) (Measures, error) {
 	if !ok {
 		return Measures{}, fmt.Errorf("evolvefd: unknown FD %q", label)
 	}
-	return toMeasures(core.Compute(s.counter, fd)), nil
+	return toMeasures(s.cache.Compute(fd)), nil
 }
 
 // Check computes all measures and returns the violated FDs in repair order
@@ -226,7 +257,7 @@ func (s *Session) Check() []Violation {
 	for _, label := range s.order {
 		fds = append(fds, s.fds[label])
 	}
-	ranked := core.Violated(core.OrderFDs(s.counter, fds, core.ScopeAllAttributes))
+	ranked := core.Violated(core.OrderFDsCached(s.cache, fds, core.ScopeAllAttributes))
 	out := make([]Violation, 0, len(ranked))
 	for _, rf := range ranked {
 		out = append(out, Violation{

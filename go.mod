@@ -1,0 +1,3 @@
+module github.com/evolvefd/evolvefd
+
+go 1.24

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// GenCounter is a Counter that can report when counts change: CountWithGen
+// returns |π_X(r)| together with a stamp that advances only when that count
+// actually changed. pli.IncrementalCounter implements it; the stamps are
+// what lets a periodic re-check after an append batch skip every FD whose
+// antecedent/consequent partitions were untouched by the new tuples.
+type GenCounter interface {
+	pli.Counter
+	Generation() uint64
+	CountWithGen(x bitset.Set) (int, uint64)
+}
+
+// measureEntry is one cached measure computation with the count stamps it
+// was derived from.
+type measureEntry struct {
+	m                 Measures
+	genX, genXY, genY uint64
+}
+
+// MeasureCache memoises FD measures across repeated Check calls. Bound to a
+// GenCounter it is generation-aware: a cached entry is reused exactly when
+// the stamps of |π_X|, |π_XY| and |π_Y| are all unchanged, i.e. when no
+// appended tuple created a new cluster in any of the three projections.
+// Bound to a plain Counter it degrades to computing every time (the counter
+// itself may still memoise partitions).
+//
+// A MeasureCache is safe for concurrent use.
+type MeasureCache struct {
+	counter pli.Counter
+	gen     GenCounter // nil when counter carries no generation stamps
+	mu      sync.Mutex
+	entries map[string]measureEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewMeasureCache builds a cache over counter, detecting generation support.
+func NewMeasureCache(counter pli.Counter) *MeasureCache {
+	mc := &MeasureCache{counter: counter, entries: make(map[string]measureEntry)}
+	if g, ok := counter.(GenCounter); ok {
+		mc.gen = g
+	}
+	return mc
+}
+
+// Counter returns the underlying counter (for repair searches, which probe
+// far too many candidate sets to cache per-FD measures).
+func (mc *MeasureCache) Counter() pli.Counter { return mc.counter }
+
+// Compute returns the measures of fd, reusing the cached value when the
+// generation stamps prove no underlying count changed.
+func (mc *MeasureCache) Compute(fd FD) Measures {
+	if mc.gen == nil {
+		return Compute(mc.counter, fd)
+	}
+	numX, genX := mc.gen.CountWithGen(fd.X)
+	numXY, genXY := mc.gen.CountWithGen(fd.Attrs())
+	numY, genY := mc.gen.CountWithGen(fd.Y)
+
+	key := fd.X.Key() + "\x00" + fd.Y.Key()
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if e, ok := mc.entries[key]; ok && e.genX == genX && e.genXY == genXY && e.genY == genY {
+		mc.hits++
+		return e.m
+	}
+	mc.misses++
+	m := Measures{NumX: numX, NumXY: numXY, NumY: numY, Goodness: numX - numY}
+	if numXY > 0 {
+		m.Confidence = float64(numX) / float64(numXY)
+	} else {
+		m.Confidence = 1 // empty instance: vacuously exact
+	}
+	mc.entries[key] = measureEntry{m: m, genX: genX, genXY: genXY, genY: genY}
+	return m
+}
+
+// Stats reports how many Compute calls were served from cache versus
+// recomputed — the observable that Check after an append only re-derives the
+// FDs whose partitions actually changed.
+func (mc *MeasureCache) Stats() (hits, misses uint64) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.hits, mc.misses
+}
+
+// OrderFDsCached is OrderFDs computing measures through a MeasureCache, so a
+// periodic re-validation only pays for the FDs the appended data disturbed.
+func OrderFDsCached(mc *MeasureCache, fds []FD, scope ConflictScope) []RankedFD {
+	return orderFDs(mc.Compute, fds, scope)
+}

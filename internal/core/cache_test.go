@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// appendRelation builds a small relation with appendable rows for cache
+// tests: a, b, c string columns.
+func appendRelation(t *testing.T, rows [][]string) *relation.Relation {
+	t.Helper()
+	schema, err := relation.SchemaOf("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New("t", schema)
+	for _, row := range rows {
+		if err := r.AppendStrings(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func cacheFDs(t *testing.T, r *relation.Relation) (ab, ac FD) {
+	t.Helper()
+	var err error
+	if ab, err = ParseFD(r.Schema(), "Fab", "a -> b"); err != nil {
+		t.Fatal(err)
+	}
+	if ac, err = ParseFD(r.Schema(), "Fac", "a -> c"); err != nil {
+		t.Fatal(err)
+	}
+	return ab, ac
+}
+
+func TestMeasureCacheAgreesWithCompute(t *testing.T) {
+	r := appendRelation(t, [][]string{
+		{"x", "1", "p"}, {"x", "2", "p"}, {"y", "1", "q"},
+	})
+	fdAB, fdAC := cacheFDs(t, r)
+	mc := NewMeasureCache(pli.NewIncrementalCounter(r))
+	for _, fd := range []FD{fdAB, fdAC} {
+		want := Compute(pli.NewPLICounter(r), fd)
+		if got := mc.Compute(fd); got != want {
+			t.Fatalf("%s: cached measures %+v, want %+v", fd.Label, got, want)
+		}
+	}
+}
+
+func TestMeasureCacheReusesUnchangedFDs(t *testing.T) {
+	r := appendRelation(t, [][]string{
+		{"x", "1", "p"}, {"x", "2", "p"}, {"y", "1", "q"},
+	})
+	fdAB, fdAC := cacheFDs(t, r)
+	mc := NewMeasureCache(pli.NewIncrementalCounter(r))
+	mc.Compute(fdAB)
+	mc.Compute(fdAC)
+	if hits, misses := mc.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("cold stats = %d/%d, want 0 hits 2 misses", hits, misses)
+	}
+	// Same instance: both recomputations are hits.
+	mc.Compute(fdAB)
+	mc.Compute(fdAC)
+	if hits, _ := mc.Stats(); hits != 2 {
+		t.Fatalf("warm hits = %d, want 2", hits)
+	}
+	// Append a tuple that duplicates an existing (a,b) pair but introduces a
+	// fresh c value: a→b's three projections are unchanged (hit), a→c's π_C
+	// and π_AC grew (miss).
+	if err := r.AppendStrings("x", "1", "r"); err != nil {
+		t.Fatal(err)
+	}
+	mAB := mc.Compute(fdAB)
+	mAC := mc.Compute(fdAC)
+	hits, misses := mc.Stats()
+	if hits != 3 || misses != 3 {
+		t.Fatalf("post-append stats = %d hits %d misses, want 3/3", hits, misses)
+	}
+	// Both answers must still equal a from-scratch computation.
+	if want := Compute(pli.NewPLICounter(r), fdAB); mAB != want {
+		t.Fatalf("a→b after append = %+v, want %+v", mAB, want)
+	}
+	if want := Compute(pli.NewPLICounter(r), fdAC); mAC != want {
+		t.Fatalf("a→c after append = %+v, want %+v", mAC, want)
+	}
+}
+
+func TestMeasureCachePlainCounterFallback(t *testing.T) {
+	r := appendRelation(t, [][]string{{"x", "1", "p"}, {"y", "2", "q"}})
+	fdAB, _ := cacheFDs(t, r)
+	mc := NewMeasureCache(pli.NewPLICounter(r))
+	if mc.Counter() == nil {
+		t.Fatal("Counter accessor lost the counter")
+	}
+	want := Compute(pli.NewPLICounter(r), fdAB)
+	if got := mc.Compute(fdAB); got != want {
+		t.Fatalf("plain-counter measures = %+v, want %+v", got, want)
+	}
+	if hits, misses := mc.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("plain counters must bypass the cache, stats = %d/%d", hits, misses)
+	}
+}
+
+func TestOrderFDsCachedMatchesOrderFDs(t *testing.T) {
+	r := appendRelation(t, [][]string{
+		{"x", "1", "p"}, {"x", "2", "p"}, {"y", "1", "q"}, {"z", "3", "q"},
+	})
+	fdAB, fdAC := cacheFDs(t, r)
+	fds := []FD{fdAB, fdAC}
+	mc := NewMeasureCache(pli.NewIncrementalCounter(r))
+	got := OrderFDsCached(mc, fds, ScopeAllAttributes)
+	want := OrderFDs(pli.NewPLICounter(r), fds, ScopeAllAttributes)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].FD.Label != want[i].FD.Label || got[i].Rank != want[i].Rank ||
+			got[i].Measures != want[i].Measures {
+			t.Fatalf("rank %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -73,9 +73,15 @@ type RankedFD struct {
 // decreasing rank (the repair order of Algorithm 1). Ties break by label
 // then by antecedent attribute order, so the output is deterministic.
 func OrderFDs(counter pli.Counter, fds []FD, scope ConflictScope) []RankedFD {
+	return orderFDs(func(fd FD) Measures { return Compute(counter, fd) }, fds, scope)
+}
+
+// orderFDs is the shared ranking loop behind OrderFDs and OrderFDsCached;
+// compute supplies the measures of one FD.
+func orderFDs(compute func(FD) Measures, fds []FD, scope ConflictScope) []RankedFD {
 	out := make([]RankedFD, len(fds))
 	for i, fd := range fds {
-		m := Compute(counter, fd)
+		m := compute(fd)
 		cf := ConflictScore(fd, fds, scope)
 		out[i] = RankedFD{
 			FD:       fd,

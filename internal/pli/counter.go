@@ -220,14 +220,21 @@ func (c *HashCounter) Count(x bitset.Set) int {
 	seen := make(map[string]struct{}, n)
 	key := make([]byte, len(cols)*4)
 	for row := 0; row < n; row++ {
-		k := key[:0]
-		for _, codes := range columns {
-			v := codes[row]
-			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
-		seen[string(k)] = struct{}{}
+		seen[string(appendCodeKey(key[:0], columns, row))] = struct{}{}
 	}
 	return len(seen)
+}
+
+// appendCodeKey appends the little-endian encoding of one row's code tuple
+// over the projected columns — the canonical map key shared by the hash
+// counter and the incremental counter's cluster maps, which must agree
+// byte-for-byte on what identifies a cluster.
+func appendCodeKey(k []byte, columns [][]int32, row int) []byte {
+	for _, codes := range columns {
+		v := codes[row]
+		k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return k
 }
 
 // ---------------------------------------------------------------------------

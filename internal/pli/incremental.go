@@ -1,0 +1,268 @@
+package pli
+
+import (
+	"sync"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// defaultMaxTracked bounds the number of attribute sets an IncrementalCounter
+// maintains incrementally. Each tracked set costs O(numRows) memory (its
+// hash-to-cluster map), so the bound keeps memory proportional to the FDs a
+// session actually monitors, not to the sets a repair search sweeps through.
+const defaultMaxTracked = 256
+
+// trackedIndex is the live clustering of one attribute set: a map from the
+// encoded code-tuple of the set's columns to a cluster id, plus the member
+// rows of each cluster (singleton clusters included, unlike the stripped
+// Partition). Keeping the map alive between appends is what makes folding a
+// batch O(batch) instead of O(numRows): each new row hashes straight to its
+// cluster.
+type trackedIndex struct {
+	attrs bitset.Set
+	cols  []int
+	ids   map[string]int32 // encoded code tuple → position in rows
+	rows  [][]int32        // cluster id → member rows
+	// lastChanged is the counter generation at which the number of clusters
+	// last changed. Appends that only enlarge existing clusters leave every
+	// distinct-projection count — and therefore every FD measure built from
+	// this set — untouched, and the stamp lets callers prove it.
+	lastChanged uint64
+}
+
+// IncrementalCounter is a Counter for a growing relation: it answers
+// |π_X(r)| like PLICounter but folds appended tuples into kept-alive cluster
+// maps instead of recomputing partitions from scratch. It is the engine
+// behind Session.Append — the paper's periodic-validation loop re-checks its
+// FDs every time the data grows, and with this counter the re-check costs
+// O(batch × tracked sets), not O(|r|).
+//
+// Two tiers of attribute sets exist:
+//
+//   - Tracked sets (registered via Track or CountWithGen — the facade tracks
+//     the X, XY and Y of every defined FD) are maintained incrementally and
+//     answer Count in O(1), with a generation stamp that only advances when
+//     the count actually changed.
+//   - Untracked sets (the thousands of candidate antecedents a repair search
+//     probes once each) delegate to an internal PLICounter that is rebuilt
+//     lazily whenever the relation has grown — generation-stamped
+//     invalidation of the cached composite partitions.
+//
+// Like every Counter, an IncrementalCounter is safe for concurrent use; rows
+// must not be appended to the relation concurrently with queries.
+type IncrementalCounter struct {
+	r  *relation.Relation
+	mu sync.Mutex
+	// gen counts applied append batches; it starts at 1 so a zero stamp never
+	// collides with a live one.
+	gen     uint64
+	applied int // rows folded into every tracked index so far
+	tracked map[string]*trackedIndex
+	// order tracks insertion order of tracked sets for FIFO eviction.
+	order      []string
+	maxTracked int
+	// inner serves untracked sets; rebuilt when stale (innerGen != gen).
+	inner    *PLICounter
+	innerGen uint64
+	keyBuf   []byte
+}
+
+// NewIncrementalCounter builds an incremental counter over r with the
+// default bound on tracked sets.
+func NewIncrementalCounter(r *relation.Relation) *IncrementalCounter {
+	return NewIncrementalCounterSize(r, defaultMaxTracked)
+}
+
+// NewIncrementalCounterSize builds an incremental counter with an explicit
+// bound on tracked attribute sets (minimum 4).
+func NewIncrementalCounterSize(r *relation.Relation, maxTracked int) *IncrementalCounter {
+	if maxTracked < 4 {
+		maxTracked = 4
+	}
+	return &IncrementalCounter{
+		r:          r,
+		gen:        1,
+		applied:    r.NumRows(),
+		tracked:    make(map[string]*trackedIndex),
+		maxTracked: maxTracked,
+	}
+}
+
+// Relation returns the bound instance.
+func (c *IncrementalCounter) Relation() *relation.Relation { return c.r }
+
+// Generation reports how many append batches have been folded in (starting
+// at 1). It advances exactly when the relation grew since the last query.
+func (c *IncrementalCounter) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	return c.gen
+}
+
+// Track registers x for incremental maintenance. Tracking an already-tracked
+// set is a no-op; the empty set needs no index and is ignored.
+func (c *IncrementalCounter) Track(x bitset.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	c.track(x)
+}
+
+// TrackedSets reports how many attribute sets are maintained incrementally.
+func (c *IncrementalCounter) TrackedSets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tracked)
+}
+
+// Count returns |π_X(r)|. Tracked sets answer in O(1); untracked sets go
+// through the internal PLICounter, which is invalidated and rebuilt whenever
+// the relation has grown.
+func (c *IncrementalCounter) Count(x bitset.Set) int {
+	c.mu.Lock()
+	c.sync()
+	if c.r.NumRows() == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	if x.IsEmpty() {
+		c.mu.Unlock()
+		return 1
+	}
+	if idx, ok := c.tracked[x.Key()]; ok {
+		n := len(idx.rows)
+		c.mu.Unlock()
+		return n
+	}
+	inner := c.delegate()
+	c.mu.Unlock()
+	return inner.Count(x)
+}
+
+// CountWithGen returns |π_X(r)| together with the generation at which that
+// count last changed, tracking x if it was not tracked yet. Two calls
+// returning the same generation are guaranteed to have returned the same
+// count, which is what lets a measure cache skip FDs whose partitions did
+// not change across an append.
+func (c *IncrementalCounter) CountWithGen(x bitset.Set) (int, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	if x.IsEmpty() {
+		// The count only flips between 0 and 1 when the first row arrives;
+		// stamp it with the creation generation.
+		if c.r.NumRows() == 0 {
+			return 0, 1
+		}
+		return 1, 1
+	}
+	idx := c.track(x)
+	if c.r.NumRows() == 0 {
+		return 0, idx.lastChanged
+	}
+	return len(idx.rows), idx.lastChanged
+}
+
+// Partition materialises the stripped partition of x. Tracked sets build it
+// from the live cluster map; untracked sets compute it from scratch.
+func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
+	c.mu.Lock()
+	c.sync()
+	idx, ok := c.tracked[x.Key()]
+	if !ok {
+		c.mu.Unlock()
+		return FromSet(c.r, x)
+	}
+	p := &Partition{numRows: c.r.NumRows()}
+	for _, rows := range idx.rows {
+		if len(rows) >= 2 {
+			cls := make([]int32, len(rows))
+			copy(cls, rows)
+			p.classes = append(p.classes, cls)
+		}
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// sync folds rows appended since the last query into every tracked index and
+// bumps the generation. Callers must hold c.mu.
+func (c *IncrementalCounter) sync() {
+	n := c.r.NumRows()
+	if n == c.applied {
+		return
+	}
+	from := c.applied
+	c.gen++
+	for _, idx := range c.tracked {
+		c.fold(idx, from, n)
+	}
+	c.applied = n
+}
+
+// track returns the index for x, building it (over all current rows) on
+// first use. Callers must hold c.mu and have synced.
+func (c *IncrementalCounter) track(x bitset.Set) *trackedIndex {
+	key := x.Key()
+	if idx, ok := c.tracked[key]; ok {
+		return idx
+	}
+	idx := &trackedIndex{
+		attrs:       x.Clone(),
+		cols:        x.Members(),
+		ids:         make(map[string]int32),
+		lastChanged: c.gen,
+	}
+	c.fold(idx, 0, c.r.NumRows())
+	idx.lastChanged = c.gen
+	c.tracked[key] = idx
+	c.order = append(c.order, key)
+	for len(c.tracked) > c.maxTracked {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.tracked, oldest)
+	}
+	return idx
+}
+
+// fold routes rows [from, to) of the relation into idx's clusters, stamping
+// lastChanged if a new cluster appeared (the only way any count changes:
+// rows are never deleted, so clusters only ever grow or split off fresh).
+func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
+	cols := make([][]int32, len(idx.cols))
+	for i, col := range idx.cols {
+		cols[i] = c.r.ColumnCodes(col)
+	}
+	if need := len(idx.cols) * 4; cap(c.keyBuf) < need {
+		c.keyBuf = make([]byte, 0, need)
+	}
+	changed := false
+	for row := from; row < to; row++ {
+		k := appendCodeKey(c.keyBuf[:0], cols, row)
+		id, ok := idx.ids[string(k)]
+		if !ok {
+			id = int32(len(idx.rows))
+			idx.ids[string(k)] = id
+			idx.rows = append(idx.rows, nil)
+			changed = true
+		}
+		idx.rows[id] = append(idx.rows[id], int32(row))
+	}
+	c.keyBuf = c.keyBuf[:0]
+	if changed {
+		idx.lastChanged = c.gen
+	}
+}
+
+// delegate returns the inner PLICounter for untracked sets, rebuilding it if
+// the relation grew since it was cached. Callers must hold c.mu and have
+// synced; the returned counter is safe to use after releasing the lock.
+func (c *IncrementalCounter) delegate() *PLICounter {
+	if c.inner == nil || c.innerGen != c.gen {
+		c.inner = NewPLICounter(c.r)
+		c.innerGen = c.gen
+	}
+	return c.inner
+}
