@@ -5,16 +5,25 @@
 //	fdbench -list
 //	fdbench -experiment table5 -sf 0.01
 //	fdbench -experiment all -scale 0.05
+//	fdbench -experiment repairscale -json . -cpuprofile cpu.out
 //
 // Scale 1 / SF 1 approach the paper's sizes (the "1GB" TPC-H database is
 // SF 1); defaults keep every experiment in laptop range. See EXPERIMENTS.md
 // for recorded paper-vs-measured results.
+//
+// -json DIR additionally writes machine-readable results (BENCH_<id>.json)
+// for experiments that expose them, so the perf trajectory is tracked across
+// PRs. -cpuprofile / -memprofile write pprof profiles of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/evolvefd/evolvefd/internal/bench"
 )
@@ -35,7 +44,10 @@ func run(args []string) error {
 		sf          = fs.Float64("sf", 0, "TPC-H scale factor; 0 = default, 1 = paper's 1GB")
 		seed        = fs.Int64("seed", 0, "generator seed; 0 = default")
 		maxAdded    = fs.Int("max-added", 0, "repair search depth bound; 0 = experiment default")
-		parallelism = fs.Int("parallelism", 0, "candidate evaluation workers; 0 = GOMAXPROCS")
+		parallelism = fs.Int("parallelism", 0, "repair search workers; 0 = GOMAXPROCS")
+		jsonDir     = fs.String("json", "", "directory for machine-readable BENCH_<id>.json results; empty disables")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,13 +65,74 @@ func run(args []string) error {
 		MaxAdded:    *maxAdded,
 		Parallelism: *parallelism,
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fdbench: memprofile:", err)
+			}
+		}()
+	}
+
+	var selected []bench.Experiment
 	if *experiment == "all" {
-		return bench.RunAll(cfg, os.Stdout)
+		selected = bench.All()
+	} else {
+		e, ok := bench.Lookup(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *experiment)
+		}
+		selected = []bench.Experiment{e}
 	}
-	e, ok := bench.Lookup(*experiment)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (try -list)", *experiment)
+	for _, e := range selected {
+		// With -json, a RunJSON+Render experiment executes once and the
+		// printed table and the persisted file describe the same run.
+		v, err := bench.RunOne(e, cfg, os.Stdout, *jsonDir != "")
+		if err != nil {
+			return err
+		}
+		if *jsonDir != "" {
+			if err := writeJSONResult(e, v, *jsonDir); err != nil {
+				return err
+			}
+		}
 	}
-	fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
-	return e.Run(cfg, os.Stdout)
+	return nil
+}
+
+// writeJSONResult persists an experiment's machine-readable result as
+// BENCH_<id>.json; experiments without a JSON form are noted and skipped.
+func writeJSONResult(e bench.Experiment, v any, dir string) error {
+	if v == nil {
+		fmt.Printf("(no JSON result for %s)\n", e.ID)
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%s: json result: %w", e.ID, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+e.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("%s: json result: %w", e.ID, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
 }

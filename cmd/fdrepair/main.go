@@ -65,6 +65,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		discover    = fs.Bool("discover", false, "list minimal exact FDs instead of repairing (-max-lhs bounds antecedents)")
 		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover")
 		watch       = fs.Bool("watch", false, "streaming REPL: append tuples and re-check incrementally (-strategy is ignored)")
+		parallelism = fs.Int("parallelism", 0, "repair search workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	fs.Var(&fds, "fd", "functional dependency \"X1,X2 -> Y\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MaxGoodness: *maxGoodness,
 			MinimalOnly: *minimal,
 			Balanced:    *balanced,
+			Parallelism: *parallelism,
 		})
 	}
 
@@ -129,6 +131,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		FirstOnly:       !*all,
 		MaxAdded:        *maxAdded,
 		PruneNonMinimal: *minimal,
+		Parallelism:     *parallelism,
+		Candidates:      core.CandidateOptions{Parallelism: *parallelism},
 	}
 	if *balanced {
 		opts.Objective = core.ObjectiveBalanced

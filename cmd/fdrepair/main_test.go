@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -41,6 +42,31 @@ func TestBatchFindAll(t *testing.T) {
 	// Municipal (goodness 0) must be listed before PhNo (goodness 3).
 	if strings.Index(text, "+{Municipal}") > strings.Index(text, "+{PhNo}") {
 		t.Error("repairs not in rank order")
+	}
+}
+
+// TestParallelismFlagInvariant: -parallelism must change only the wall
+// clock, never the printed repairs.
+func TestParallelismFlagInvariant(t *testing.T) {
+	path := placesCSV(t)
+	elapsed := regexp.MustCompile(`evaluated in [^)]+\)`)
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "8"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-csv", path, "-fd", "District,Region -> AreaCode", "-all",
+			"-parallelism", workers,
+		}, strings.NewReader(""), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, elapsed.ReplaceAllString(out.String(), "evaluated)"))
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("output differs between -parallelism settings:\n%s\n----\n%s",
+				outputs[0], outputs[i])
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/evolvefd/evolvefd/internal/core"
 	"github.com/evolvefd/evolvefd/internal/pli"
@@ -65,7 +66,10 @@ type Options struct {
 	// it — the §4.4 extension that keeps key-like attributes out of
 	// repairs. Negative means no threshold.
 	MaxGoodness int
-	// Parallelism bounds candidate-evaluation workers (0 = GOMAXPROCS).
+	// Parallelism bounds the worker goroutines of the repair search — both
+	// candidate evaluation and best-first frontier expansion. 0 means
+	// GOMAXPROCS, 1 runs serially. Suggestions are identical at every
+	// setting; only wall-clock time changes.
 	Parallelism int
 	// MinimalOnly prunes repairs that are supersets of other repairs.
 	MinimalOnly bool
@@ -85,6 +89,7 @@ func (o Options) repairOptions() core.RepairOptions {
 		MaxAdded:        o.MaxAdded,
 		PruneNonMinimal: o.MinimalOnly,
 		GoodnessWeight:  o.GoodnessWeight,
+		Parallelism:     o.Parallelism,
 		Candidates:      core.CandidateOptions{Parallelism: o.Parallelism},
 	}
 	if o.Balanced {
@@ -142,7 +147,16 @@ type Suggestion struct {
 // Append and AppendStrings add tuples, and the session maintains its
 // partition state incrementally so that a re-Check after a small batch costs
 // time proportional to the batch, not to the whole relation.
+//
+// A Session is safe for concurrent use: Check, Measures, Repair and the
+// other read paths may run in parallel with each other (repair searches fan
+// out internally), while Append, Define, Drop and Accept serialise against
+// them. Callers that reach the underlying *Relation through Relation() must
+// not mutate it concurrently with session queries.
 type Session struct {
+	// mu orders relation growth and FD-set edits against the read paths;
+	// the counter and measure cache carry their own finer-grained locks.
+	mu      sync.RWMutex
 	rel     *Relation
 	counter *pli.IncrementalCounter
 	cache   *core.MeasureCache
@@ -170,28 +184,40 @@ func (s *Session) Relation() *Relation { return s.rel }
 // antecedent/consequent projections the new tuple leaves unchanged are not
 // recomputed by the next Check.
 func (s *Session) Append(tuple ...Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.rel.Append(tuple...)
 }
 
 // AppendStrings parses each text cell with the column kind and appends the
 // tuple; empty cells and "NULL" become NULL. See Append.
 func (s *Session) AppendStrings(cells ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.rel.AppendStrings(cells...)
 }
 
 // Generation reports how many append batches the session has folded into
 // its partition state (starting at 1 for the initial instance).
-func (s *Session) Generation() uint64 { return s.counter.Generation() }
+func (s *Session) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counter.Generation()
+}
 
 // CacheStats reports how many measure computations were served from the
 // generation-stamped cache (reused) versus recomputed, across the life of
 // the session — the observable cost of the periodic re-validation loop.
 func (s *Session) CacheStats() (reused, recomputed uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.cache.Stats()
 }
 
 // Define declares an FD like "A, B -> C" under a unique label.
 func (s *Session) Define(label, spec string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.fds[label]; dup {
 		return fmt.Errorf("evolvefd: FD %q already defined", label)
 	}
@@ -213,6 +239,8 @@ func (s *Session) MustDefine(label, spec string) {
 
 // Drop removes a defined FD.
 func (s *Session) Drop(label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.fds[label]; !ok {
 		return
 	}
@@ -227,6 +255,8 @@ func (s *Session) Drop(label string) {
 
 // Labels returns the defined FD labels in definition order.
 func (s *Session) Labels() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
@@ -234,6 +264,8 @@ func (s *Session) Labels() []string {
 
 // FDText renders a defined FD with attribute names.
 func (s *Session) FDText(label string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fd, ok := s.fds[label]
 	if !ok {
 		return "", fmt.Errorf("evolvefd: unknown FD %q", label)
@@ -243,6 +275,13 @@ func (s *Session) FDText(label string) (string, error) {
 
 // Measures computes confidence and goodness of one defined FD.
 func (s *Session) Measures(label string) (Measures, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.measuresLocked(label)
+}
+
+// measuresLocked is Measures under a caller-held read lock.
+func (s *Session) measuresLocked(label string) (Measures, error) {
 	fd, ok := s.fds[label]
 	if !ok {
 		return Measures{}, fmt.Errorf("evolvefd: unknown FD %q", label)
@@ -253,6 +292,8 @@ func (s *Session) Measures(label string) (Measures, error) {
 // Check computes all measures and returns the violated FDs in repair order
 // (§4.1: inconsistency degree + conflict score).
 func (s *Session) Check() []Violation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fds := make([]core.FD, 0, len(s.order))
 	for _, label := range s.order {
 		fds = append(fds, s.fds[label])
@@ -274,6 +315,8 @@ func (s *Session) Check() []Violation {
 // and returns them best-first (minimal size, then confidence, then goodness
 // closest to zero).
 func (s *Session) Repair(label string, opts Options) ([]Suggestion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fd, ok := s.fds[label]
 	if !ok {
 		return nil, fmt.Errorf("evolvefd: unknown FD %q", label)
@@ -293,6 +336,8 @@ func (s *Session) Repair(label string, opts Options) ([]Suggestion, error) {
 // Accept replaces the labelled FD with its repaired form, adding the
 // suggested attributes to the antecedent — the designer saying yes.
 func (s *Session) Accept(label string, suggestion Suggestion) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fd, ok := s.fds[label]
 	if !ok {
 		return fmt.Errorf("evolvefd: unknown FD %q", label)
@@ -309,10 +354,13 @@ func (s *Session) Accept(label string, suggestion Suggestion) error {
 
 // Consistent reports whether every defined FD holds on the data.
 func (s *Session) Consistent() bool {
-	labels := s.Labels()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	labels := make([]string, len(s.order))
+	copy(labels, s.order)
 	sort.Strings(labels)
 	for _, label := range labels {
-		m, err := s.Measures(label)
+		m, err := s.measuresLocked(label)
 		if err != nil || !m.Exact {
 			return false
 		}

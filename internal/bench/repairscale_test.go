@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRepairScaleExperimentSmoke(t *testing.T) {
+	out := runExperiment(t, "repairscale")
+	for _, want := range []string{"serial, no partition reuse (baseline)", "workers, partition reuse", "shape check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repairscale output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("repairscale reported a non-identical configuration:\n%s", out)
+	}
+}
+
+func TestRepairScaleJSONResult(t *testing.T) {
+	e, ok := Lookup("repairscale")
+	if !ok || e.RunJSON == nil {
+		t.Fatal("repairscale must expose a JSON result")
+	}
+	v, err := e.RunJSON(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := v.(RepairScaleResult)
+	if !ok {
+		t.Fatalf("RunJSON returned %T", v)
+	}
+	if res.Rows < 1000 || res.NumFDs != 3 || len(res.Runs) == 0 || res.BaselineMillis <= 0 {
+		t.Fatalf("JSON result malformed: %+v", res)
+	}
+	for _, run := range res.Runs {
+		if !run.Identical {
+			t.Fatalf("run at %d workers not identical to baseline", run.Workers)
+		}
+	}
+}
+
+// TestRepairParallelSpeedupAcceptance pins the tentpole win: the full
+// multi-FD repair sweep on a ≥50k-row instance at Parallelism = GOMAXPROCS
+// must run ≥ 3× faster than the serial no-reuse baseline while producing
+// byte-identical RepairResults (repairs, measures, and discovery order).
+// The determinism half always runs; the speedup gate needs ≥ 4 cores, as
+// specified, and is skipped on smaller hosts.
+func TestRepairParallelSpeedupAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-row acceptance sweep skipped in -short")
+	}
+	rows := 50000
+	if raceEnabled {
+		// Race instrumentation multiplies the sweep cost and skews parallel
+		// scaling; keep the determinism half on a smaller instance there.
+		rows = 5000
+	}
+	workers := runtime.GOMAXPROCS(0)
+	res, err := RunRepairScale(Config{}, rows, []int{workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows < rows {
+		t.Fatalf("acceptance sweep ran on %d rows, want ≥ %d", res.Rows, rows)
+	}
+	run := res.Runs[0]
+	if !run.Identical {
+		t.Fatalf("parallel sweep at %d workers diverged from the serial baseline", run.Workers)
+	}
+	t.Logf("rows=%d baseline=%.0fms parallel(%d workers)=%.0fms speedup=%.2f×",
+		res.Rows, res.BaselineMillis, run.Workers, run.Millis, run.Speedup)
+	if raceEnabled {
+		t.Skip("speedup gate skipped under the race detector; determinism verified")
+	}
+	if workers < 4 {
+		t.Skipf("speedup gate needs GOMAXPROCS ≥ 4 (have %d); determinism verified", workers)
+	}
+	if run.Speedup < 3 {
+		t.Fatalf("parallel sweep speedup %.2f× < 3× acceptance threshold", run.Speedup)
+	}
+}

@@ -73,12 +73,7 @@ func (mc *MeasureCache) Compute(fd FD) Measures {
 		return e.m
 	}
 	mc.misses++
-	m := Measures{NumX: numX, NumXY: numXY, NumY: numY, Goodness: numX - numY}
-	if numXY > 0 {
-		m.Confidence = float64(numX) / float64(numXY)
-	} else {
-		m.Confidence = 1 // empty instance: vacuously exact
-	}
+	m := NewMeasures(numX, numXY, numY)
 	mc.entries[key] = measureEntry{m: m, genX: genX, genXY: genXY, genY: genY}
 	return m
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/evolvefd/evolvefd/internal/bitset"
 	"github.com/evolvefd/evolvefd/internal/pli"
@@ -75,31 +76,9 @@ func ExtendByOne(counter pli.Counter, fd FD, opts CandidateOptions) []Candidate 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pool) {
-		workers = len(pool)
-	}
-	if workers <= 1 {
-		for i, attr := range pool {
-			cands[i] = evalCandidate(counter, fd, attr)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					cands[i] = evalCandidate(counter, fd, pool[i])
-				}
-			}()
-		}
-		for i := range pool {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	parallelFor(len(pool), workers, func(i int) {
+		cands[i] = evalCandidate(counter, fd, pool[i])
+	})
 	if opts.MaxGoodness != nil {
 		kept := cands[:0]
 		for _, c := range cands {
@@ -116,6 +95,38 @@ func ExtendByOne(counter pli.Counter, fd FD, opts CandidateOptions) []Candidate 
 func evalCandidate(counter pli.Counter, fd FD, attr int) Candidate {
 	ext := fd.WithExtendedAntecedent(bitset.New(attr))
 	return Candidate{Attr: attr, FD: ext, Measures: Compute(counter, ext)}
+}
+
+// parallelFor runs fn(0) … fn(n-1) across at most `workers` goroutines
+// (inline when one suffices). Each index runs exactly once; fn must be safe
+// for concurrent calls on distinct indices. The shared fan-out behind
+// candidate evaluation, frontier-expansion waves, and concurrent FD repair.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // SortCandidates orders candidates best-first: confidence descending, then

@@ -26,9 +26,13 @@ type Measures struct {
 
 // Compute evaluates the measures of fd using the given counter.
 func Compute(counter pli.Counter, fd FD) Measures {
-	numX := counter.Count(fd.X)
-	numXY := counter.Count(fd.Attrs())
-	numY := counter.Count(fd.Y)
+	return NewMeasures(counter.Count(fd.X), counter.Count(fd.Attrs()), counter.Count(fd.Y))
+}
+
+// NewMeasures derives the measures from the three projection counts — the
+// single definition of confidence and goodness shared by every evaluation
+// path (generic, cached, and partition-reuse), so they stay bit-identical.
+func NewMeasures(numX, numXY, numY int) Measures {
 	m := Measures{NumX: numX, NumXY: numXY, NumY: numY, Goodness: numX - numY}
 	if numXY > 0 {
 		m.Confidence = float64(numX) / float64(numXY)

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"math"
+	"runtime"
 	"time"
 
 	"github.com/evolvefd/evolvefd/internal/bitset"
@@ -79,6 +80,18 @@ type RepairOptions struct {
 	// completion, so up to one full candidate pool may be evaluated even
 	// under a smaller budget.
 	MaxEvaluated int
+	// Parallelism bounds the worker goroutines that evaluate frontier
+	// expansions (and, in EvolveDatabase, repair ranked FDs concurrently);
+	// 0 means GOMAXPROCS, 1 disables concurrency. Results are bit-identical
+	// at every setting: the frontier is expanded in deterministic batches
+	// and children are re-sorted by the queue's total order.
+	Parallelism int
+	// NoPartitionReuse disables the search-aware fast path that derives each
+	// child partition from its parent's materialised partition (one stripped
+	// product). Candidate counts then go through the counter's generic cache
+	// probes, as the seed implementation did. Results are identical either
+	// way; the knob exists for ablations and baseline measurements.
+	NoPartitionReuse bool
 	// PruneNonMinimal drops repairs that are supersets of other found
 	// repairs from the result. The paper's Algorithm 3 keeps them (they are
 	// reachable through paths whose prefixes are non-exact); pruning is an
@@ -86,6 +99,14 @@ type RepairOptions struct {
 	PruneNonMinimal bool
 	// Candidates configures per-step candidate generation.
 	Candidates CandidateOptions
+}
+
+// workerCount resolves the frontier-expansion parallelism.
+func (o RepairOptions) workerCount() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RepairResult is the outcome of repairing one FD.
@@ -117,7 +138,9 @@ type node struct {
 // objective it orders by increasing cardinality of the added set (so the
 // first repair popped is minimal), then by decreasing rank (confidence
 // desc, |goodness| asc); under the balanced objective it orders by score.
-// Added-attribute order breaks all remaining ties deterministically.
+// Added-attribute order breaks all remaining ties deterministically, which
+// makes the pop sequence a total order: parallel expansion may push children
+// in any order and the queue still drains identically.
 type nodeQueue struct {
 	nodes    []*node
 	balanced bool
@@ -157,6 +180,22 @@ func (q *nodeQueue) Pop() any {
 	return n
 }
 
+// expandTask is one child evaluation: extend parent (whose extended FD has
+// antecedent extX and attribute set extXY) by attr. Tasks of one wave are
+// evaluated across the worker pool; m is filled in by the worker. Under
+// partition reuse, pX and pXY carry the parent's materialised partitions,
+// resolved once per parent node rather than once per child.
+type expandTask struct {
+	parent *node
+	extX   bitset.Set // X ∪ U of the parent
+	extXY  bitset.Set // X ∪ U ∪ Y of the parent
+	extY   bitset.Set
+	pX     *pli.Partition
+	pXY    *pli.Partition
+	attr   int
+	m      Measures
+}
+
 // FindRepairs runs the Extend search (Algorithm 3) for one FD. If the FD is
 // already exact the result carries no repairs and zero search stats.
 //
@@ -165,6 +204,16 @@ func (q *nodeQueue) Pop() any {
 // extension, so children would be redundant supersets); non-exact nodes are
 // expanded by adding one attribute with a schema position greater than any
 // already added, which enumerates every subset exactly once.
+//
+// The frontier is expanded in deterministic batches: under the minimal-first
+// objective all queue nodes tied at the current added-set size are popped
+// together (expansion only ever pushes strictly larger children, so the
+// batch is exactly the serial pop sequence), their children are evaluated
+// across opts.Parallelism workers, and the queue's total order re-sorts the
+// pushes. Results are therefore bit-identical to a serial run at any
+// parallelism. Budgeted and balanced searches process one node per batch,
+// which preserves the serial stopping rules exactly; their child evaluations
+// still fan out.
 func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 	start := time.Now()
 	res := RepairResult{FD: fd, Initial: Compute(counter, fd)}
@@ -190,12 +239,19 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 		}
 		return float64(size) + m.Inconsistency() + lambda*math.Abs(float64(m.Goodness))
 	}
+	workers := opts.workerCount()
+	var sc pli.SearchCounter
+	if !opts.NoPartitionReuse {
+		sc, _ = counter.(pli.SearchCounter)
+	}
 
 	q := &nodeQueue{balanced: balanced}
+	q.nodes = make([]*node, 0, 2*len(pool))
 	heap.Init(q)
-	// sizeCounts tracks how many queued nodes exist per added-set size: the
-	// balanced objective's stopping rule needs the smallest live size.
-	sizeCounts := make(map[int]int)
+	// sizeCounts[s] tracks how many queued nodes hold s added attributes: the
+	// balanced objective's stopping rule needs the smallest live size. A
+	// slice beats a map here — the hot loop decrements it on every pop.
+	sizeCounts := make([]int, maxAdded+2)
 	push := func(added bitset.Set, m Measures) {
 		key := added.Members()
 		heap.Push(q, &node{added: added, addedKey: key, measures: m, score: score(len(key), m)})
@@ -217,63 +273,107 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 		push(bitset.New(c.Attr), c.Measures)
 	}
 
+	// Nodes tied at the current priority level are popped and processed as
+	// one batch. Batches are singletons when a budget or the balanced
+	// objective demands the serial stopping rules verbatim.
+	batchable := !balanced && opts.MaxEvaluated == 0
+
 	// best tracks the lowest-score exact node under FirstOnly+balanced; the
 	// search may stop only when no live or future node can beat it (every
 	// node's score is at least its size).
 	var best *node
 	budgetTripped := false
-	for q.Len() > 0 {
+	stopped := false
+	var batch []*node
+	var tasks []expandTask
+	for q.Len() > 0 && !stopped {
+		batch = batch[:0]
 		n := heap.Pop(q).(*node)
 		sizeCounts[len(n.addedKey)]--
-		if n.measures.Exact() {
-			if opts.FirstOnly && balanced {
-				if best == nil || n.score < best.score {
-					best = n
+		batch = append(batch, n)
+		if batchable {
+			for q.Len() > 0 && len(q.nodes[0].addedKey) == len(n.addedKey) {
+				m := heap.Pop(q).(*node)
+				sizeCounts[len(m.addedKey)]--
+				batch = append(batch, m)
+			}
+		}
+
+		// Walk the batch in pop order, replicating the serial per-node
+		// decisions; expansions are collected as tasks and evaluated as one
+		// wave after the walk.
+		tasks = tasks[:0]
+		for _, n := range batch {
+			if n.measures.Exact() {
+				if opts.FirstOnly && balanced {
+					if best == nil || n.score < best.score {
+						best = n
+					}
+					if float64(minLiveSize()) >= best.score {
+						stopped = true
+						break
+					}
+					continue
 				}
-				if float64(minLiveSize()) >= best.score {
+				res.Repairs = append(res.Repairs, Repair{
+					Added:    n.added,
+					FD:       fd.WithExtendedAntecedent(n.added),
+					Measures: n.measures,
+				})
+				if opts.FirstOnly {
+					stopped = true
 					break
 				}
 				continue
 			}
-			res.Repairs = append(res.Repairs, Repair{
-				Added:    n.added,
-				FD:       fd.WithExtendedAntecedent(n.added),
-				Measures: n.measures,
-			})
-			if opts.FirstOnly {
-				break
-			}
-			continue
-		}
-		if len(n.addedKey) >= maxAdded {
-			continue
-		}
-		if opts.MaxEvaluated > 0 && res.Stats.Evaluated >= opts.MaxEvaluated {
-			budgetTripped = true
-			break
-		}
-		// Under FirstOnly+balanced, expanding nodes whose children cannot
-		// beat the incumbent is wasted work.
-		if best != nil && float64(len(n.addedKey)+1) >= best.score {
-			continue
-		}
-		res.Stats.Expanded++
-		maxIdx := n.addedKey[len(n.addedKey)-1]
-		extFD := fd.WithExtendedAntecedent(n.added)
-		for _, attr := range pool {
-			if attr <= maxIdx {
+			if len(n.addedKey) >= maxAdded {
 				continue
 			}
-			if opts.MaxEvaluated > 0 && res.Stats.Evaluated >= opts.MaxEvaluated {
+			if opts.MaxEvaluated > 0 && res.Stats.Evaluated+len(tasks) >= opts.MaxEvaluated {
 				budgetTripped = true
+				stopped = true
 				break
 			}
-			c := evalCandidate(counter, extFD, attr)
-			res.Stats.Evaluated++
-			if opts.Candidates.MaxGoodness != nil && abs(c.Measures.Goodness) > *opts.Candidates.MaxGoodness {
+			// Under FirstOnly+balanced, expanding nodes whose children cannot
+			// beat the incumbent is wasted work.
+			if best != nil && float64(len(n.addedKey)+1) >= best.score {
 				continue
 			}
-			push(n.added.With(attr), c.Measures)
+			res.Stats.Expanded++
+			maxIdx := n.addedKey[len(n.addedKey)-1]
+			extFD := fd.WithExtendedAntecedent(n.added)
+			extXY := extFD.Attrs()
+			// Resolve the parent's partitions once per node: every child of
+			// this node products off the same two handles, and a tracked
+			// IncrementalCounter set would otherwise re-materialise per task.
+			var pX, pXY *pli.Partition
+			if sc != nil {
+				pX = sc.Partition(extFD.X)
+				pXY = sc.Partition(extXY)
+			}
+			for _, attr := range pool {
+				if attr <= maxIdx {
+					continue
+				}
+				if opts.MaxEvaluated > 0 && res.Stats.Evaluated+len(tasks) >= opts.MaxEvaluated {
+					budgetTripped = true
+					break
+				}
+				tasks = append(tasks, expandTask{
+					parent: n, extX: extFD.X, extXY: extXY, extY: extFD.Y,
+					pX: pX, pXY: pXY, attr: attr,
+				})
+			}
+		}
+
+		evalTasks(counter, sc, res.Initial.NumY, tasks, workers)
+		res.Stats.Evaluated += len(tasks)
+		for i := range tasks {
+			t := &tasks[i]
+			if opts.Candidates.MaxGoodness != nil && abs(t.m.Goodness) > *opts.Candidates.MaxGoodness {
+				continue
+			}
+			push(t.parent.added.With(t.attr), t.m)
 		}
 	}
 	if best != nil {
@@ -290,6 +390,37 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 	res.Stats.Exhausted = !budgetTripped && (!opts.FirstOnly || len(res.Repairs) == 0)
 	res.Stats.Elapsed = time.Since(start)
 	return res
+}
+
+// evalTasks computes the measures of every task, fanning out across at most
+// `workers` goroutines. Counters are safe for concurrent use, so workers
+// share the partition cache; results land in each task's m field, keeping
+// the caller's deterministic ordering intact.
+func evalTasks(counter pli.Counter, sc pli.SearchCounter, numY int, tasks []expandTask, workers int) {
+	if len(tasks) == 0 {
+		return
+	}
+	parallelFor(len(tasks), workers, func(i int) {
+		t := &tasks[i]
+		if sc != nil {
+			t.m = computeChild(sc, t, numY)
+			return
+		}
+		child := FD{X: t.extX.With(t.attr), Y: t.extY}
+		t.m = Compute(counter, child)
+	})
+}
+
+// computeChild derives the child FD's measures from the parent's
+// materialised partitions (threaded through the task): each of |π_X'| and
+// |π_X'Y| is one stripped product (parent · singleton) instead of a generic
+// cache probe that rebuilds from single-column factors on a miss. |π_Y| is
+// constant across the whole search and passed in. The counts are the same
+// integers the generic path computes, so measures are bit-identical.
+func computeChild(sc pli.SearchCounter, t *expandTask, numY int) Measures {
+	numX := sc.ChildPartition(t.extX, t.pX, t.attr).NumClasses()
+	numXY := sc.ChildPartition(t.extXY, t.pXY, t.attr).NumClasses()
+	return NewMeasures(numX, numXY, numY)
 }
 
 // pruneNonMinimal removes repairs whose added set is a proper superset of
@@ -327,11 +458,30 @@ func FindFirstRepair(counter pli.Counter, fd FD, opts RepairOptions) (Repair, Se
 // EvolveDatabase implements Algorithm 1 generalised to multi-attribute
 // repairs: it ranks the FD set (§4.1), then repairs each violated FD in
 // rank order. Exact FDs pass through with empty Repairs.
+//
+// Each ranked FD's search is independent and read-only on the counter, so
+// with opts.Parallelism ≠ 1 the FDs are repaired concurrently; results keep
+// rank order and are identical to a serial run.
 func EvolveDatabase(counter pli.Counter, fds []FD, scope ConflictScope, opts RepairOptions) []RepairResult {
 	ranked := OrderFDs(counter, fds, scope)
-	out := make([]RepairResult, 0, len(ranked))
-	for _, rf := range ranked {
-		out = append(out, FindRepairs(counter, rf.FD, opts))
+	out := make([]RepairResult, len(ranked))
+	budget := opts.workerCount()
+	outer := budget
+	if outer > len(ranked) {
+		outer = len(ranked)
 	}
+	// Split the worker budget between the FD fan-out and each search's
+	// expansion waves, so N concurrent searches at N inner workers each
+	// don't oversubscribe the cores N×N. Ceiling division mildly over-
+	// subscribes (e.g. 3 FDs on 4 cores → 3×2 workers) rather than idling
+	// cores whenever the split is uneven.
+	inner := opts
+	if outer > 1 {
+		inner.Parallelism = (budget + outer - 1) / outer
+		inner.Candidates.Parallelism = inner.Parallelism
+	}
+	parallelFor(len(ranked), outer, func(i int) {
+		out[i] = FindRepairs(counter, ranked[i].FD, inner)
+	})
 	return out
 }

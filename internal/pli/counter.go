@@ -1,8 +1,10 @@
 package pli
 
 import (
+	"container/list"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/evolvefd/evolvefd/internal/bitset"
 	"github.com/evolvefd/evolvefd/internal/relation"
@@ -19,6 +21,21 @@ type Counter interface {
 	Count(x bitset.Set) int
 	// Relation returns the instance the counter is bound to.
 	Relation() *relation.Relation
+}
+
+// SearchCounter is a Counter that additionally exposes its materialised
+// partitions, so a repair search can thread a parent node's partition handle
+// through expansion: each child X∪U∪{a} then costs one stripped product
+// (parent · singleton) instead of a from-scratch fold over single columns.
+// PLICounter and IncrementalCounter implement it.
+type SearchCounter interface {
+	Counter
+	// Partition returns the (memoised) stripped partition of x.
+	Partition(x bitset.Set) *Partition
+	// ChildPartition returns the partition of x ∪ {attr}, built as a single
+	// product off the already-materialised parent partition of x when it is
+	// not cached yet. parent must be the partition of x.
+	ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition
 }
 
 // Strategy names a Counter construction; used by CLI flags and the ablation
@@ -53,26 +70,105 @@ func NewCounter(r *relation.Relation, s Strategy) Counter {
 
 // defaultCacheEntries bounds the number of memoised multi-column partitions.
 // Single-column partitions are pinned (they are the product factors of every
-// evaluation); multi-column entries are evicted FIFO beyond the bound, which
-// keeps memory proportional to the working set of the current search node
+// evaluation); multi-column entries are evicted LRU beyond the bound, which
+// keeps memory proportional to the working set of the current search frontier
 // instead of the whole explored space — a find-all sweep over a wide
 // relation touches hundreds of thousands of attribute sets.
 const defaultCacheEntries = 1024
 
+// numShards is the number of independent lock domains of the multi-column
+// cache. Workers asking for unrelated attribute sets almost never contend:
+// keys spread by FNV-1a hash. A power of two keeps the modulo cheap.
+const numShards = 16
+
+// cacheEntry is one memoised partition. The entry is published before the
+// partition is built: done is closed once p is valid, so duplicate requesters
+// block on the first build instead of redoing O(n) work (singleflight).
+type cacheEntry struct {
+	p    *Partition
+	done chan struct{}
+	// elem is the entry's LRU position; nil for pinned entries and for
+	// entries evicted while still building (waiters keep the pointer).
+	elem *list.Element
+}
+
+// ready reports whether the partition has been published, without blocking.
+func (e *cacheEntry) ready() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cacheShard is one lock domain of the multi-column partition cache with its
+// own LRU list (front = least recently used).
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // of string keys
+	max     int
+}
+
+// lookup returns the entry for key, inserting a fresh building entry when
+// absent. The second result is true when the caller must build and publish
+// the partition. Present entries are refreshed to most-recently-used.
+func (s *cacheShard) lookup(key string) (*cacheEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		if e.elem != nil {
+			s.lru.MoveToBack(e.elem)
+		}
+		return e, false
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	s.entries[key] = e
+	e.elem = s.lru.PushBack(key)
+	for len(s.entries) > s.max {
+		oldest := s.lru.Front()
+		k := oldest.Value.(string)
+		s.lru.Remove(oldest)
+		if victim := s.entries[k]; victim != nil {
+			victim.elem = nil
+		}
+		delete(s.entries, k)
+	}
+	return e, true
+}
+
+// peek returns the ready partition for key without inserting or building.
+func (s *cacheShard) peek(key string) (*Partition, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && e.elem != nil && e.ready() {
+		s.lru.MoveToBack(e.elem)
+		s.mu.Unlock()
+		return e.p, true
+	}
+	s.mu.Unlock()
+	return nil, false
+}
+
 // PLICounter counts classes of cached stripped partitions. Single-column
 // partitions are built once and pinned; multi-column partitions are
-// assembled by products and memoised in a bounded FIFO cache.
+// assembled by products and memoised in a sharded, bounded LRU cache with
+// duplicate-build suppression, so concurrent search workers asking for the
+// same partition build it once and never serialise on unrelated keys.
 type PLICounter struct {
-	r  *relation.Relation
-	mu sync.Mutex
+	r *relation.Relation
 	// pinned holds the empty-set and single-column partitions, never
 	// evicted.
-	pinned map[string]*Partition
-	// cache holds multi-column partitions, bounded by maxEntries.
-	cache map[string]*Partition
-	// order tracks cache insertion order for FIFO eviction.
-	order      []string
-	maxEntries int
+	pinnedMu sync.Mutex
+	pinned   map[string]*cacheEntry
+	shards   [numShards]cacheShard
+	// scratch pools product working tables per worker instead of allocating
+	// O(n) probe slices on every product.
+	scratch sync.Pool
+	// builds counts actual multi-column partition constructions — the
+	// observable that singleflight suppresses duplicate work.
+	builds atomic.Uint64
 }
 
 // NewPLICounter builds a PLI-based counter over r with the default cache
@@ -82,17 +178,24 @@ func NewPLICounter(r *relation.Relation) *PLICounter {
 }
 
 // NewPLICounterSize builds a PLI-based counter with an explicit bound on
-// memoised multi-column partitions (minimum 16).
+// memoised multi-column partitions (minimum 16). The bound is split across
+// the shards.
 func NewPLICounterSize(r *relation.Relation, maxEntries int) *PLICounter {
 	if maxEntries < 16 {
 		maxEntries = 16
 	}
-	return &PLICounter{
-		r:          r,
-		pinned:     make(map[string]*Partition),
-		cache:      make(map[string]*Partition),
-		maxEntries: maxEntries,
+	c := &PLICounter{r: r, pinned: make(map[string]*cacheEntry)}
+	perShard := maxEntries / numShards
+	if perShard < 1 {
+		perShard = 1
 	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+		c.shards[i].lru = list.New()
+		c.shards[i].max = perShard
+	}
+	c.scratch.New = func() any { return NewScratch(r.NumRows()) }
+	return c
 }
 
 // Relation returns the bound instance.
@@ -106,69 +209,97 @@ func (c *PLICounter) Count(x bitset.Set) int {
 	return c.Partition(x).NumClasses()
 }
 
-// Partition returns the (memoised) stripped partition for x.
-func (c *PLICounter) Partition(x bitset.Set) *Partition {
-	key := x.Key()
-	c.mu.Lock()
-	if p, ok := c.pinned[key]; ok {
-		c.mu.Unlock()
-		return p
+// shard maps a cache key to its lock domain (FNV-1a).
+func (c *PLICounter) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
 	}
-	if p, ok := c.cache[key]; ok {
-		c.mu.Unlock()
-		return p
-	}
-	c.mu.Unlock()
-
-	var p *Partition
-	members := x.Members()
-	switch len(members) {
-	case 0:
-		p = universal(c.r.NumRows())
-	case 1:
-		p = FromColumn(c.r, members[0])
-	default:
-		// Build from the largest cached proper subset if available: try
-		// removing one attribute at a time. Otherwise fold columns.
-		p = c.fromBestPrefix(x, members)
-	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(members) <= 1 {
-		c.pinned[key] = p
-		return p
-	}
-	if _, dup := c.cache[key]; !dup {
-		c.cache[key] = p
-		c.order = append(c.order, key)
-		for len(c.cache) > c.maxEntries {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.cache, oldest)
-		}
-	}
-	return p
+	return &c.shards[h%numShards]
 }
 
-func (c *PLICounter) fromBestPrefix(x bitset.Set, members []int) *Partition {
-	c.mu.Lock()
-	var base *Partition
-	rest := -1
+func (c *PLICounter) getScratch() *productScratch  { return c.scratch.Get().(*productScratch) }
+func (c *PLICounter) putScratch(s *productScratch) { c.scratch.Put(s) }
+
+// Partition returns the (memoised) stripped partition for x. Concurrent
+// requests for the same uncached set build it exactly once.
+func (c *PLICounter) Partition(x bitset.Set) *Partition {
+	members := x.Members()
+	key := x.Key()
+	if len(members) <= 1 {
+		return c.pinnedPartition(key, members)
+	}
+	e, build := c.shard(key).lookup(key)
+	if !build {
+		<-e.done
+		return e.p
+	}
+	e.p = c.buildMulti(x, members)
+	close(e.done)
+	return e.p
+}
+
+// ChildPartition returns the partition of x ∪ {attr}. On a cache miss it is
+// built as one stripped product off the caller-supplied parent partition of
+// x — the search-aware fast path — and memoised for the child's own later
+// expansion.
+func (c *PLICounter) ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition {
+	child := x.With(attr)
+	members := child.Members()
+	key := child.Key()
+	if len(members) <= 1 {
+		return c.pinnedPartition(key, members)
+	}
+	e, build := c.shard(key).lookup(key)
+	if !build {
+		<-e.done
+		return e.p
+	}
+	c.builds.Add(1)
+	scratch := c.getScratch()
+	e.p = parent.Product(c.Partition(bitset.New(attr)), scratch)
+	c.putScratch(scratch)
+	close(e.done)
+	return e.p
+}
+
+// pinnedPartition serves the empty-set and single-column partitions, built
+// once under singleflight and never evicted.
+func (c *PLICounter) pinnedPartition(key string, members []int) *Partition {
+	c.pinnedMu.Lock()
+	if e, ok := c.pinned[key]; ok {
+		c.pinnedMu.Unlock()
+		<-e.done
+		return e.p
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.pinned[key] = e
+	c.pinnedMu.Unlock()
+	if len(members) == 0 {
+		e.p = universal(c.r.NumRows())
+	} else {
+		e.p = FromColumn(c.r, members[0])
+	}
+	close(e.done)
+	return e.p
+}
+
+// buildMulti constructs a multi-column partition: from the largest cached
+// proper subset if one is ready (removing one attribute at a time),
+// otherwise by folding single columns left to right.
+func (c *PLICounter) buildMulti(x bitset.Set, members []int) *Partition {
+	c.builds.Add(1)
+	scratch := c.getScratch()
+	defer c.putScratch(scratch)
 	for _, m := range members {
 		sub := x.Without(m)
-		if p, ok := c.cache[sub.Key()]; ok {
-			base, rest = p, m
-			break
+		if base, ok := c.shard(sub.Key()).peek(sub.Key()); ok {
+			return base.Product(c.Partition(bitset.New(m)), scratch)
 		}
-	}
-	c.mu.Unlock()
-	if base != nil {
-		return base.Product(c.Partition(bitset.New(rest)), nil)
 	}
 	p := c.Partition(bitset.New(members[0]))
 	for _, m := range members[1:] {
-		p = p.Product(c.Partition(bitset.New(m)), nil)
+		p = p.Product(c.Partition(bitset.New(m)), scratch)
 	}
 	return p
 }
@@ -176,10 +307,22 @@ func (c *PLICounter) fromBestPrefix(x bitset.Set, members []int) *Partition {
 // CacheSize reports how many partitions are memoised, pinned singletons
 // included (for tests and stats).
 func (c *PLICounter) CacheSize() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.cache) + len(c.pinned)
+	c.pinnedMu.Lock()
+	n := len(c.pinned)
+	c.pinnedMu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
+
+// MultiColumnBuilds reports how many multi-column partitions were actually
+// constructed (cache hits and singleflight waiters excluded) — the
+// regression observable for duplicate-build suppression.
+func (c *PLICounter) MultiColumnBuilds() uint64 { return c.builds.Load() }
 
 // ---------------------------------------------------------------------------
 // Hash strategy

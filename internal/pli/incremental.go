@@ -166,14 +166,17 @@ func (c *IncrementalCounter) CountWithGen(x bitset.Set) (int, uint64) {
 }
 
 // Partition materialises the stripped partition of x. Tracked sets build it
-// from the live cluster map; untracked sets compute it from scratch.
+// from the live cluster map; untracked sets go through the internal
+// PLICounter, so repair searches probing the same set repeatedly hit its
+// sharded cache instead of refolding columns.
 func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
 	c.mu.Lock()
 	c.sync()
 	idx, ok := c.tracked[x.Key()]
 	if !ok {
+		inner := c.delegate()
 		c.mu.Unlock()
-		return FromSet(c.r, x)
+		return inner.Partition(x)
 	}
 	p := &Partition{numRows: c.r.NumRows()}
 	for _, rows := range idx.rows {
@@ -254,6 +257,20 @@ func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 	if changed {
 		idx.lastChanged = c.gen
 	}
+}
+
+// ChildPartition returns the partition of x ∪ {attr}, delegating to the
+// internal PLICounter's search-aware fast path (one product off the parent's
+// partition on a miss). Together with Partition this makes the incremental
+// counter a SearchCounter, so repair searches over a session reuse parent
+// partitions exactly like the plain PLI strategy. Rows must not be appended
+// concurrently with an in-flight search.
+func (c *IncrementalCounter) ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition {
+	c.mu.Lock()
+	c.sync()
+	inner := c.delegate()
+	c.mu.Unlock()
+	return inner.ChildPartition(x, parent, attr)
 }
 
 // delegate returns the inner PLICounter for untracked sets, rebuilding it if
