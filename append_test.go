@@ -128,7 +128,7 @@ func TestSessionAppendRepairStillWorks(t *testing.T) {
 	); err != nil {
 		t.Fatal(err)
 	}
-	suggestions, err := s.Repair("F1", evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+	suggestions, err := s.Repair("F1", evolvefd.Options{FirstOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,14 +101,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				}
 			}
 		}
-		return runWatch(stdin, stdout, session, evolvefd.Options{
+		watchOpts := evolvefd.Options{
 			FirstOnly:   !*all,
 			MaxAdded:    *maxAdded,
-			MaxGoodness: *maxGoodness,
 			MinimalOnly: *minimal,
 			Balanced:    *balanced,
 			Parallelism: *parallelism,
-		})
+		}
+		if *maxGoodness >= 0 {
+			watchOpts.MaxGoodness = evolvefd.GoodnessLimit(*maxGoodness)
+		}
+		return runWatch(stdin, stdout, session, watchOpts)
 	}
 
 	counter, err := makeCounter(rel, *strategy)

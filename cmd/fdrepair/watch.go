@@ -12,10 +12,11 @@ import (
 )
 
 // runWatch drives the streaming designer loop (-watch): the relation stays
-// open, tuples are appended as they arrive, and re-validation after each
-// batch is incremental — the session folds new tuples into its partitions
-// and only recomputes the FDs whose projections actually changed. This is
-// the paper's periodic-validation workflow turned into a live loop.
+// open, tuples are appended, deleted and corrected as they arrive, and
+// re-validation after each batch is incremental — the session folds the
+// changes into its partitions and only recomputes the FDs whose projections
+// actually changed. This is the paper's periodic-validation workflow turned
+// into a live loop over full DML traffic.
 func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.Options) error {
 	fmt.Fprintln(w, "watch mode: append tuples and re-check incrementally ('help' for commands)")
 	lastRepairs := make(map[string][]evolvefd.Suggestion)
@@ -40,6 +41,14 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 			watchHelp(w)
 		case "append", "a":
 			if err := watchAppend(w, s, rest); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "del", "delete":
+			if err := watchDelete(w, s, rest); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "set", "update":
+			if err := watchSet(w, s, rest); err != nil {
 				fmt.Fprintln(w, "error:", err)
 			}
 		case "check", "c":
@@ -81,6 +90,8 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 func watchHelp(w io.Writer) {
 	fmt.Fprint(w, `commands:
   append <c1,c2,...>   append one tuple (CSV cells; empty or NULL for NULL)
+  del <row[,row...]>   delete tuples by row id (ids are stable: 0-based, never reused)
+  set <row> <c1,...>   update one tuple in place (same cell syntax as append)
   check                incremental re-validation: violated FDs in repair order
   measures             confidence/goodness of every defined FD
   repair <label>       ranked antecedent extensions for one violated FD
@@ -103,7 +114,46 @@ func watchAppend(w io.Writer, s *evolvefd.Session, rest string) error {
 	if err := s.AppendStrings(cells...); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "appended; %d tuples\n", s.Relation().NumRows())
+	fmt.Fprintf(w, "appended row %d; %d live tuples\n", s.Relation().NumRows()-1, s.LiveRows())
+	return nil
+}
+
+func watchDelete(w io.Writer, s *evolvefd.Session, rest string) error {
+	if rest == "" {
+		return fmt.Errorf("usage: del <row[,row...]>")
+	}
+	var rows []int
+	for _, part := range strings.Split(rest, ",") {
+		row, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("usage: del <row[,row...]> (bad row id %q)", part)
+		}
+		rows = append(rows, row)
+	}
+	if err := s.Delete(rows...); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "deleted %d; %d live tuples\n", len(rows), s.LiveRows())
+	return nil
+}
+
+func watchSet(w io.Writer, s *evolvefd.Session, rest string) error {
+	rowText, cellsText, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: set <row> <c1,c2,...>")
+	}
+	row, err := strconv.Atoi(strings.TrimSpace(rowText))
+	if err != nil {
+		return fmt.Errorf("usage: set <row> <c1,c2,...> (bad row id %q)", rowText)
+	}
+	cells := strings.Split(cellsText, ",")
+	for i := range cells {
+		cells[i] = strings.TrimSpace(cells[i])
+	}
+	if err := s.UpdateStrings(row, cells...); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "updated row %d\n", row)
 	return nil
 }
 

@@ -32,7 +32,7 @@ func TestWatchAppendAndRecheck(t *testing.T) {
 	for _, want := range []string{
 		"watch mode",
 		"violated FDs (repair order)",
-		"appended; 12 tuples",
+		"appended row 11; 12 live tuples",
 		"recheck: 1 measures reused, 0 recomputed",
 		"generation 2",
 	} {
@@ -75,6 +75,33 @@ func TestWatchRepairAcceptLoop(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("repair/accept transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchDeleteAndUpdate(t *testing.T) {
+	out := runWatchScript(t,
+		"check",
+		// Carve the two conflicting (Brookside, Granville) tuples down to
+		// one: first delete row 1 (AreaCode 236), then correct row 0's area
+		// code — after which F1 holds again.
+		"del 1",
+		"check",
+		"set 0 Brookside,Granville,Glendale,613,974-2345,Boxwood,10211,NY,NY",
+		"status",
+		"del 1",                    // already deleted → error
+		"set 99 a,b,c,d,e,f,g,h,i", // out of range → error
+		"quit",
+	)
+	for _, want := range []string{
+		"violated FDs (repair order)",
+		"deleted 1; 10 live tuples",
+		"updated row 0",
+		"10 rows +1 deleted",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delete/update transcript missing %q:\n%s", want, out)
 		}
 	}
 }

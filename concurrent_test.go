@@ -66,7 +66,7 @@ func TestSessionConcurrentDifferential(t *testing.T) {
 
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	repairOpts := evolvefd.Options{FirstOnly: true, MaxAdded: 2, MaxGoodness: -1}
+	repairOpts := evolvefd.Options{FirstOnly: true, MaxAdded: 2}
 	for g := 0; g < readers; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -148,5 +148,147 @@ func TestSessionConcurrentDifferential(t *testing.T) {
 	}
 	if g1, g2 := s.Generation(), replay.Generation(); g1 == 0 || g2 == 0 {
 		t.Fatalf("generations not advancing: %d / %d", g1, g2)
+	}
+}
+
+// dmlOp is one scripted mutation of the concurrent DML differential; the
+// script is generated up front so the concurrent run and the serial replay
+// apply bit-identical traffic.
+type dmlOp struct {
+	kind  byte // 'a'ppend, 'd'elete, 'u'pdate
+	row   int  // target for delete/update
+	tuple []evolvefd.Value
+}
+
+// dmlScript derives a deterministic mixed append/delete/update stream over a
+// session that starts with rows [0, initial) of full, drawing appended
+// tuples and update payloads from full's tail.
+func dmlScript(full *evolvefd.Relation, initial, ops int) []dmlOp {
+	script := make([]dmlOp, 0, ops)
+	dead := make(map[int]bool)
+	total, pool := initial, initial
+	nextLive := func(seed int) int {
+		for row := seed % total; ; row = (row + 1) % total {
+			if !dead[row] {
+				return row
+			}
+		}
+	}
+	for i := 0; i < ops && pool < full.NumRows(); i++ {
+		switch {
+		case i%3 == 0 || total-len(dead) < 2:
+			script = append(script, dmlOp{kind: 'a', tuple: full.Row(pool)})
+			pool++
+			total++
+		case i%3 == 1:
+			row := nextLive(i * 131)
+			dead[row] = true
+			script = append(script, dmlOp{kind: 'd', row: row})
+		default:
+			script = append(script, dmlOp{kind: 'u', row: nextLive(i * 173), tuple: full.Row(pool)})
+			pool++
+		}
+	}
+	return script
+}
+
+func applyDML(t *testing.T, s *evolvefd.Session, ops []dmlOp) {
+	t.Helper()
+	for _, op := range ops {
+		var err error
+		switch op.kind {
+		case 'a':
+			err = s.Append(op.tuple...)
+		case 'd':
+			err = s.Delete(op.row)
+		case 'u':
+			err = s.Update(op.row, op.tuple...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionConcurrentDMLDifferential is the full-DML analogue of
+// TestSessionConcurrentDifferential: Check/Repair/Measures readers hammer
+// the session while a writer applies a scripted mix of appends, deletes and
+// in-place updates, and the final state must equal a serial replay of the
+// same script. Run under -race in CI, this proves the session's locking
+// composes with the counter's shrink-aware invalidation: no torn partitions,
+// no stale measures, identical suggestions.
+func TestSessionConcurrentDMLDifferential(t *testing.T) {
+	const (
+		initial = 300
+		ops     = 150
+		readers = 4
+	)
+	full := datasets.Synthesize("stream", initial+ops, 20260729, concurrentSpecs())
+	s := newConcurrentSession(t, full, initial)
+	script := dmlScript(full, initial, ops)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	repairOpts := evolvefd.Options{FirstOnly: true, MaxAdded: 2}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch (g + i) % 3 {
+				case 0:
+					for _, v := range s.Check() {
+						if v.Measures.Exact {
+							t.Errorf("Check returned exact FD %s as violated", v.Label)
+							return
+						}
+					}
+				case 1:
+					if _, err := s.Repair("F1", repairOpts); err != nil {
+						t.Errorf("Repair: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Measures("F2"); err != nil {
+						t.Errorf("Measures: %v", err)
+						return
+					}
+					s.LiveRows()
+				}
+			}
+		}(g)
+	}
+
+	applyDML(t, s, script)
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	replay := newConcurrentSession(t, full, initial)
+	applyDML(t, replay, script)
+
+	if g1, g2 := s.LiveRows(), replay.LiveRows(); g1 != g2 {
+		t.Fatalf("live rows diverged: %d vs %d", g1, g2)
+	}
+	gotCheck, wantCheck := s.Check(), replay.Check()
+	if !reflect.DeepEqual(gotCheck, wantCheck) {
+		t.Fatalf("final Check diverged from serial replay:\n got %+v\nwant %+v", gotCheck, wantCheck)
+	}
+	for _, v := range wantCheck {
+		got, err1 := s.Repair(v.Label, repairOpts)
+		want, err2 := replay.Repair(v.Label, repairOpts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("final Repair errored: %v / %v", err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("final Repair(%s) diverged from serial replay:\n got %+v\nwant %+v", v.Label, got, want)
+		}
 	}
 }

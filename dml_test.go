@@ -1,0 +1,242 @@
+package evolvefd_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+func TestSessionDeleteUpdateBasics(t *testing.T) {
+	s := placesSession(t)
+	total := s.Relation().NumRows()
+	if s.LiveRows() != total {
+		t.Fatalf("live = %d, want %d", s.LiveRows(), total)
+	}
+	if err := s.Delete(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveRows() != total-2 || s.Relation().NumRows() != total {
+		t.Fatalf("after delete: live %d physical %d", s.LiveRows(), s.Relation().NumRows())
+	}
+	if err := s.Delete(1); err == nil {
+		t.Fatal("double delete must error")
+	}
+	if err := s.UpdateStrings(0,
+		"Brookside", "Granville", "Glendale", "Main St", "613", "5550000", "10211", "NY", "NY",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateStrings(1, "a", "b", "c", "d", "e", "f", "g", "h", "i"); err == nil {
+		t.Fatal("update of deleted row must error")
+	}
+	if got := s.Relation().Value(0, 3).String(); got != "Main St" {
+		t.Fatalf("updated cell = %q", got)
+	}
+}
+
+// TestSessionDeleteRepairsData shows the data-side repair the relative-trust
+// literature motivates: instead of evolving F1's antecedent, the designer
+// deletes (or corrects) the conflicting tuples, and the incremental re-check
+// sees the FD hold again.
+func TestSessionDeleteRepairsData(t *testing.T) {
+	s := evolvefd.NewSession(datasets.Places())
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	violations := s.Check()
+	if len(violations) != 1 {
+		t.Fatalf("fixture: want F1 violated, got %+v", violations)
+	}
+	// The Places conflict is the two (Brookside, Granville) tuples mapping to
+	// area codes 613 and 236: find and delete one side of every X-conflict.
+	rel := s.Relation()
+	type xy struct{ x, y string }
+	first := make(map[string]string)
+	var doomed []int
+	for row := 0; row < rel.NumRows(); row++ {
+		x := rel.Value(row, 0).String() + "\x00" + rel.Value(row, 1).String()
+		y := rel.Value(row, 4).String()
+		if prev, ok := first[x]; ok && prev != y {
+			doomed = append(doomed, row)
+			continue
+		}
+		first[x] = y
+	}
+	if len(doomed) == 0 {
+		t.Fatal("fixture: no conflicting tuples found")
+	}
+	if err := s.Delete(doomed...); err != nil {
+		t.Fatal(err)
+	}
+	if violations := s.Check(); len(violations) != 0 {
+		t.Fatalf("F1 still violated after deleting the conflicts: %+v", violations)
+	}
+	if !s.Consistent() {
+		t.Fatal("session must be consistent after the data-side repair")
+	}
+}
+
+// TestSessionDMLMatchesFreshSession is the facade-level differential test
+// for full DML: after any interleaving of appends, deletes and updates,
+// Check, Measures and Repair through the incremental session must equal a
+// fresh session built over a compacted copy of the same final data.
+func TestSessionDMLMatchesFreshSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	s := placesSession(t)
+	pool := []string{"a", "b", "c", "d"}
+	randomCells := func() []string {
+		cells := make([]string, s.Relation().NumCols())
+		for c := range cells {
+			cells[c] = pool[rng.Intn(len(pool))] + string(rune('0'+rng.Intn(3)))
+		}
+		return cells
+	}
+	liveRows := func() []int {
+		rel := s.Relation()
+		var out []int
+		for row := 0; row < rel.NumRows(); row++ {
+			if !rel.IsDeleted(row) {
+				out = append(out, row)
+			}
+		}
+		return out
+	}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			live := liveRows()
+			switch roll := rng.Intn(3); {
+			case roll == 0 || len(live) < 3:
+				if err := s.AppendStrings(randomCells()...); err != nil {
+					t.Fatal(err)
+				}
+			case roll == 1:
+				if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := s.UpdateStrings(live[rng.Intn(len(live))], randomCells()...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// The clone compacts tombstones away, so the fresh session sees a
+		// physically clean relation holding exactly the live tuples.
+		fresh := evolvefd.NewSession(s.Relation().Clone("fresh"))
+		for _, label := range s.Labels() {
+			text, err := s.FDText(label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := text[strings.Index(text, ":")+1:]
+			if err := fresh.Define(label, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotV, wantV := s.Check(), fresh.Check()
+		if !reflect.DeepEqual(gotV, wantV) {
+			t.Fatalf("round %d Check diverged:\nincremental %+v\nfresh       %+v", round, gotV, wantV)
+		}
+		for _, label := range s.Labels() {
+			got, err1 := s.Measures(label)
+			want, err2 := fresh.Measures(label)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if got != want {
+				t.Fatalf("round %d %s: incremental %+v, fresh %+v", round, label, got, want)
+			}
+		}
+		for _, v := range wantV {
+			got, err1 := s.Repair(v.Label, evolvefd.Options{FirstOnly: true, MaxAdded: 2})
+			want, err2 := fresh.Repair(v.Label, evolvefd.Options{FirstOnly: true, MaxAdded: 2})
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d Repair(%s) diverged:\nincremental %+v\nfresh       %+v",
+					round, v.Label, got, want)
+			}
+		}
+	}
+	if !s.Relation().HasTombstones() {
+		t.Fatal("stream never deleted; test exercised nothing")
+	}
+}
+
+// TestSessionDeleteUpdateReuseMeasures proves the shrink-aware generation
+// stamps at the facade level: DML that provably changes no projection count
+// of an FD leaves its measure cached.
+func TestSessionDeleteUpdateReuseMeasures(t *testing.T) {
+	s := placesSession(t)
+	s.Check()
+	_, cold := s.CacheStats()
+	// Append a duplicate of row 0, then delete it again: every cluster that
+	// grew shrinks back without emptying, so no FD may be recomputed.
+	if err := s.Append(s.Relation().Row(0)...); err != nil {
+		t.Fatal(err)
+	}
+	dup := s.Relation().NumRows() - 1
+	s.Check()
+	if err := s.Delete(dup); err != nil {
+		t.Fatal(err)
+	}
+	s.Check()
+	if _, after := s.CacheStats(); after != cold {
+		t.Fatalf("append+delete of a duplicate recomputed %d measures, want 0", after-cold)
+	}
+	// An update rewriting a row to itself changes nothing either.
+	if err := s.Update(0, s.Relation().Row(0)...); err != nil {
+		t.Fatal(err)
+	}
+	s.Check()
+	if _, after := s.CacheStats(); after != cold {
+		t.Fatalf("identity update recomputed %d measures, want 0", after-cold)
+	}
+	if s.Generation() < 3 {
+		t.Fatalf("generation = %d, want ≥ 3 (append, delete, update batches)", s.Generation())
+	}
+}
+
+// TestSessionDropEvictsCachedMeasures is the regression test for the cache
+// leak: a long-lived session cycling Define/Check/Drop must not accumulate
+// measure entries for FDs it no longer defines.
+func TestSessionDropEvictsCachedMeasures(t *testing.T) {
+	s := evolvefd.NewSession(datasets.Places())
+	s.MustDefine("keep", datasets.PlacesFDs()["F2"])
+	s.Check()
+	baseline := s.CachedMeasures()
+	for i := 0; i < 20; i++ {
+		label := "tmp"
+		if err := s.Define(label, datasets.PlacesFDs()["F1"]); err != nil {
+			t.Fatal(err)
+		}
+		s.Check()
+		s.Drop(label)
+		if got := s.CachedMeasures(); got > baseline {
+			t.Fatalf("cycle %d: cache grew to %d entries (baseline %d); Drop leaks measures",
+				i, got, baseline)
+		}
+	}
+}
+
+// TestSessionAcceptEvictsCachedMeasures: accepting a repair replaces the FD,
+// so the superseded FD's measures must leave the cache with it.
+func TestSessionAcceptEvictsCachedMeasures(t *testing.T) {
+	s := evolvefd.NewSession(datasets.Places())
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	s.Check()
+	before := s.CachedMeasures()
+	sugg, err := s.Repair("F1", evolvefd.Options{FirstOnly: true})
+	if err != nil || len(sugg) == 0 {
+		t.Fatalf("repair failed: %v / %d suggestions", err, len(sugg))
+	}
+	if err := s.Accept("F1", sugg[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Check()
+	if got := s.CachedMeasures(); got > before {
+		t.Fatalf("cache grew from %d to %d entries across Accept; old FD leaked", before, got)
+	}
+}

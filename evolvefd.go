@@ -56,16 +56,19 @@ func OpenCSVReader(name string, r io.Reader, opts CSVOptions) (*Relation, error)
 	return relation.ReadCSV(name, r, opts)
 }
 
-// Options tunes a repair search.
+// Options tunes a repair search. The zero value is the recommended
+// configuration: find every repair, no depth bound, no goodness threshold.
 type Options struct {
 	// FirstOnly stops at the first (minimal) repair.
 	FirstOnly bool
 	// MaxAdded bounds how many attributes a repair may add (0 = unbounded).
 	MaxAdded int
-	// MaxGoodness, when ≥ 0, discards candidates whose |goodness| exceeds
-	// it — the §4.4 extension that keeps key-like attributes out of
-	// repairs. Negative means no threshold.
-	MaxGoodness int
+	// MaxGoodness, when non-nil and ≥ 0, discards candidates whose
+	// |goodness| exceeds it — the §4.4 extension that keeps key-like
+	// attributes out of repairs. Use GoodnessLimit to set it; nil (the zero
+	// value) means no threshold. A threshold of 0 keeps only bijective
+	// candidates, which is why "unset" must be distinguishable from 0.
+	MaxGoodness *int
 	// Parallelism bounds the worker goroutines of the repair search — both
 	// candidate evaluation and best-first frontier expansion. 0 means
 	// GOMAXPROCS, 1 runs serially. Suggestions are identical at every
@@ -95,16 +98,21 @@ func (o Options) repairOptions() core.RepairOptions {
 	if o.Balanced {
 		opts.Objective = core.ObjectiveBalanced
 	}
-	if o.MaxGoodness >= 0 {
-		g := o.MaxGoodness
+	if o.MaxGoodness != nil && *o.MaxGoodness >= 0 {
+		g := *o.MaxGoodness
 		opts.Candidates.MaxGoodness = &g
 	}
 	return opts
 }
 
+// GoodnessLimit returns a MaxGoodness threshold: candidates whose |goodness|
+// exceeds n are discarded from repairs.
+func GoodnessLimit(n int) *int { return &n }
+
 // DefaultOptions returns the recommended settings: find every repair, no
-// depth bound, no goodness threshold.
-func DefaultOptions() Options { return Options{MaxGoodness: -1} }
+// depth bound, no goodness threshold. It is the zero value of Options, so
+// Options{} and DefaultOptions() behave identically.
+func DefaultOptions() Options { return Options{} }
 
 // Measures are the paper's confidence and goodness of one FD on the data.
 type Measures struct {
@@ -143,16 +151,19 @@ type Suggestion struct {
 }
 
 // Session owns one relation instance and a mutable set of named FDs — the
-// unit of the paper's "periodic validation" workflow. The instance may grow:
-// Append and AppendStrings add tuples, and the session maintains its
-// partition state incrementally so that a re-Check after a small batch costs
-// time proportional to the batch, not to the whole relation.
+// unit of the paper's "periodic validation" workflow. The instance may
+// evolve under full DML: Append/AppendStrings add tuples, Delete tombstones
+// them, Update/UpdateStrings correct them in place, and the session
+// maintains its partition state incrementally so that a re-Check after a
+// small batch costs time proportional to the batch, not to the whole
+// relation. Deletes never reindex the column stores, so row ids stay stable
+// for the life of the session.
 //
 // A Session is safe for concurrent use: Check, Measures, Repair and the
 // other read paths may run in parallel with each other (repair searches fan
-// out internally), while Append, Define, Drop and Accept serialise against
-// them. Callers that reach the underlying *Relation through Relation() must
-// not mutate it concurrently with session queries.
+// out internally), while Append, Delete, Update, Define, Drop and Accept
+// serialise against them. Callers that reach the underlying *Relation
+// through Relation() must not mutate it concurrently with session queries.
 type Session struct {
 	// mu orders relation growth and FD-set edits against the read paths;
 	// the counter and measure cache carry their own finer-grained locks.
@@ -197,8 +208,47 @@ func (s *Session) AppendStrings(cells ...string) error {
 	return s.rel.AppendStrings(cells...)
 }
 
-// Generation reports how many append batches the session has folded into
-// its partition state (starting at 1 for the initial instance).
+// Delete removes the tuples with the given row ids from the instance. Rows
+// are tombstoned, not compacted: ids of surviving tuples do not shift, and
+// the maintained partitions shrink in time proportional to the batch — a
+// cluster's count only changes when its last member leaves, so FDs whose
+// projections the deletes leave untouched are not recomputed by the next
+// Check. Deleting an unknown or already-deleted row fails without applying
+// any of the batch.
+func (s *Session) Delete(rows ...int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter.Delete(rows...)
+}
+
+// Update replaces the tuple at one live row id in place — the designer
+// correcting a value rather than evolving the dependency. The row is
+// re-routed between partition clusters incrementally; measures are only
+// recomputed for FDs whose projection counts actually changed.
+func (s *Session) Update(row int, tuple ...Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter.Update(row, tuple...)
+}
+
+// UpdateStrings parses each text cell with the column kind and updates the
+// row in place; empty cells and "NULL" become NULL. See Update.
+func (s *Session) UpdateStrings(row int, cells ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter.UpdateStrings(row, cells...)
+}
+
+// LiveRows returns the number of live (non-deleted) tuples in the instance.
+func (s *Session) LiveRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.LiveRows()
+}
+
+// Generation reports how many mutation batches (append folds, deletes,
+// updates) the session has applied to its partition state (starting at 1 for
+// the initial instance).
 func (s *Session) Generation() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -212,6 +262,15 @@ func (s *Session) CacheStats() (reused, recomputed uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.cache.Stats()
+}
+
+// CachedMeasures reports how many FD measure entries the session currently
+// caches. Dropping or accepting an FD evicts its entry, so the value stays
+// bounded by the defined FD set in long-lived sessions.
+func (s *Session) CachedMeasures() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache.Size()
 }
 
 // Define declares an FD like "A, B -> C" under a unique label.
@@ -237,13 +296,17 @@ func (s *Session) MustDefine(label, spec string) {
 	}
 }
 
-// Drop removes a defined FD.
+// Drop removes a defined FD and evicts its cached measures, so a long-lived
+// session's measure cache tracks the FDs actually defined instead of
+// accumulating every FD ever seen.
 func (s *Session) Drop(label string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.fds[label]; !ok {
+	fd, ok := s.fds[label]
+	if !ok {
 		return
 	}
+	s.cache.Evict(fd)
 	delete(s.fds, label)
 	for i, l := range s.order {
 		if l == label {
@@ -348,6 +411,9 @@ func (s *Session) Accept(label string, suggestion Suggestion) error {
 	}
 	ext := fd.WithExtendedAntecedent(added)
 	ext.Label = label
+	// The accepted FD replaces the old one; its cached measures are dead
+	// weight from here on.
+	s.cache.Evict(fd)
 	s.fds[label] = ext
 	return nil
 }

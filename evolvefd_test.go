@@ -79,7 +79,7 @@ func TestSessionCheckOrder(t *testing.T) {
 
 func TestSessionRepairAndAccept(t *testing.T) {
 	s := placesSession(t)
-	suggestions, err := s.Repair("F1", evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+	suggestions, err := s.Repair("F1", evolvefd.Options{FirstOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestSessionGoodnessThresholdOption(t *testing.T) {
 	s := placesSession(t)
 	// |g| ≤ 0 keeps only bijection-like candidates: Municipal survives for
 	// F1, PhNo (g=3) does not.
-	suggestions, err := s.Repair("F1", evolvefd.Options{MaxAdded: 1, MaxGoodness: 0})
+	suggestions, err := s.Repair("F1", evolvefd.Options{MaxAdded: 1, MaxGoodness: evolvefd.GoodnessLimit(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestSessionBalancedObjectiveOption(t *testing.T) {
 	// option must plumb through without changing this answer.
 	s := placesSession(t)
 	sugg, err := s.Repair("F1", evolvefd.Options{
-		FirstOnly: true, MaxGoodness: -1, Balanced: true,
+		FirstOnly: true, Balanced: true,
 	})
 	if err != nil || len(sugg) != 1 {
 		t.Fatalf("balanced repair: %v %d", err, len(sugg))
@@ -148,7 +148,7 @@ func TestSessionBalancedObjectiveOption(t *testing.T) {
 	}
 	// GoodnessWeight plumbs through too.
 	if _, err := s.Repair("F1", evolvefd.Options{
-		Balanced: true, GoodnessWeight: 0.5, MaxGoodness: -1,
+		Balanced: true, GoodnessWeight: 0.5,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,11 @@ func TestSessionBalancedObjectiveOption(t *testing.T) {
 func TestSessionMinimalOnlyOption(t *testing.T) {
 	s := placesSession(t)
 	s.MustDefine("F4", datasets.PlacesF4())
-	all, err := s.Repair("F4", evolvefd.Options{MaxGoodness: -1})
+	all, err := s.Repair("F4", evolvefd.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	minimal, err := s.Repair("F4", evolvefd.Options{MaxGoodness: -1, MinimalOnly: true})
+	minimal, err := s.Repair("F4", evolvefd.Options{MinimalOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestSessionDropAndConsistent(t *testing.T) {
 	}
 	// Repair F1 and F2; F3 is unrepairable → drop it.
 	for _, label := range []string{"F1", "F2"} {
-		sg, err := s.Repair(label, evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+		sg, err := s.Repair(label, evolvefd.Options{FirstOnly: true})
 		if err != nil || len(sg) == 0 {
 			t.Fatalf("%s: %v %d", label, err, len(sg))
 		}

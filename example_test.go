@@ -19,8 +19,7 @@ func ExampleSession() {
 		fmt.Printf("%s violated: confidence %s, goodness %d\n",
 			v.Label, v.Measures.ConfidenceRatio, v.Measures.Goodness)
 		suggestions, err := session.Repair(v.Label, evolvefd.Options{
-			FirstOnly:   true,
-			MaxGoodness: -1,
+			FirstOnly: true,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -45,9 +44,8 @@ func ExampleSession_balanced() {
 	session.MustDefine("F4", "District -> PhNo")
 
 	suggestions, err := session.Repair("F4", evolvefd.Options{
-		FirstOnly:   true,
-		Balanced:    true,
-		MaxGoodness: -1,
+		FirstOnly: true,
+		Balanced:  true,
 	})
 	if err != nil {
 		log.Fatal(err)

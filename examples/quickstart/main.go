@@ -38,7 +38,7 @@ func main() {
 			v.FD, v.Measures.ConfidenceRatio, v.Measures.Confidence, v.Measures.Goodness)
 
 		// 2. Propose: ranked antecedent extensions that make it exact again.
-		suggestions, err := session.Repair(v.Label, evolvefd.Options{MaxGoodness: -1})
+		suggestions, err := session.Repair(v.Label, evolvefd.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -38,7 +38,7 @@ func TestEndToEndCSVWorkflow(t *testing.T) {
 		t.Fatalf("violations = %d, want 2", len(violations))
 	}
 	for _, v := range violations {
-		sugg, err := s.Repair(v.Label, evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+		sugg, err := s.Repair(v.Label, evolvefd.Options{FirstOnly: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func TestEndToEndAdvisorAgainstSessionFacade(t *testing.T) {
 	// Facade path.
 	s := evolvefd.NewSession(rel)
 	s.MustDefine("F1", "District, Region -> AreaCode")
-	sugg, err := s.Repair("F1", evolvefd.Options{FirstOnly: true, MaxGoodness: -1})
+	sugg, err := s.Repair("F1", evolvefd.Options{FirstOnly: true})
 	if err != nil || len(sugg) != 1 {
 		t.Fatalf("facade repair: %v %d", err, len(sugg))
 	}

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table4", "table5", "figure3", "table6", "table7", "table8",
 		"theorem1", "cb-vs-eb", "discover-vs-repair",
 		"ablation-count", "ablation-parallel", "ablation-queue",
-		"ablation-objective", "incremental", "repairscale",
+		"ablation-objective", "incremental", "repairscale", "churn",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

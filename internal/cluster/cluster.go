@@ -56,6 +56,12 @@ func New(r *relation.Relation, x bitset.Set) *Clustering {
 	index := make(map[string]int, n)
 	key := make([]byte, len(cols)*4)
 	for row := 0; row < n; row++ {
+		if r.IsDeleted(row) {
+			// Tombstoned rows belong to no class.
+			c.rowToClass[row] = -1
+			c.numRows--
+			continue
+		}
 		k := key[:0]
 		for _, codes := range columns {
 			v := codes[row]
@@ -168,10 +174,14 @@ func (c *Clustering) FunctionTo(other *Clustering) ([]int, bool) {
 // JointCounts returns the contingency table between c and other as a sparse
 // map from (class of c, class of other) to the number of shared rows. It is
 // the joint distribution P(k,k′)·n used by the Variation of Information
-// (§5).
+// (§5). Both clusterings must be built over the same relation snapshot (same
+// physical row extent and tombstones).
 func (c *Clustering) JointCounts(other *Clustering) map[[2]int]int {
 	out := make(map[[2]int]int)
-	for row := 0; row < c.numRows; row++ {
+	for row := range c.rowToClass {
+		if c.rowToClass[row] < 0 {
+			continue // tombstoned
+		}
 		out[[2]int{c.rowToClass[row], other.rowToClass[row]}]++
 	}
 	return out
@@ -180,14 +190,20 @@ func (c *Clustering) JointCounts(other *Clustering) map[[2]int]int {
 // Equal reports whether two clusterings partition the rows identically
 // (labels are ignored).
 func (c *Clustering) Equal(other *Clustering) bool {
-	if c.numRows != other.numRows || len(c.classes) != len(other.classes) {
+	// numRows counts live rows; rowToClass spans the physical extent. Both
+	// must match before indexing other by this clustering's row ids.
+	if c.numRows != other.numRows || len(c.rowToClass) != len(other.rowToClass) ||
+		len(c.classes) != len(other.classes) {
 		return false
 	}
 	// Same partition iff the joint table is diagonal-like: every pair maps
 	// one class to exactly one class in both directions.
 	seen := make(map[int]int)
-	for row := 0; row < c.numRows; row++ {
+	for row := range c.rowToClass {
 		a, b := c.rowToClass[row], other.rowToClass[row]
+		if a < 0 {
+			continue // tombstoned
+		}
 		if prev, ok := seen[a]; ok {
 			if prev != b {
 				return false

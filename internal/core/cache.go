@@ -65,7 +65,7 @@ func (mc *MeasureCache) Compute(fd FD) Measures {
 	numXY, genXY := mc.gen.CountWithGen(fd.Attrs())
 	numY, genY := mc.gen.CountWithGen(fd.Y)
 
-	key := fd.X.Key() + "\x00" + fd.Y.Key()
+	key := measureKey(fd)
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if e, ok := mc.entries[key]; ok && e.genX == genX && e.genXY == genXY && e.genY == genY {
@@ -85,6 +85,26 @@ func (mc *MeasureCache) Stats() (hits, misses uint64) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	return mc.hits, mc.misses
+}
+
+// measureKey identifies an FD's cache slot by its attribute sets (labels are
+// presentation, not identity).
+func measureKey(fd FD) string { return fd.X.Key() + "\x00" + fd.Y.Key() }
+
+// Evict drops the cached measures of fd, if present. Long-lived sessions
+// call it when an FD is dropped or replaced so the cache tracks the FDs
+// actually defined instead of growing monotonically.
+func (mc *MeasureCache) Evict(fd FD) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	delete(mc.entries, measureKey(fd))
+}
+
+// Size reports how many FD measure entries are cached.
+func (mc *MeasureCache) Size() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.entries)
 }
 
 // OrderFDsCached is OrderFDs computing measures through a MeasureCache, so a

@@ -88,6 +88,59 @@ func TestMeasureCacheReusesUnchangedFDs(t *testing.T) {
 	}
 }
 
+func TestMeasureCacheEvict(t *testing.T) {
+	r := appendRelation(t, [][]string{
+		{"x", "1", "p"}, {"x", "2", "p"}, {"y", "1", "q"},
+	})
+	fdAB, fdAC := cacheFDs(t, r)
+	mc := NewMeasureCache(pli.NewIncrementalCounter(r))
+	mc.Compute(fdAB)
+	mc.Compute(fdAC)
+	if got := mc.Size(); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+	mc.Evict(fdAB)
+	if got := mc.Size(); got != 1 {
+		t.Fatalf("size after evict = %d, want 1", got)
+	}
+	// The evicted FD recomputes (a fresh miss); the survivor still hits.
+	mc.Compute(fdAB)
+	mc.Compute(fdAC)
+	if hits, misses := mc.Stats(); hits != 1 || misses != 3 {
+		t.Fatalf("post-evict stats = %d hits %d misses, want 1/3", hits, misses)
+	}
+	// Evicting an absent entry is a no-op.
+	mc.Evict(fdAB)
+	mc.Evict(fdAB)
+	if got := mc.Size(); got != 1 {
+		t.Fatalf("size after double evict = %d, want 1", got)
+	}
+}
+
+func TestMeasureCacheEmptyRelationGenerations(t *testing.T) {
+	// Regression for the empty-relation stamp bug: measures computed on an
+	// empty instance (vacuously exact) must not be reused after the first
+	// rows arrive.
+	r := appendRelation(t, nil)
+	fdAB, _ := cacheFDs(t, r)
+	mc := NewMeasureCache(pli.NewIncrementalCounter(r))
+	if m := mc.Compute(fdAB); !m.Exact() {
+		t.Fatalf("empty instance must be vacuously exact, got %+v", m)
+	}
+	for _, row := range [][]string{{"x", "1", "p"}, {"x", "2", "p"}} {
+		if err := r.AppendStrings(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := mc.Compute(fdAB)
+	if m.Exact() {
+		t.Fatalf("a → b is violated by the appended rows, got stale %+v", m)
+	}
+	if want := Compute(pli.NewPLICounter(r), fdAB); m != want {
+		t.Fatalf("post-append measures = %+v, want %+v", m, want)
+	}
+}
+
 func TestMeasureCachePlainCounterFallback(t *testing.T) {
 	r := appendRelation(t, [][]string{{"x", "1", "p"}, {"y", "2", "q"}})
 	fdAB, _ := cacheFDs(t, r)

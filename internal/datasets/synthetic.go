@@ -178,6 +178,9 @@ func InjectDrift(r *relation.Relation, col int, rate float64, seed int64) *relat
 	rng := rand.New(rand.NewSource(seed))
 	out := relation.New(r.Name(), r.Schema())
 	for row := 0; row < r.NumRows(); row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		tuple := r.Row(row)
 		if !tuple[col].IsNull() && rng.Float64() < rate {
 			tuple[col] = relation.String(fmt.Sprintf("%s*drift%d",

@@ -10,14 +10,14 @@ import (
 	"github.com/evolvefd/evolvefd/internal/relation"
 )
 
-// Counter computes distinct-projection cardinalities |π_X(r)| for a fixed
-// relation instance. All FD measures in the paper are ratios/differences of
-// these counts, so a Counter is the only capability the repair algorithms
-// need from the storage layer. Implementations must be safe for concurrent
-// use: candidate evaluation fans out across goroutines.
+// Counter computes distinct-projection cardinalities |π_X(r)| over the live
+// rows of a relation instance. All FD measures in the paper are
+// ratios/differences of these counts, so a Counter is the only capability
+// the repair algorithms need from the storage layer. Implementations must be
+// safe for concurrent use: candidate evaluation fans out across goroutines.
 type Counter interface {
 	// Count returns |π_X(r)| for the attribute set x. An empty x counts as
-	// 1 on non-empty instances and 0 on empty ones.
+	// 1 on instances with live rows and 0 on (effectively) empty ones.
 	Count(x bitset.Set) int
 	// Relation returns the instance the counter is bound to.
 	Relation() *relation.Relation
@@ -201,9 +201,9 @@ func NewPLICounterSize(r *relation.Relation, maxEntries int) *PLICounter {
 // Relation returns the bound instance.
 func (c *PLICounter) Relation() *relation.Relation { return c.r }
 
-// Count returns |π_X(r)| via partition products.
+// Count returns |π_X(r)| via partition products, over live rows only.
 func (c *PLICounter) Count(x bitset.Set) int {
-	if c.r.NumRows() == 0 {
+	if c.r.LiveRows() == 0 {
 		return 0
 	}
 	return c.Partition(x).NumClasses()
@@ -276,7 +276,7 @@ func (c *PLICounter) pinnedPartition(key string, members []int) *Partition {
 	c.pinned[key] = e
 	c.pinnedMu.Unlock()
 	if len(members) == 0 {
-		e.p = universal(c.r.NumRows())
+		e.p = universalOf(c.r)
 	} else {
 		e.p = FromColumn(c.r, members[0])
 	}
@@ -339,17 +339,19 @@ func NewHashCounter(r *relation.Relation) *HashCounter { return &HashCounter{r: 
 // Relation returns the bound instance.
 func (c *HashCounter) Relation() *relation.Relation { return c.r }
 
-// Count returns |π_X(r)| by hashing the code tuple of every row.
+// Count returns |π_X(r)| by hashing the code tuple of every live row.
 func (c *HashCounter) Count(x bitset.Set) int {
 	n := c.r.NumRows()
-	if n == 0 {
+	if c.r.LiveRows() == 0 {
 		return 0
 	}
 	cols := x.Members()
 	if len(cols) == 0 {
 		return 1
 	}
-	if len(cols) == 1 {
+	if len(cols) == 1 && !c.r.Mutated() {
+		// Dictionary shortcut: only sound while no value ever lost its last
+		// occurrence (no deletes or in-place updates).
 		d := c.r.DictLen(cols[0])
 		if c.r.HasNulls(cols[0]) {
 			d++
@@ -363,6 +365,9 @@ func (c *HashCounter) Count(x bitset.Set) int {
 	seen := make(map[string]struct{}, n)
 	key := make([]byte, len(cols)*4)
 	for row := 0; row < n; row++ {
+		if c.r.IsDeleted(row) {
+			continue
+		}
 		seen[string(appendCodeKey(key[:0], columns, row))] = struct{}{}
 	}
 	return len(seen)
@@ -397,10 +402,10 @@ func NewSortCounter(r *relation.Relation) *SortCounter { return &SortCounter{r: 
 // Relation returns the bound instance.
 func (c *SortCounter) Relation() *relation.Relation { return c.r }
 
-// Count returns |π_X(r)| by sort + boundary count.
+// Count returns |π_X(r)| by sort + boundary count over the live rows.
 func (c *SortCounter) Count(x bitset.Set) int {
 	n := c.r.NumRows()
-	if n == 0 {
+	if c.r.LiveRows() == 0 {
 		return 0
 	}
 	cols := x.Members()
@@ -411,9 +416,11 @@ func (c *SortCounter) Count(x bitset.Set) int {
 	for i, col := range cols {
 		columns[i] = c.r.ColumnCodes(col)
 	}
-	rows := make([]int32, n)
-	for i := range rows {
-		rows[i] = int32(i)
+	rows := make([]int32, 0, c.r.LiveRows())
+	for i := 0; i < n; i++ {
+		if !c.r.IsDeleted(i) {
+			rows = append(rows, int32(i))
+		}
 	}
 	sort.Slice(rows, func(a, b int) bool {
 		ra, rb := rows[a], rows[b]
@@ -426,7 +433,7 @@ func (c *SortCounter) Count(x bitset.Set) int {
 		return false
 	})
 	count := 1
-	for i := 1; i < n; i++ {
+	for i := 1; i < len(rows); i++ {
 		prev, cur := rows[i-1], rows[i]
 		for _, codes := range columns {
 			if codes[prev] != codes[cur] {

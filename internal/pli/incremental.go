@@ -1,6 +1,8 @@
 package pli
 
 import (
+	"container/list"
+	"fmt"
 	"sync"
 
 	"github.com/evolvefd/evolvefd/internal/bitset"
@@ -16,56 +18,93 @@ const defaultMaxTracked = 256
 // trackedIndex is the live clustering of one attribute set: a map from the
 // encoded code-tuple of the set's columns to a cluster id, plus the member
 // rows of each cluster (singleton clusters included, unlike the stripped
-// Partition). Keeping the map alive between appends is what makes folding a
-// batch O(batch) instead of O(numRows): each new row hashes straight to its
-// cluster.
+// Partition). Keeping the map alive between mutations is what makes folding
+// a batch O(batch) instead of O(numRows): each appended row hashes straight
+// to its cluster, each deleted row is unlinked from the cluster its codes
+// name, and an updated row moves between the two clusters its old and new
+// codes name.
 type trackedIndex struct {
 	attrs bitset.Set
 	cols  []int
 	ids   map[string]int32 // encoded code tuple → position in rows
-	rows  [][]int32        // cluster id → member rows
-	// lastChanged is the counter generation at which the number of clusters
-	// last changed. Appends that only enlarge existing clusters leave every
-	// distinct-projection count — and therefore every FD measure built from
-	// this set — untouched, and the stamp lets callers prove it.
+	rows  [][]int32        // cluster id → member rows; may be empty after deletes
+	// pos maps a live row to its slot within its cluster slice, so unlinking
+	// a deleted/updated row is O(1) instead of a scan of the cluster — on a
+	// low-cardinality set a single cluster can hold most of the relation.
+	pos map[int32]int32
+	// live is the number of non-empty clusters, i.e. |π_X| over live rows.
+	// It can shrink: deletes empty clusters, updates move rows between them.
+	live int
+	// dead counts the emptied clusters still occupying ids/rows slots (kept
+	// for in-place revival); past a threshold the index is compacted so
+	// sustained churn through high-cardinality values cannot grow it without
+	// bound.
+	dead int
+	// lastChanged is the counter generation at which live last changed — in
+	// either direction. Appends that only enlarge clusters, deletes that only
+	// shrink them without emptying any, and updates that re-route rows
+	// between surviving clusters all leave every distinct-projection count —
+	// and therefore every FD measure built from this set — untouched, and the
+	// stamp lets callers prove it.
 	lastChanged uint64
+	// elem is the index's position in the counter's LRU list of tracked sets.
+	elem *list.Element
 }
 
-// IncrementalCounter is a Counter for a growing relation: it answers
-// |π_X(r)| like PLICounter but folds appended tuples into kept-alive cluster
-// maps instead of recomputing partitions from scratch. It is the engine
-// behind Session.Append — the paper's periodic-validation loop re-checks its
-// FDs every time the data grows, and with this counter the re-check costs
-// O(batch × tracked sets), not O(|r|).
+// IncrementalCounter is a Counter for an evolving relation: it answers
+// |π_X(r)| like PLICounter but folds appended, deleted and updated tuples
+// into kept-alive cluster maps instead of recomputing partitions from
+// scratch. It is the engine behind Session.Append/Delete/Update — the
+// paper's periodic-validation loop re-checks its FDs every time the data
+// changes, and with this counter the re-check costs O(batch × tracked sets),
+// not O(|r|).
 //
 // Two tiers of attribute sets exist:
 //
 //   - Tracked sets (registered via Track or CountWithGen — the facade tracks
 //     the X, XY and Y of every defined FD) are maintained incrementally and
 //     answer Count in O(1), with a generation stamp that only advances when
-//     the count actually changed.
+//     the count actually changed (growth or shrink). Beyond maxTracked sets
+//     the least-recently-used index is evicted.
 //   - Untracked sets (the thousands of candidate antecedents a repair search
 //     probes once each) delegate to an internal PLICounter that is rebuilt
-//     lazily whenever the relation has grown — generation-stamped
-//     invalidation of the cached composite partitions.
+//     lazily whenever the relation has mutated — generation-stamped
+//     invalidation of the cached composite partitions, tombstone shrinks
+//     included.
 //
-// Like every Counter, an IncrementalCounter is safe for concurrent use; rows
-// must not be appended to the relation concurrently with queries.
+// Appends may go straight to the relation (they are folded in on the next
+// query); deletes and updates must go through Delete/Update/UpdateStrings so
+// the tracked clusters shrink in O(ops). A mutation applied to the relation
+// behind the counter's back is detected via relation.Mutations and answered
+// by rebuilding every tracked index — correct, just no longer incremental.
+//
+// Like every Counter, an IncrementalCounter is safe for concurrent use; the
+// relation must not be mutated concurrently with queries.
 type IncrementalCounter struct {
 	r  *relation.Relation
 	mu sync.Mutex
-	// gen counts applied append batches; it starts at 1 so a zero stamp never
-	// collides with a live one.
-	gen     uint64
-	applied int // rows folded into every tracked index so far
-	tracked map[string]*trackedIndex
-	// order tracks insertion order of tracked sets for FIFO eviction.
-	order      []string
+	// gen counts applied mutation batches (append folds, delete batches,
+	// updates); it starts at 1 so a zero stamp never collides with a live one.
+	gen         uint64
+	appliedRows int    // physical rows folded into every tracked index so far
+	appliedMuts uint64 // relation.Mutations() value the tracked state reflects
+	tracked     map[string]*trackedIndex
+	// lru orders tracked sets by recency of use (front = least recently
+	// used); eviction beyond maxTracked drops the front so the hot X/XY/Y
+	// indices of live FDs survive cold one-shot sets.
+	lru        *list.List
 	maxTracked int
+	// emptyGen is the generation at which the relation last crossed between
+	// zero and non-zero live rows — the stamp of the empty set's count, whose
+	// only possible change is that 0↔1 flip.
+	emptyGen uint64
+	wasEmpty bool
 	// inner serves untracked sets; rebuilt when stale (innerGen != gen).
 	inner    *PLICounter
 	innerGen uint64
 	keyBuf   []byte
+	colBuf   [][]int32
+	oldCodes []int32
 }
 
 // NewIncrementalCounter builds an incremental counter over r with the
@@ -81,19 +120,24 @@ func NewIncrementalCounterSize(r *relation.Relation, maxTracked int) *Incrementa
 		maxTracked = 4
 	}
 	return &IncrementalCounter{
-		r:          r,
-		gen:        1,
-		applied:    r.NumRows(),
-		tracked:    make(map[string]*trackedIndex),
-		maxTracked: maxTracked,
+		r:           r,
+		gen:         1,
+		appliedRows: r.NumRows(),
+		appliedMuts: r.Mutations(),
+		tracked:     make(map[string]*trackedIndex),
+		lru:         list.New(),
+		maxTracked:  maxTracked,
+		emptyGen:    1,
+		wasEmpty:    r.LiveRows() == 0,
 	}
 }
 
 // Relation returns the bound instance.
 func (c *IncrementalCounter) Relation() *relation.Relation { return c.r }
 
-// Generation reports how many append batches have been folded in (starting
-// at 1). It advances exactly when the relation grew since the last query.
+// Generation reports how many mutation batches have been folded in (starting
+// at 1). It advances exactly when the relation changed since the last query:
+// an append batch, a delete batch, or an update.
 func (c *IncrementalCounter) Generation() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -102,7 +146,7 @@ func (c *IncrementalCounter) Generation() uint64 {
 }
 
 // Track registers x for incremental maintenance. Tracking an already-tracked
-// set is a no-op; the empty set needs no index and is ignored.
+// set refreshes its recency; the empty set needs no index and is ignored.
 func (c *IncrementalCounter) Track(x bitset.Set) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -117,13 +161,22 @@ func (c *IncrementalCounter) TrackedSets() int {
 	return len(c.tracked)
 }
 
-// Count returns |π_X(r)|. Tracked sets answer in O(1); untracked sets go
-// through the internal PLICounter, which is invalidated and rebuilt whenever
-// the relation has grown.
+// isTracked reports whether x currently has a live index (for tests).
+func (c *IncrementalCounter) isTracked(x bitset.Set) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.tracked[x.Key()]
+	return ok
+}
+
+// Count returns |π_X(r)| over live rows. Tracked sets answer in O(1) and are
+// refreshed to most-recently-used; untracked sets go through the internal
+// PLICounter, which is invalidated and rebuilt whenever the relation has
+// mutated.
 func (c *IncrementalCounter) Count(x bitset.Set) int {
 	c.mu.Lock()
 	c.sync()
-	if c.r.NumRows() == 0 {
+	if c.r.LiveRows() == 0 {
 		c.mu.Unlock()
 		return 0
 	}
@@ -132,7 +185,8 @@ func (c *IncrementalCounter) Count(x bitset.Set) int {
 		return 1
 	}
 	if idx, ok := c.tracked[x.Key()]; ok {
-		n := len(idx.rows)
+		c.lru.MoveToBack(idx.elem)
+		n := idx.live
 		c.mu.Unlock()
 		return n
 	}
@@ -145,30 +199,29 @@ func (c *IncrementalCounter) Count(x bitset.Set) int {
 // count last changed, tracking x if it was not tracked yet. Two calls
 // returning the same generation are guaranteed to have returned the same
 // count, which is what lets a measure cache skip FDs whose partitions did
-// not change across an append.
+// not change across a mutation batch — growth and shrink alike.
 func (c *IncrementalCounter) CountWithGen(x bitset.Set) (int, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sync()
 	if x.IsEmpty() {
-		// The count only flips between 0 and 1 when the first row arrives;
-		// stamp it with the creation generation.
-		if c.r.NumRows() == 0 {
-			return 0, 1
+		// The empty set's count flips between 0 and 1 exactly when the live
+		// row count crosses zero; emptyGen is the generation of that flip, so
+		// the "same generation ⇒ same count" invariant holds even across an
+		// empty → populated → empty lifecycle.
+		if c.r.LiveRows() == 0 {
+			return 0, c.emptyGen
 		}
-		return 1, 1
+		return 1, c.emptyGen
 	}
 	idx := c.track(x)
-	if c.r.NumRows() == 0 {
-		return 0, idx.lastChanged
-	}
-	return len(idx.rows), idx.lastChanged
+	return idx.live, idx.lastChanged
 }
 
-// Partition materialises the stripped partition of x. Tracked sets build it
-// from the live cluster map; untracked sets go through the internal
-// PLICounter, so repair searches probing the same set repeatedly hit its
-// sharded cache instead of refolding columns.
+// Partition materialises the stripped partition of x over the live rows.
+// Tracked sets build it from the live cluster map; untracked sets go through
+// the internal PLICounter, so repair searches probing the same set repeatedly
+// hit its sharded cache instead of refolding columns.
 func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
 	c.mu.Lock()
 	c.sync()
@@ -178,7 +231,8 @@ func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
 		c.mu.Unlock()
 		return inner.Partition(x)
 	}
-	p := &Partition{numRows: c.r.NumRows()}
+	c.lru.MoveToBack(idx.elem)
+	p := &Partition{numRows: c.r.LiveRows(), extent: c.r.NumRows()}
 	for _, rows := range idx.rows {
 		if len(rows) >= 2 {
 			cls := make([]int32, len(rows))
@@ -190,49 +244,180 @@ func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
 	return p
 }
 
+// Delete tombstones the given rows in the relation and unlinks them from
+// every tracked cluster in O(rows × tracked sets). Cluster counts shrink
+// exactly when a cluster empties, and only then does the set's generation
+// stamp advance. The delete fails atomically on an out-of-range or
+// already-deleted row.
+func (c *IncrementalCounter) Delete(rows ...int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	if err := c.r.Delete(rows...); err != nil {
+		return err
+	}
+	c.gen++
+	for _, idx := range c.tracked {
+		c.unfold(idx, rows)
+		maybeCompact(idx)
+	}
+	c.appliedMuts = c.r.Mutations()
+	c.noteLiveness()
+	return nil
+}
+
+// Update rewrites one live row in place and re-routes it between clusters:
+// for each tracked set the row leaves the cluster its old codes name and
+// joins the one its new codes name. A set's count — and hence its generation
+// stamp — changes only when that move empties the old cluster or opens a new
+// one (and not when both happen at once, which leaves |π_X| unchanged).
+func (c *IncrementalCounter) Update(row int, tuple ...relation.Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	if row < 0 || row >= c.r.NumRows() || c.r.IsDeleted(row) {
+		// Reuse the relation's error wording without touching tracked state.
+		return c.r.Update(row, tuple...)
+	}
+	// Snapshot the row's codes before the cells change: they name the old
+	// clusters, and diffing them against the updated codes tells which
+	// tracked sets the update touches at all.
+	ncols := c.r.NumCols()
+	if cap(c.oldCodes) < ncols {
+		c.oldCodes = make([]int32, ncols)
+	}
+	oldCodes := c.oldCodes[:ncols]
+	for col := 0; col < ncols; col++ {
+		oldCodes[col] = c.r.ColumnCodes(col)[row]
+	}
+	if err := c.r.Update(row, tuple...); err != nil {
+		return err
+	}
+	c.gen++
+	var changed bitset.Set
+	for col := 0; col < ncols; col++ {
+		if c.r.ColumnCodes(col)[row] != oldCodes[col] {
+			changed.Add(col)
+		}
+	}
+	if !changed.IsEmpty() {
+		for _, idx := range c.tracked {
+			// Sets disjoint from the changed columns keep the row in the same
+			// cluster; only intersecting sets re-route (their keys necessarily
+			// differ: the key encodes the changed code).
+			if !idx.attrs.Intersects(changed) {
+				continue
+			}
+			oldKey := string(c.oldRowKey(idx, oldCodes))
+			newKey := string(c.rowKey(idx, row))
+			before := idx.live
+			c.unlink(idx, oldKey, int32(row))
+			c.link(idx, newKey, int32(row))
+			if idx.live != before {
+				idx.lastChanged = c.gen
+			}
+			maybeCompact(idx)
+		}
+	}
+	c.appliedMuts = c.r.Mutations()
+	c.noteLiveness()
+	return nil
+}
+
+// UpdateStrings parses each text cell with the column kind and updates the
+// row; empty cells and "NULL" become NULL. See Update.
+func (c *IncrementalCounter) UpdateStrings(row int, cells ...string) error {
+	tuple, err := c.r.ParseTuple(cells...)
+	if err != nil {
+		return err
+	}
+	return c.Update(row, tuple...)
+}
+
 // sync folds rows appended since the last query into every tracked index and
-// bumps the generation. Callers must hold c.mu.
+// bumps the generation. If the relation was deleted from or updated without
+// going through this counter, every tracked index is rebuilt from scratch
+// instead — correct, just not incremental. Callers must hold c.mu.
 func (c *IncrementalCounter) sync() {
-	n := c.r.NumRows()
-	if n == c.applied {
+	if c.r.Mutations() != c.appliedMuts {
+		c.gen++
+		for _, idx := range c.tracked {
+			c.rebuild(idx)
+		}
+		c.appliedRows = c.r.NumRows()
+		c.appliedMuts = c.r.Mutations()
+		c.noteLiveness()
 		return
 	}
-	from := c.applied
+	n := c.r.NumRows()
+	if n == c.appliedRows {
+		return
+	}
+	from := c.appliedRows
 	c.gen++
 	for _, idx := range c.tracked {
 		c.fold(idx, from, n)
 	}
-	c.applied = n
+	c.appliedRows = n
+	c.noteLiveness()
 }
 
-// track returns the index for x, building it (over all current rows) on
-// first use. Callers must hold c.mu and have synced.
+// noteLiveness stamps emptyGen when the live-row count crossed zero in the
+// batch that just bumped c.gen. Callers must hold c.mu.
+func (c *IncrementalCounter) noteLiveness() {
+	empty := c.r.LiveRows() == 0
+	if empty != c.wasEmpty {
+		c.emptyGen = c.gen
+		c.wasEmpty = empty
+	}
+}
+
+// track returns the index for x, building it (over all current live rows) on
+// first use and refreshing its LRU position otherwise. Callers must hold
+// c.mu and have synced.
 func (c *IncrementalCounter) track(x bitset.Set) *trackedIndex {
 	key := x.Key()
 	if idx, ok := c.tracked[key]; ok {
+		c.lru.MoveToBack(idx.elem)
 		return idx
 	}
 	idx := &trackedIndex{
-		attrs:       x.Clone(),
-		cols:        x.Members(),
-		ids:         make(map[string]int32),
-		lastChanged: c.gen,
+		attrs: x.Clone(),
+		cols:  x.Members(),
+		ids:   make(map[string]int32),
+		pos:   make(map[int32]int32),
 	}
 	c.fold(idx, 0, c.r.NumRows())
 	idx.lastChanged = c.gen
 	c.tracked[key] = idx
-	c.order = append(c.order, key)
+	idx.elem = c.lru.PushBack(key)
 	for len(c.tracked) > c.maxTracked {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.tracked, oldest)
+		front := c.lru.Front()
+		c.lru.Remove(front)
+		delete(c.tracked, front.Value.(string))
 	}
 	return idx
 }
 
-// fold routes rows [from, to) of the relation into idx's clusters, stamping
-// lastChanged if a new cluster appeared (the only way any count changes:
-// rows are never deleted, so clusters only ever grow or split off fresh).
+// rebuild refolds idx from scratch over the current live rows — the fallback
+// for mutations that bypassed the counter. Callers must hold c.mu and have
+// bumped the generation.
+func (c *IncrementalCounter) rebuild(idx *trackedIndex) {
+	idx.ids = make(map[string]int32)
+	idx.rows = idx.rows[:0]
+	idx.pos = make(map[int32]int32)
+	idx.live = 0
+	idx.dead = 0
+	c.fold(idx, 0, c.r.NumRows())
+	idx.lastChanged = c.gen
+}
+
+// fold routes live rows [from, to) of the relation into idx's clusters,
+// stamping lastChanged if the cluster count changed (a fresh cluster
+// appeared, or an emptied one came back to life).
 func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 	cols := make([][]int32, len(idx.cols))
 	for i, col := range idx.cols {
@@ -243,15 +428,24 @@ func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 	}
 	changed := false
 	for row := from; row < to; row++ {
+		if c.r.IsDeleted(row) {
+			continue
+		}
 		k := appendCodeKey(c.keyBuf[:0], cols, row)
 		id, ok := idx.ids[string(k)]
 		if !ok {
 			id = int32(len(idx.rows))
 			idx.ids[string(k)] = id
 			idx.rows = append(idx.rows, nil)
+			idx.live++
+			changed = true
+		} else if len(idx.rows[id]) == 0 {
+			idx.live++
+			idx.dead--
 			changed = true
 		}
 		idx.rows[id] = append(idx.rows[id], int32(row))
+		idx.pos[int32(row)] = int32(len(idx.rows[id]) - 1)
 	}
 	c.keyBuf = c.keyBuf[:0]
 	if changed {
@@ -259,12 +453,135 @@ func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 	}
 }
 
+// unfold unlinks freshly-tombstoned rows from idx's clusters, stamping
+// lastChanged if any cluster emptied (the only way a delete changes |π_X|:
+// shrinking a cluster from k ≥ 2 rows to k−1 leaves the count alone).
+// Callers must hold c.mu and have bumped the generation.
+func (c *IncrementalCounter) unfold(idx *trackedIndex, rows []int) {
+	changed := false
+	for _, row := range rows {
+		key := string(c.rowKey(idx, row))
+		before := idx.live
+		c.unlink(idx, key, int32(row))
+		if idx.live != before {
+			changed = true
+		}
+	}
+	if changed {
+		idx.lastChanged = c.gen
+	}
+}
+
+// rowKey encodes the row's code tuple over idx's columns into the shared key
+// buffer, via the same canonical appendCodeKey encoding fold uses — cluster
+// lookups on delete/update must agree byte-for-byte with the keys the folds
+// stored. The codes of tombstoned rows remain readable, which is what lets a
+// delete locate the clusters the row leaves. Callers must hold c.mu.
+func (c *IncrementalCounter) rowKey(idx *trackedIndex, row int) []byte {
+	cols := c.colBuf[:0]
+	for _, col := range idx.cols {
+		cols = append(cols, c.r.ColumnCodes(col))
+	}
+	c.colBuf = cols
+	if need := len(idx.cols) * 4; cap(c.keyBuf) < need {
+		c.keyBuf = make([]byte, 0, need)
+	}
+	return appendCodeKey(c.keyBuf[:0], cols, row)
+}
+
+// oldRowKey is rowKey over a pre-update snapshot of the row's codes (one
+// code per relation column), through the same canonical encoding.
+func (c *IncrementalCounter) oldRowKey(idx *trackedIndex, oldCodes []int32) []byte {
+	cols := c.colBuf[:0]
+	for _, col := range idx.cols {
+		cols = append(cols, oldCodes[col:col+1])
+	}
+	c.colBuf = cols
+	if need := len(idx.cols) * 4; cap(c.keyBuf) < need {
+		c.keyBuf = make([]byte, 0, need)
+	}
+	return appendCodeKey(c.keyBuf[:0], cols, 0)
+}
+
+// unlink removes row from the cluster key names in O(1) (swap-remove at the
+// slot the pos index records), decrementing live if the cluster empties. The
+// empty cluster keeps its id so a later row with the same codes revives it
+// in place.
+func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
+	id, ok := idx.ids[key]
+	if !ok {
+		// The tracked state and the relation disagree; this cannot happen
+		// while mutations flow through the counter.
+		panic(fmt.Sprintf("pli: tracked index for %v lost cluster of row %d", idx.cols, row))
+	}
+	slot, ok := idx.pos[row]
+	if !ok {
+		panic(fmt.Sprintf("pli: tracked index for %v lost slot of row %d", idx.cols, row))
+	}
+	members := idx.rows[id]
+	last := members[len(members)-1]
+	members[slot] = last
+	idx.pos[last] = slot
+	idx.rows[id] = members[:len(members)-1]
+	delete(idx.pos, row)
+	if len(idx.rows[id]) == 0 {
+		idx.live--
+		idx.dead++
+	}
+}
+
+// maybeCompact drops an index's emptied cluster slots once they outnumber
+// the live ones (beyond a floor that lets revival churn stay cheap). Counts,
+// slots within clusters and generation stamps are all unchanged — this is
+// pure storage reclamation, invisible to every query.
+func maybeCompact(idx *trackedIndex) {
+	if idx.dead <= 64 || idx.dead <= idx.live {
+		return
+	}
+	remap := make([]int32, len(idx.rows))
+	compacted := make([][]int32, 0, idx.live)
+	for id, members := range idx.rows {
+		if len(members) == 0 {
+			remap[id] = -1
+			continue
+		}
+		remap[id] = int32(len(compacted))
+		compacted = append(compacted, members)
+	}
+	for key, id := range idx.ids {
+		if remap[id] < 0 {
+			delete(idx.ids, key)
+		} else {
+			idx.ids[key] = remap[id]
+		}
+	}
+	idx.rows = compacted
+	idx.dead = 0
+}
+
+// link adds row to the cluster key names, creating or reviving the cluster
+// (and incrementing live) as needed.
+func (c *IncrementalCounter) link(idx *trackedIndex, key string, row int32) {
+	id, ok := idx.ids[key]
+	if !ok {
+		id = int32(len(idx.rows))
+		idx.ids[key] = id
+		idx.rows = append(idx.rows, nil)
+		idx.live++
+	} else if len(idx.rows[id]) == 0 {
+		idx.live++
+		idx.dead--
+	}
+	idx.rows[id] = append(idx.rows[id], row)
+	idx.pos[row] = int32(len(idx.rows[id]) - 1)
+}
+
 // ChildPartition returns the partition of x ∪ {attr}, delegating to the
 // internal PLICounter's search-aware fast path (one product off the parent's
 // partition on a miss). Together with Partition this makes the incremental
 // counter a SearchCounter, so repair searches over a session reuse parent
-// partitions exactly like the plain PLI strategy. Rows must not be appended
-// concurrently with an in-flight search.
+// partitions exactly like the plain PLI strategy. The relation must not be
+// mutated concurrently with an in-flight search.
 func (c *IncrementalCounter) ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition {
 	c.mu.Lock()
 	c.sync()
@@ -274,8 +591,10 @@ func (c *IncrementalCounter) ChildPartition(x bitset.Set, parent *Partition, att
 }
 
 // delegate returns the inner PLICounter for untracked sets, rebuilding it if
-// the relation grew since it was cached. Callers must hold c.mu and have
-// synced; the returned counter is safe to use after releasing the lock.
+// the relation mutated since it was cached — appends, deletes and updates
+// all advance the generation, so a stale sharded LRU of composite partitions
+// is never served. Callers must hold c.mu and have synced; the returned
+// counter is safe to use after releasing the lock.
 func (c *IncrementalCounter) delegate() *PLICounter {
 	if c.inner == nil || c.innerGen != c.gen {
 		c.inner = NewPLICounter(c.r)

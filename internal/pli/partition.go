@@ -24,22 +24,40 @@ import (
 // only classes with at least two rows are stored explicitly; singleton
 // classes are implied. The number of classes |π_X| is recovered as
 // numRows − Σ(|c|−1) over stored classes.
+//
+// On a relation with tombstones a partition covers the live rows only:
+// numRows is the live tuple count, while extent is the physical row-id range
+// (member row ids may reach up to extent−1, which is what probe tables must
+// be sized by).
 type Partition struct {
 	classes [][]int32
 	numRows int
+	extent  int
 }
 
-// FromColumn builds the partition induced by a single column. NULL cells
-// (code −1) form their own class, consistent with COUNT(DISTINCT) treating
-// NULL as one group in GROUP BY semantics.
+// FromColumn builds the partition induced by a single column over the live
+// rows. NULL cells (code −1) form their own class, consistent with
+// COUNT(DISTINCT) treating NULL as one group in GROUP BY semantics.
 func FromColumn(r *relation.Relation, col int) *Partition {
 	codes := r.ColumnCodes(col)
 	// groups indexed by code+1 so NULL (−1) lands at 0.
 	groups := make([][]int32, r.DictLen(col)+1)
-	for row, code := range codes {
-		groups[code+1] = append(groups[code+1], int32(row))
+	live := len(codes)
+	if !r.HasTombstones() {
+		for row, code := range codes {
+			groups[code+1] = append(groups[code+1], int32(row))
+		}
+	} else {
+		live = 0
+		for row, code := range codes {
+			if r.IsDeleted(row) {
+				continue
+			}
+			live++
+			groups[code+1] = append(groups[code+1], int32(row))
+		}
 	}
-	p := &Partition{numRows: len(codes)}
+	p := &Partition{numRows: live, extent: len(codes)}
 	for _, g := range groups {
 		if len(g) >= 2 {
 			p.classes = append(p.classes, g)
@@ -50,11 +68,11 @@ func FromColumn(r *relation.Relation, col int) *Partition {
 
 // FromSet builds the partition induced by an attribute set by multiplying
 // single-column partitions left to right. An empty set yields the single
-// all-rows class.
+// all-live-rows class.
 func FromSet(r *relation.Relation, x bitset.Set) *Partition {
 	cols := x.Members()
 	if len(cols) == 0 {
-		return universal(r.NumRows())
+		return universalOf(r)
 	}
 	p := FromColumn(r, cols[0])
 	for _, c := range cols[1:] {
@@ -63,9 +81,10 @@ func FromSet(r *relation.Relation, x bitset.Set) *Partition {
 	return p
 }
 
-// universal is the partition with one class holding every row.
+// universal is the partition with one class holding rows 0..n−1 — the
+// empty-set partition of a tombstone-free instance.
 func universal(n int) *Partition {
-	p := &Partition{numRows: n}
+	p := &Partition{numRows: n, extent: n}
 	if n >= 2 {
 		all := make([]int32, n)
 		for i := range all {
@@ -76,8 +95,37 @@ func universal(n int) *Partition {
 	return p
 }
 
-// NumRows returns the number of tuples the partition covers.
+// universalOf is the empty-set partition of r: one class holding every live
+// row.
+func universalOf(r *relation.Relation) *Partition {
+	if !r.HasTombstones() {
+		return universal(r.NumRows())
+	}
+	p := &Partition{numRows: r.LiveRows(), extent: r.NumRows()}
+	if p.numRows >= 2 {
+		all := make([]int32, 0, p.numRows)
+		for row := 0; row < r.NumRows(); row++ {
+			if !r.IsDeleted(row) {
+				all = append(all, int32(row))
+			}
+		}
+		p.classes = [][]int32{all}
+	}
+	return p
+}
+
+// NumRows returns the number of (live) tuples the partition covers.
 func (p *Partition) NumRows() int { return p.numRows }
+
+// probeExtent returns the size a row-indexed probe table needs: the physical
+// row-id range, which exceeds numRows when the source relation carries
+// tombstones.
+func (p *Partition) probeExtent() int {
+	if p.extent > p.numRows {
+		return p.extent
+	}
+	return p.numRows
+}
 
 // NumClasses returns |π_X|: the number of equivalence classes, counting the
 // implied singletons.
@@ -128,8 +176,8 @@ func NewScratch(n int) *productScratch {
 // temporary tables are allocated; passing a scratch from NewScratch reuses
 // them across calls.
 func (p *Partition) Product(q *Partition, scratch *productScratch) *Partition {
-	if scratch == nil || len(scratch.probe) < p.numRows {
-		scratch = NewScratch(p.numRows)
+	if scratch == nil || len(scratch.probe) < p.probeExtent() {
+		scratch = NewScratch(p.probeExtent())
 	}
 	probe := scratch.probe
 	// Mark rows belonging to lhs stripped classes.
@@ -146,7 +194,7 @@ func (p *Partition) Product(q *Partition, scratch *productScratch) *Partition {
 		accum[i] = accum[i][:0]
 	}
 
-	out := &Partition{numRows: p.numRows}
+	out := &Partition{numRows: p.numRows, extent: p.extent}
 	touched := make([]int32, 0, 16)
 	for _, class := range q.classes {
 		touched = touched[:0]

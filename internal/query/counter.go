@@ -37,7 +37,7 @@ func (c *Counter) Relation() *relation.Relation { return c.rel }
 
 // Count returns |π_X(r)| by running SELECT COUNT(DISTINCT …) FROM r.
 func (c *Counter) Count(x bitset.Set) int {
-	if c.rel.NumRows() == 0 {
+	if c.rel.LiveRows() == 0 {
 		return 0
 	}
 	cols := x.Members()
@@ -84,6 +84,9 @@ func anyColumnAllNullGroups(rel *relation.Relation, cols []int) bool {
 		return rel.HasNulls(cols[0])
 	}
 	for row := 0; row < rel.NumRows(); row++ {
+		if rel.IsDeleted(row) {
+			continue
+		}
 		allNull := true
 		for _, c := range cols {
 			if !rel.IsNull(row, c) {

@@ -138,10 +138,14 @@ func resolveExpr(rel *relation.Relation, e Expr) error {
 	return nil
 }
 
-// filterRows returns the row indices passing the WHERE clause.
+// filterRows returns the live row indices passing the WHERE clause
+// (tombstoned rows are invisible to SQL, like in any DBMS).
 func filterRows(rel *relation.Relation, where Expr) ([]int, error) {
-	rows := make([]int, 0, rel.NumRows())
+	rows := make([]int, 0, rel.LiveRows())
 	for row := 0; row < rel.NumRows(); row++ {
+		if rel.IsDeleted(row) {
+			continue
+		}
 		if where == nil || truthy(where.eval(rel, row)) {
 			rows = append(rows, row)
 		}

@@ -177,6 +177,9 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 	}
 	rec := make([]string, r.NumCols())
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		for i := range rec {
 			rec[i] = r.Value(row, i).String()
 		}

@@ -12,12 +12,14 @@ import "github.com/evolvefd/evolvefd/internal/bitset"
 // attributes occurring in FDs must be NULL-free (§6.2.1).
 func (r *Relation) DistinctCount(cols []int) int {
 	if len(cols) == 0 {
-		if r.rows == 0 {
+		if r.LiveRows() == 0 {
 			return 0
 		}
 		return 1
 	}
-	if len(cols) == 1 {
+	if len(cols) == 1 && !r.Mutated() {
+		// Dictionary shortcut: only sound while every interned value still
+		// occurs (no deletes or in-place updates ever happened).
 		n := r.DictLen(cols[0])
 		if r.HasNulls(cols[0]) {
 			n++
@@ -27,6 +29,9 @@ func (r *Relation) DistinctCount(cols []int) int {
 	seen := make(map[string]struct{}, r.rows)
 	key := make([]byte, 0, len(cols)*4)
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		key = key[:0]
 		for _, c := range cols {
 			code := r.cols[c][row]
@@ -58,6 +63,9 @@ func (r *Relation) SatisfiesFDPairwise(x, y bitset.Set) bool {
 	firstY := make(map[string][]int32, r.rows)
 	key := make([]byte, 0, len(xs)*4)
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		key = key[:0]
 		for _, c := range xs {
 			code := r.cols[c][row]

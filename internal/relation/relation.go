@@ -41,15 +41,28 @@ func (d *dict) lookup(v Value) (int32, bool) {
 // as sets of tuples; duplicates do not affect any of the distinct-projection
 // measures, and Relation preserves physical duplicates like a SQL table does.
 //
-// Relation is append-only: rows are added with Append and never modified,
-// which lets PLIs and caches reference its code slices without copying.
+// Storage is append-plus-tombstones: rows are added with Append and removed
+// with Delete, which only marks the row dead — the column stores are never
+// reindexed, so PLIs and caches can reference code slices without copying and
+// row ids stay stable across the life of the instance. Update rewrites the
+// cells of one live row in place. Row-count accessors distinguish the
+// physical extent (NumRows, the valid row-id range) from the live tuple count
+// (LiveRows); all distinct-projection counts are over live tuples only.
 type Relation struct {
 	name   string
 	schema *Schema
 	cols   [][]int32
 	dicts  []*dict
-	nulls  []int // per-column count of NULL cells
+	nulls  []int // per-column count of NULL cells in live rows
 	rows   int
+	// dead marks tombstoned rows; nil until the first Delete. Its length, when
+	// non-nil, always equals rows.
+	dead    []bool
+	deleted int
+	// mutations counts Delete/Update calls. Counters that maintain
+	// incremental state compare it against the value they have applied to
+	// detect out-of-band mutations (appends are detected by row growth).
+	mutations uint64
 }
 
 // New creates an empty relation instance with the given name and schema.
@@ -73,16 +86,38 @@ func (r *Relation) Name() string { return r.name }
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
-// NumRows returns |r|, the number of tuples.
+// NumRows returns the physical row extent: the number of tuples ever
+// appended, tombstoned rows included. Valid row ids are [0, NumRows).
 func (r *Relation) NumRows() int { return r.rows }
+
+// LiveRows returns |r|, the number of live (non-tombstoned) tuples — the
+// cardinality every projection count and FD measure is defined over.
+func (r *Relation) LiveRows() int { return r.rows - r.deleted }
+
+// NumDeleted returns how many rows are tombstoned.
+func (r *Relation) NumDeleted() int { return r.deleted }
+
+// HasTombstones reports whether any row has been deleted.
+func (r *Relation) HasTombstones() bool { return r.deleted > 0 }
+
+// IsDeleted reports whether the row is tombstoned.
+func (r *Relation) IsDeleted(row int) bool { return r.dead != nil && r.dead[row] }
+
+// Mutations counts the Delete and Update calls applied to the instance.
+// Incremental counters use it to detect mutations that did not go through
+// them (appends are detected by NumRows growth instead).
+func (r *Relation) Mutations() uint64 { return r.mutations }
+
+// Mutated reports whether the instance was ever deleted from or updated.
+// Dictionary-based shortcuts (DictLen as |π_A|) are only valid when false.
+func (r *Relation) Mutated() bool { return r.mutations > 0 }
 
 // NumCols returns |R|, the number of attributes.
 func (r *Relation) NumCols() int { return r.schema.Len() }
 
-// Append adds one tuple. The number of values must match the schema arity;
-// non-NULL values must match the column kind. Integer values are accepted in
-// float columns and widened.
-func (r *Relation) Append(tuple ...Value) error {
+// validateTuple checks a tuple against the schema, widening int values in
+// float columns in place — the shared typed front end of Append and Update.
+func (r *Relation) validateTuple(tuple []Value) error {
 	if len(tuple) != r.schema.Len() {
 		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d",
 			r.name, len(tuple), r.schema.Len())
@@ -102,6 +137,16 @@ func (r *Relation) Append(tuple ...Value) error {
 		return fmt.Errorf("relation %s: column %s expects %v, got %v (%q)",
 			r.name, r.schema.Column(i).Name, want, v.Kind(), v.String())
 	}
+	return nil
+}
+
+// Append adds one tuple. The number of values must match the schema arity;
+// non-NULL values must match the column kind. Integer values are accepted in
+// float columns and widened.
+func (r *Relation) Append(tuple ...Value) error {
+	if err := r.validateTuple(tuple); err != nil {
+		return err
+	}
 	for i, v := range tuple {
 		if v.IsNull() {
 			r.cols[i] = append(r.cols[i], nullCode)
@@ -110,8 +155,92 @@ func (r *Relation) Append(tuple ...Value) error {
 			r.cols[i] = append(r.cols[i], r.dicts[i].code(v))
 		}
 	}
+	if r.dead != nil {
+		r.dead = append(r.dead, false)
+	}
 	r.rows++
 	return nil
+}
+
+// Delete tombstones the given rows. The column stores are not reindexed: row
+// ids stay stable, the cells keep their codes (so incremental indexes can
+// locate the clusters the rows leave), and the rows simply stop counting
+// toward LiveRows and every projection. Deleting an out-of-range or
+// already-deleted row fails without applying any of the batch.
+func (r *Relation) Delete(rows ...int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if r.dead == nil {
+		r.dead = make([]bool, r.rows)
+	}
+	for i, row := range rows {
+		if row < 0 || row >= r.rows {
+			r.undelete(rows[:i])
+			return fmt.Errorf("relation %s: delete of row %d out of range [0,%d)", r.name, row, r.rows)
+		}
+		if r.dead[row] {
+			r.undelete(rows[:i])
+			return fmt.Errorf("relation %s: row %d already deleted", r.name, row)
+		}
+		r.dead[row] = true
+	}
+	for _, row := range rows {
+		r.deleted++
+		for col := range r.cols {
+			if r.cols[col][row] == nullCode {
+				r.nulls[col]--
+			}
+		}
+	}
+	r.mutations++
+	return nil
+}
+
+// undelete rolls back tombstones set by a partially-validated Delete batch.
+func (r *Relation) undelete(rows []int) {
+	for _, row := range rows {
+		r.dead[row] = false
+	}
+}
+
+// Update replaces the cells of one live row in place. The tuple is validated
+// like Append (arity, kinds, int→float widening); dictionaries grow as
+// needed, so DictLen may overcount live distinct values afterwards (see
+// Mutated). Updating a deleted or out-of-range row is an error.
+func (r *Relation) Update(row int, tuple ...Value) error {
+	if row < 0 || row >= r.rows {
+		return fmt.Errorf("relation %s: update of row %d out of range [0,%d)", r.name, row, r.rows)
+	}
+	if r.IsDeleted(row) {
+		return fmt.Errorf("relation %s: update of deleted row %d", r.name, row)
+	}
+	if err := r.validateTuple(tuple); err != nil {
+		return err
+	}
+	for i, v := range tuple {
+		if r.cols[i][row] == nullCode {
+			r.nulls[i]--
+		}
+		if v.IsNull() {
+			r.cols[i][row] = nullCode
+			r.nulls[i]++
+		} else {
+			r.cols[i][row] = r.dicts[i].code(v)
+		}
+	}
+	r.mutations++
+	return nil
+}
+
+// UpdateStrings parses each text cell with the column kind and updates the
+// row in place; empty cells and "NULL" become NULL. See Update.
+func (r *Relation) UpdateStrings(row int, cells ...string) error {
+	tuple, err := r.ParseTuple(cells...)
+	if err != nil {
+		return err
+	}
+	return r.Update(row, tuple...)
 }
 
 // MustAppend is Append that panics on error; for statically-known data.
@@ -124,8 +253,19 @@ func (r *Relation) MustAppend(tuple ...Value) {
 // AppendStrings parses each text cell with the column kind and appends the
 // tuple. Cells equal to the empty string or "NULL" become NULL.
 func (r *Relation) AppendStrings(cells ...string) error {
+	tuple, err := r.ParseTuple(cells...)
+	if err != nil {
+		return err
+	}
+	return r.Append(tuple...)
+}
+
+// ParseTuple parses one text cell per schema column into a typed tuple —
+// the shared text front end of AppendStrings and UpdateStrings. Cells equal
+// to the empty string or "NULL" become NULL.
+func (r *Relation) ParseTuple(cells ...string) ([]Value, error) {
 	if len(cells) != r.schema.Len() {
-		return fmt.Errorf("relation %s: row arity %d != schema arity %d",
+		return nil, fmt.Errorf("relation %s: row arity %d != schema arity %d",
 			r.name, len(cells), r.schema.Len())
 	}
 	tuple := make([]Value, len(cells))
@@ -136,11 +276,11 @@ func (r *Relation) AppendStrings(cells ...string) error {
 		}
 		v, err := ParseValue(c, r.schema.Column(i).Kind)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tuple[i] = v
 	}
-	return r.Append(tuple...)
+	return tuple, nil
 }
 
 // Value returns the cell at (row, col).
@@ -174,8 +314,11 @@ func (r *Relation) ColumnCodes(col int) []int32 { return r.cols[col] }
 // NullCode is the sentinel code used for NULL cells in ColumnCodes.
 func (r *Relation) NullCode() int32 { return nullCode }
 
-// DictLen returns the number of distinct non-NULL values in a column, i.e.
-// |π_A(r)| ignoring NULLs.
+// DictLen returns the number of distinct non-NULL values ever interned in a
+// column. On a never-mutated relation this equals |π_A(r)| ignoring NULLs;
+// after a Delete or Update it is only an upper bound (a value's last live
+// occurrence may be gone while its dictionary slot remains), so counting
+// shortcuts must check Mutated first.
 func (r *Relation) DictLen(col int) int { return len(r.dicts[col].values) }
 
 // DictValue returns the value interned at the given dictionary code of a
@@ -189,12 +332,13 @@ func (r *Relation) LookupCode(col int, v Value) (int32, bool) {
 	return r.dicts[col].lookup(v)
 }
 
-// NullCount returns the number of NULL cells in a column.
+// NullCount returns the number of NULL cells in a column over live rows.
 func (r *Relation) NullCount(col int) int { return r.nulls[col] }
 
-// HasNulls reports whether a column contains at least one NULL. Attributes
-// occurring in FDs must be NULL-free (§6.2.1 of the paper), so repair
-// candidate generation consults this.
+// HasNulls reports whether a column contains at least one NULL in a live
+// row. Attributes occurring in FDs must be NULL-free (§6.2.1 of the paper),
+// so repair candidate generation consults this; deleting or correcting the
+// offending tuples can make a column eligible again.
 func (r *Relation) HasNulls(col int) bool { return r.nulls[col] > 0 }
 
 // NullFreeColumns returns the set of column positions without NULLs.
@@ -209,8 +353,8 @@ func (r *Relation) NullFreeColumns() bitset.Set {
 }
 
 // Project builds a new relation with only the columns at the given positions
-// (in the given order), preserving all rows. Dictionaries are rebuilt so the
-// result is independent of the source.
+// (in the given order), preserving all live rows. Dictionaries are rebuilt so
+// the result is independent of the source.
 func (r *Relation) Project(name string, idx []int) (*Relation, error) {
 	ps, err := r.schema.Project(idx)
 	if err != nil {
@@ -219,6 +363,9 @@ func (r *Relation) Project(name string, idx []int) (*Relation, error) {
 	out := New(name, ps)
 	tuple := make([]Value, len(idx))
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		for i, p := range idx {
 			tuple[i] = r.Value(row, p)
 		}
@@ -229,15 +376,15 @@ func (r *Relation) Project(name string, idx []int) (*Relation, error) {
 	return out, nil
 }
 
-// Head builds a new relation containing the first n rows (or all rows if
-// n >= NumRows) and all columns. Used by the Veterans-style grid experiments
-// that sweep tuple counts.
+// Head builds a new relation containing the first n live rows (or all live
+// rows if n >= LiveRows) and all columns. Used by the Veterans-style grid
+// experiments that sweep tuple counts.
 func (r *Relation) Head(name string, n int) (*Relation, error) {
-	if n > r.rows {
-		n = r.rows
-	}
 	out := New(name, r.schema)
-	for row := 0; row < n; row++ {
+	for row := 0; row < r.rows && out.rows < n; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		if err := out.Append(r.Row(row)...); err != nil {
 			return nil, err
 		}
@@ -245,11 +392,14 @@ func (r *Relation) Head(name string, n int) (*Relation, error) {
 	return out, nil
 }
 
-// Filter builds a new relation containing the rows for which keep returns
-// true.
+// Filter builds a new relation containing the live rows for which keep
+// returns true.
 func (r *Relation) Filter(name string, keep func(row int) bool) (*Relation, error) {
 	out := New(name, r.schema)
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		if keep(row) {
 			if err := out.Append(r.Row(row)...); err != nil {
 				return nil, err
@@ -259,16 +409,26 @@ func (r *Relation) Filter(name string, keep func(row int) bool) (*Relation, erro
 	return out, nil
 }
 
-// Clone returns a deep copy of the relation under a new name.
+// Clone returns a deep copy of the live rows under a new name. Tombstones are
+// compacted away: the clone's row ids are dense, so it also serves as the
+// physically-clean reference instance in differential tests.
 func (r *Relation) Clone(name string) *Relation {
 	out := New(name, r.schema)
 	for row := 0; row < r.rows; row++ {
+		if r.IsDeleted(row) {
+			continue
+		}
 		out.MustAppend(r.Row(row)...)
 	}
 	return out
 }
 
-// String renders a compact description like "places(9 cols, 11 rows)".
+// String renders a compact description like "places(9 cols, 11 rows)"; with
+// tombstones present the deleted count is shown alongside the live one.
 func (r *Relation) String() string {
+	if r.deleted > 0 {
+		return fmt.Sprintf("%s(%d cols, %d rows +%d deleted)",
+			r.name, r.NumCols(), r.LiveRows(), r.deleted)
+	}
 	return fmt.Sprintf("%s(%d cols, %d rows)", r.name, r.NumCols(), r.NumRows())
 }

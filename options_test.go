@@ -1,0 +1,85 @@
+package evolvefd_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// keyRepairSession builds a fixture where the only repair of a → b adds the
+// key-like attribute k, whose goodness is strictly positive: (a,k) is unique
+// over 4 rows while b has 3 distinct values, so the repaired FD has
+// |goodness| = 1. A goodness threshold of 0 discards it — which is exactly
+// what the buggy zero value of Options used to apply.
+func keyRepairSession(t *testing.T) *evolvefd.Session {
+	t.Helper()
+	rel, err := evolvefd.OpenCSVReader("t", strings.NewReader(
+		"a,b,k\nx,1,r1\nx,2,r2\ny,1,r3\ny,3,r4\n",
+	), evolvefd.CSVOptions{InferKinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := evolvefd.NewSession(rel)
+	s.MustDefine("F", "a -> b")
+	return s
+}
+
+// TestOptionsZeroValueKeepsNonBijectiveRepairs is the regression test for
+// the zero-value Options bug: Options{} used to mean MaxGoodness = 0 and
+// silently discarded every non-bijective repair candidate, so the package
+// doc's Options{FirstOnly: true} found nothing on fixtures like this one.
+// The zero value must mean "no threshold" and agree with DefaultOptions.
+func TestOptionsZeroValueKeepsNonBijectiveRepairs(t *testing.T) {
+	s := keyRepairSession(t)
+	zero, err := s.Repair("F", evolvefd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero) == 0 {
+		t.Fatal("Options{} found no repairs: zero value is applying a goodness threshold of 0")
+	}
+	if g := zero[0].Measures.Goodness; g == 0 {
+		t.Fatalf("fixture broken: best repair has goodness %d, want non-zero", g)
+	}
+	if got := zero[0].Added; len(got) != 1 || got[0] != "k" {
+		t.Fatalf("best repair adds %v, want [k]", got)
+	}
+	deflt, err := s.Repair("F", evolvefd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, deflt) {
+		t.Fatalf("Options{} and DefaultOptions() diverge:\nzero    %+v\ndefault %+v", zero, deflt)
+	}
+	// An explicit threshold of 0 must still be expressible — and must
+	// differ from the unset zero value.
+	strict, err := s.Repair("F", evolvefd.Options{MaxGoodness: evolvefd.GoodnessLimit(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 0 {
+		t.Fatalf("GoodnessLimit(0) kept non-bijective repairs: %+v", strict)
+	}
+}
+
+// TestPackageDocExample runs the package documentation's workflow verbatim:
+// Check the violated FDs and repair each with Options{FirstOnly: true}. On
+// this fixture the doc example used to print nothing useful (the repair list
+// came back empty), panicking on suggestions[0].
+func TestPackageDocExample(t *testing.T) {
+	s := keyRepairSession(t)
+	for _, v := range s.Check() {
+		suggestions, err := s.Repair(v.Label, evolvefd.Options{FirstOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(suggestions) == 0 {
+			t.Fatalf("doc example breaks: no suggestion for %s", v.Label)
+		}
+		if added := suggestions[0].Added; len(added) == 0 {
+			t.Fatalf("doc example breaks: empty suggestion for %s", v.Label)
+		}
+	}
+}
