@@ -63,7 +63,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		strategy    = fs.String("strategy", "pli", "counting strategy: pli, hash, sort, or sql")
 		interactive = fs.Bool("interactive", false, "ask the designer to accept/skip each proposal")
 		discover    = fs.Bool("discover", false, "list minimal exact FDs instead of repairing (-max-lhs bounds antecedents)")
-		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover")
+		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover and the -watch 'disc' command")
 		watch       = fs.Bool("watch", false, "streaming REPL: append tuples and re-check incrementally (-strategy is ignored)")
 		parallelism = fs.Int("parallelism", 0, "repair search workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
@@ -111,7 +111,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if *maxGoodness >= 0 {
 			watchOpts.MaxGoodness = evolvefd.GoodnessLimit(*maxGoodness)
 		}
-		return runWatch(stdin, stdout, session, watchOpts)
+		return runWatch(stdin, stdout, session, watchOpts, *maxLHS)
 	}
 
 	counter, err := makeCounter(rel, *strategy)

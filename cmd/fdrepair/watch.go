@@ -16,8 +16,11 @@ import (
 // re-validation after each batch is incremental — the session folds the
 // changes into its partitions and only recomputes the FDs whose projections
 // actually changed. This is the paper's periodic-validation workflow turned
-// into a live loop over full DML traffic.
-func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.Options) error {
+// into a live loop over full DML traffic. The disc command additionally
+// maintains the minimal exact-FD cover across that traffic (maxLHS bounds
+// its antecedents), surfacing newly-valid FDs for adoption and newly-broken
+// defined FDs for repair.
+func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.Options, maxLHS int) error {
 	fmt.Fprintln(w, "watch mode: append tuples and re-check incrementally ('help' for commands)")
 	lastRepairs := make(map[string][]evolvefd.Suggestion)
 	scanner := bufio.NewScanner(stdin)
@@ -39,8 +42,12 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 			return nil
 		case "help", "?":
 			watchHelp(w)
-		case "append", "a":
+		case "append", "add", "a":
 			if err := watchAppend(w, s, rest); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "disc", "discover":
+			if err := watchDiscover(w, s, maxLHS); err != nil {
 				fmt.Fprintln(w, "error:", err)
 			}
 		case "del", "delete":
@@ -89,13 +96,16 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 
 func watchHelp(w io.Writer) {
 	fmt.Fprint(w, `commands:
-  append <c1,c2,...>   append one tuple (CSV cells; empty or NULL for NULL)
+  add <c1,c2,...>      append one tuple (CSV cells; empty or NULL for NULL)
   del <row[,row...]>   delete tuples by row id (ids are stable: 0-based, never reused)
-  set <row> <c1,...>   update one tuple in place (same cell syntax as append)
+  set <row> <c1,...>   update one tuple in place (same cell syntax as add)
   check                incremental re-validation: violated FDs in repair order
   measures             confidence/goodness of every defined FD
   repair <label>       ranked antecedent extensions for one violated FD
   accept <label> <n>   accept the n-th suggestion of the last 'repair <label>'
+  disc                 incrementally discovered minimal exact FDs; flags FDs
+                       newly valid (adopt with define) or newly broken (repair)
+                       since the last disc
   define <label> <fd>  declare another FD, e.g. define F9 Zip -> City
   drop <label>         remove an FD
   status               rows, generation, measure-cache stats
@@ -245,6 +255,41 @@ func watchAccept(w io.Writer, s *evolvefd.Session, rest string,
 	delete(lastRepairs, label)
 	text, _ := s.FDText(label)
 	fmt.Fprintln(w, "accepted:", text)
+	return nil
+}
+
+// watchDiscover maintains the minimal exact-FD cover incrementally: the
+// first call seeds it with a full levelwise pass, every later call folds
+// the DML since the previous one into the cover and reports what changed —
+// newly-valid FDs the designer may adopt, newly-broken defined FDs to
+// repair — before printing the current cover and the maintenance effort.
+func watchDiscover(w io.Writer, s *evolvefd.Session, maxLHS int) error {
+	cover, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	if err != nil {
+		return err
+	}
+	suggestions, err := s.Suggestions()
+	if err != nil {
+		return err
+	}
+	for _, sg := range suggestions {
+		switch sg.Kind {
+		case evolvefd.SuggestionNewFD:
+			fmt.Fprintf(w, "newly valid: %s  (adopt with: define <label> %s)\n", sg.FD, sg.Spec)
+		case evolvefd.SuggestionBrokenFD:
+			fmt.Fprintf(w, "newly broken: %s  (repair with: repair %s)\n", sg.FD, sg.Label)
+		}
+	}
+	tab := texttable.New(
+		fmt.Sprintf("discovered minimal FDs (≤%d antecedent attributes)", maxLHS),
+		"#", "FD").AlignRight(0)
+	for i, d := range cover {
+		tab.Add(strconv.Itoa(i+1), d.FD)
+	}
+	io.WriteString(w, tab.Render())
+	st := s.DiscoveryStats()
+	fmt.Fprintf(w, "cover %d FDs · border %d · since seed: %d revalidated, %d witness checks, %d probes, +%d/-%d FDs\n",
+		st.CoverSize, st.BorderSize, st.Revalidated, st.WitnessChecks, st.Probes, st.Promoted, st.Demoted)
 	return nil
 }
 

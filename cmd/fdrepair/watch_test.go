@@ -168,3 +168,64 @@ func TestWatchEOFExits(t *testing.T) {
 		t.Errorf("EOF run missing banner:\n%s", out.String())
 	}
 }
+
+func TestWatchDiscoverIncremental(t *testing.T) {
+	out := runWatchScript(t,
+		"disc", // seeds the cover with a full levelwise pass
+		// Break Municipal → AreaCode: a second Glendale row with area 999.
+		"add Newtown,Granville,Glendale,999,974-2345,Boxwood,10211,NY,NY",
+		"disc", // must report the demotion's fallout, not reseed
+		"del 11",
+		"disc", // the FD re-emerges and is offered for adoption
+		"quit",
+	)
+	for _, want := range []string{
+		"discovered minimal FDs",
+		"[Municipal] -> [AreaCode]",
+		"appended row 11; 12 live tuples", // 'add' is an alias for append
+		"newly valid: [Municipal] -> [AreaCode]  (adopt with: define <label> Municipal -> AreaCode)",
+		"cover ",
+		"witness checks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disc transcript missing %q:\n%s", want, out)
+		}
+	}
+	// The middle disc call must show the cover without Municipal → AreaCode:
+	// between the first and second "discovered minimal FDs" headers the FD
+	// may not appear.
+	parts := strings.Split(out, "discovered minimal FDs")
+	if len(parts) != 4 {
+		t.Fatalf("expected 3 disc tables, got %d:\n%s", len(parts)-1, out)
+	}
+	// Each part starts with one cover table, terminated by its stats line.
+	table := func(part string) string {
+		body, _, _ := strings.Cut(part, "\ncover ")
+		return body
+	}
+	if strings.Contains(table(parts[2]), " [Municipal] -> [AreaCode]") {
+		t.Errorf("broken FD still listed after the breaking append:\n%s", table(parts[2]))
+	}
+	if !strings.Contains(table(parts[3]), " [Municipal] -> [AreaCode]") {
+		t.Errorf("restored FD missing from the final cover:\n%s", table(parts[3]))
+	}
+}
+
+func TestWatchDiscoverFlagsBrokenDefinedFD(t *testing.T) {
+	path := placesCSV(t)
+	var out bytes.Buffer
+	err := run([]string{"-csv", path, "-fd", "Municipal -> AreaCode", "-watch"},
+		strings.NewReader(strings.Join([]string{
+			"disc",
+			"add Newtown,Granville,Glendale,999,974-2345,Boxwood,10211,NY,NY",
+			"disc",
+			"quit",
+		}, "\n")+"\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "newly broken: F1: [Municipal] -> [AreaCode]  (repair with: repair F1)"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("disc transcript missing %q:\n%s", want, out.String())
+	}
+}

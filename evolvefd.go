@@ -25,10 +25,13 @@ package evolvefd
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/discovery"
 	"github.com/evolvefd/evolvefd/internal/pli"
 	"github.com/evolvefd/evolvefd/internal/relation"
 )
@@ -173,6 +176,15 @@ type Session struct {
 	cache   *core.MeasureCache
 	fds     map[string]core.FD
 	order   []string
+	// disc is the lazily-created incremental discoverer behind
+	// DiscoverIncremental/Suggestions; discOpts is the resolved option set
+	// it was seeded with (a different option set reseeds it).
+	disc     *discovery.IncrementalDiscoverer
+	discOpts discovery.Options
+	// lastCover and lastExact are the Suggestions baseline: the discovered
+	// cover and the per-label exactness at the previous checkpoint.
+	lastCover map[string]bool
+	lastExact map[string]bool
 }
 
 // NewSession opens a session over a relation using the incremental PLI
@@ -416,6 +428,290 @@ func (s *Session) Accept(label string, suggestion Suggestion) error {
 	s.cache.Evict(fd)
 	s.fds[label] = ext
 	return nil
+}
+
+// DiscoveryOptions bounds an FD discovery pass over the session's instance.
+type DiscoveryOptions struct {
+	// MaxLHS bounds antecedent size; 0 means 2. Discovery is exponential in
+	// this bound.
+	MaxLHS int
+	// Consequents restricts discovery to the named consequent attributes;
+	// nil means every NULL-free attribute.
+	Consequents []string
+	// MaxResults stops a one-shot Discover after this many minimal FDs
+	// (0 = no bound). DiscoverIncremental ignores it: a maintained cover is
+	// always complete, because a truncated one could not stay in agreement
+	// with a from-scratch discovery as the data evolves.
+	MaxResults int
+}
+
+// DiscoveredFD is one minimal exact FD found on the instance.
+type DiscoveredFD struct {
+	// FD renders the dependency with attribute names, e.g.
+	// "[Municipal] -> [AreaCode]".
+	FD string
+	// Spec is the same dependency in Define syntax ("Municipal -> AreaCode"),
+	// so a discovered FD can be adopted with Define(label, d.Spec).
+	Spec string
+	// Antecedent and Consequent name the attributes, in schema order.
+	Antecedent []string
+	Consequent string
+}
+
+// SuggestionKind classifies an advisor suggestion.
+type SuggestionKind string
+
+const (
+	// SuggestionNewFD flags a dependency that newly holds on the evolved
+	// instance — a candidate for the designer to adopt with Define.
+	SuggestionNewFD SuggestionKind = "emerged"
+	// SuggestionBrokenFD flags a defined FD the evolved data newly violates
+	// — a candidate for Repair.
+	SuggestionBrokenFD SuggestionKind = "broken"
+)
+
+// AdvisorSuggestion is one item the discovery→advisor wire produces: either
+// a newly-emerged minimal FD the designer may adopt, or a defined FD the
+// evolving data newly broke and the designer should repair.
+type AdvisorSuggestion struct {
+	Kind SuggestionKind
+	// Label is the defined FD's label for broken suggestions; empty for
+	// emerged ones.
+	Label string
+	// FD renders the dependency with attribute names.
+	FD string
+	// Spec is the dependency in Define syntax (emerged suggestions only).
+	Spec string
+}
+
+// DiscoveryStats mirrors the incremental discoverer's effort counters plus
+// the current border sizes — the observable that cover maintenance after a
+// mutation batch costs work proportional to the disturbed lattice region,
+// not to the lattice. Zero until DiscoverIncremental or Suggestions has
+// seeded a discoverer.
+type DiscoveryStats struct {
+	// Batches counts processed mutation batches.
+	Batches int
+	// Revalidated counts cover FDs whose generation stamps moved; cover FDs
+	// with unchanged stamps are skipped for free.
+	Revalidated int
+	// WitnessChecks counts O(|X|) violating-pair inspections on the invalid
+	// border; WitnessBroken counts pairs a batch destroyed.
+	WitnessChecks, WitnessBroken int
+	// Promoted, Demoted and Superseded count cover membership changes;
+	// FrontierExpanded counts lattice nodes probed around demotions.
+	Promoted, Demoted, Superseded, FrontierExpanded int
+	// Probes counts full count comparisons; Reseeds counts from-scratch
+	// re-discoveries (only NULL-eligibility changes trigger one).
+	Probes, Reseeds int
+	// CoverSize and BorderSize are the current minimal-cover and
+	// invalid-border sizes.
+	CoverSize, BorderSize int
+}
+
+// Discover runs a one-shot levelwise discovery of the minimal exact FDs on
+// the current instance (the §2 "discover everything" baseline). For a
+// periodically re-validated, evolving instance prefer DiscoverIncremental,
+// which maintains the same cover at a fraction of the per-batch cost.
+func (s *Session) Discover(opts DiscoveryOptions) ([]DiscoveredFD, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dopts, err := s.resolveDiscovery(opts)
+	if err != nil {
+		return nil, err
+	}
+	fds, _ := discovery.MinimalFDs(s.counter, dopts)
+	return s.toDiscovered(fds), nil
+}
+
+// DiscoverIncremental returns the minimal exact-FD cover of the instance,
+// maintained incrementally across the session's DML: the first call seeds a
+// discoverer with a full levelwise pass, and every later call folds the
+// mutations since the previous one into the maintained cover instead of
+// re-searching the lattice. The result always equals Discover on the same
+// instance (with MaxResults ignored); DiscoveryStats exposes how little
+// work each refresh performed. Calling with a different MaxLHS or
+// Consequents reseeds.
+func (s *Session) DiscoverIncremental(opts DiscoveryOptions) ([]DiscoveredFD, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cover, err := s.coverLocked(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.toDiscovered(cover), nil
+}
+
+// Suggestions diffs the incrementally-discovered cover and the defined FD
+// set against their state at the previous call (or at the seeding
+// DiscoverIncremental), wiring discovery into the advisor loop: emerged
+// minimal FDs are offered for adoption (Define with the suggestion's Spec),
+// and defined FDs the data newly violates are flagged for Repair. The first
+// call after seeding reports changes since the seed; if no discoverer
+// exists yet, one is seeded with default options and the call reports
+// nothing.
+func (s *Session) Suggestions() ([]AdvisorSuggestion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disc == nil {
+		if _, err := s.coverLocked(DiscoveryOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	cover := s.disc.Cover()
+	schema := s.rel.Schema()
+	var out []AdvisorSuggestion
+	seen := make(map[string]bool, len(cover))
+	for _, fd := range cover {
+		key := fd.X.Key() + "\x00" + fd.Y.Key()
+		seen[key] = true
+		if s.lastCover[key] || s.definedEqualLocked(fd) {
+			continue
+		}
+		d := s.toDiscoveredOne(fd)
+		out = append(out, AdvisorSuggestion{
+			Kind: SuggestionNewFD, FD: fd.FormatWith(schema), Spec: d.Spec,
+		})
+	}
+	s.lastCover = seen
+	for _, label := range s.order {
+		fd := s.fds[label]
+		exact := s.cache.Compute(fd).Exact()
+		wasExact, known := s.lastExact[label]
+		if !exact && (!known || wasExact) {
+			out = append(out, AdvisorSuggestion{
+				Kind: SuggestionBrokenFD, Label: label, FD: fd.FormatWith(schema),
+			})
+		}
+		s.lastExact[label] = exact
+	}
+	return out, nil
+}
+
+// DiscoveryStats reports the incremental discoverer's cumulative effort;
+// zero before DiscoverIncremental or Suggestions seeded one.
+func (s *Session) DiscoveryStats() DiscoveryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.disc == nil {
+		return DiscoveryStats{}
+	}
+	st := s.disc.Stats()
+	return DiscoveryStats{
+		Batches:          st.Batches,
+		Revalidated:      st.Revalidated,
+		WitnessChecks:    st.WitnessChecks,
+		WitnessBroken:    st.WitnessBroken,
+		Promoted:         st.Promoted,
+		Demoted:          st.Demoted,
+		Superseded:       st.Superseded,
+		FrontierExpanded: st.FrontierExpanded,
+		Probes:           st.Probes,
+		Reseeds:          st.Reseeds,
+		CoverSize:        s.disc.CoverSize(),
+		BorderSize:       s.disc.BorderSize(),
+	}
+}
+
+// coverLocked returns the maintained cover under a held write lock, seeding
+// or reseeding the discoverer when the resolved options changed. Reseeding
+// also resets the Suggestions baseline to the new seed cover.
+func (s *Session) coverLocked(opts DiscoveryOptions) ([]core.FD, error) {
+	dopts, err := s.resolveDiscovery(opts)
+	if err != nil {
+		return nil, err
+	}
+	dopts.MaxResults = 0
+	if s.disc != nil && discoveryOptionsEqual(s.discOpts, dopts) {
+		return s.disc.Cover(), nil
+	}
+	s.disc = discovery.NewIncrementalDiscoverer(s.counter, dopts)
+	s.discOpts = dopts
+	cover := s.disc.Cover()
+	s.lastCover = make(map[string]bool, len(cover))
+	for _, fd := range cover {
+		s.lastCover[fd.X.Key()+"\x00"+fd.Y.Key()] = true
+	}
+	s.lastExact = make(map[string]bool, len(s.order))
+	for _, label := range s.order {
+		s.lastExact[label] = s.cache.Compute(s.fds[label]).Exact()
+	}
+	return cover, nil
+}
+
+// resolveDiscovery maps name-based facade options to the internal
+// position-based ones, normalising MaxLHS and canonicalising Consequents
+// (schema order, duplicates dropped) so that option sets describing the
+// same lattice compare equal — a reordered Consequents list must not
+// discard the maintained borders, and a repeated name must not duplicate a
+// column's FDs in the cover.
+func (s *Session) resolveDiscovery(opts DiscoveryOptions) (discovery.Options, error) {
+	out := discovery.Options{MaxLHS: opts.MaxLHS, MaxResults: opts.MaxResults}
+	if out.MaxLHS <= 0 {
+		out.MaxLHS = 2
+	}
+	if opts.Consequents != nil {
+		// An explicitly empty (non-nil) list restricts discovery to zero
+		// consequents; only a nil list means "every NULL-free attribute".
+		out.Consequents = make([]int, 0, len(opts.Consequents))
+		for _, name := range opts.Consequents {
+			idx := s.rel.Schema().Index(name)
+			if idx < 0 {
+				return out, fmt.Errorf("evolvefd: unknown attribute %q", name)
+			}
+			out.Consequents = append(out.Consequents, idx)
+		}
+		sort.Ints(out.Consequents)
+		out.Consequents = slices.Compact(out.Consequents)
+	}
+	return out, nil
+}
+
+func discoveryOptionsEqual(a, b discovery.Options) bool {
+	if a.MaxLHS != b.MaxLHS || len(a.Consequents) != len(b.Consequents) {
+		return false
+	}
+	// nil means "all consequents"; an empty non-nil list means "none".
+	if (a.Consequents == nil) != (b.Consequents == nil) {
+		return false
+	}
+	for i := range a.Consequents {
+		if a.Consequents[i] != b.Consequents[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// definedEqualLocked reports whether some defined FD has exactly the given
+// antecedent and consequent.
+func (s *Session) definedEqualLocked(fd core.FD) bool {
+	for _, label := range s.order {
+		if s.fds[label].Equal(fd) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Session) toDiscovered(fds []core.FD) []DiscoveredFD {
+	out := make([]DiscoveredFD, 0, len(fds))
+	for _, fd := range fds {
+		out = append(out, s.toDiscoveredOne(fd))
+	}
+	return out
+}
+
+func (s *Session) toDiscoveredOne(fd core.FD) DiscoveredFD {
+	schema := s.rel.Schema()
+	ante := schema.NameSet(fd.X)
+	consequent := schema.Column(fd.Y.Min()).Name
+	return DiscoveredFD{
+		FD:         fd.FormatWith(schema),
+		Spec:       strings.Join(ante, ", ") + " -> " + consequent,
+		Antecedent: ante,
+		Consequent: consequent,
+	}
 }
 
 // Consistent reports whether every defined FD holds on the data.

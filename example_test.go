@@ -36,6 +36,69 @@ func ExampleSession() {
 	// consistent: true
 }
 
+// ExampleSession_discover runs the §2 "discover everything" baseline on the
+// running example: with antecedents bounded to one attribute, the only
+// minimal exact FD determining AreaCode is Municipal → AreaCode (Table 1's
+// goodness-0 row), and its Spec can be adopted directly with Define.
+func ExampleSession_discover() {
+	session := evolvefd.NewSession(datasets.Places())
+	found, err := session.Discover(evolvefd.DiscoveryOptions{
+		MaxLHS:      1,
+		Consequents: []string{"AreaCode"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range found {
+		fmt.Println(d.FD, "— adopt with spec:", d.Spec)
+	}
+	// Output:
+	// [Municipal] -> [AreaCode] — adopt with spec: Municipal -> AreaCode
+}
+
+// ExampleSession_discoverIncremental maintains the discovered cover as the
+// data evolves: an append breaks the designer's FD (flagged for repair), and
+// after the designer drops it and the offending tuple is deleted, the
+// re-emerged dependency is offered back for adoption.
+func ExampleSession_discoverIncremental() {
+	session := evolvefd.NewSession(datasets.Places())
+	session.MustDefine("F1", "Municipal -> AreaCode")
+
+	opts := evolvefd.DiscoveryOptions{MaxLHS: 1, Consequents: []string{"AreaCode"}}
+	cover, err := session.DiscoverIncremental(opts) // seeds the cover
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("discovered:", cover[0].FD)
+
+	// A second Glendale row with a different area code breaks the FD; the
+	// next refresh demotes it and flags the defined F1 for repair.
+	session.AppendStrings("Newtown", "Granville", "Glendale", "999", "974-2345", "Boxwood", "10211", "NY", "NY")
+	suggestions, err := session.Suggestions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range suggestions {
+		fmt.Println(s.Kind, "→", s.FD)
+	}
+
+	// The designer gives up on F1; once the offending tuple is deleted the
+	// dependency holds again and is offered for (re-)adoption.
+	session.Drop("F1")
+	session.Delete(11)
+	suggestions, err = session.Suggestions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range suggestions {
+		fmt.Println(s.Kind, "→", s.FD, "— adopt with spec:", s.Spec)
+	}
+	// Output:
+	// discovered: [Municipal] -> [AreaCode]
+	// broken → F1: [Municipal] -> [AreaCode]
+	// emerged → [Municipal] -> [AreaCode] — adopt with spec: Municipal -> AreaCode
+}
+
 // ExampleSession_balanced shows the §4.4 objective function: with Balanced
 // set, repairs are scored by size + inconsistency + |goodness| instead of
 // pure minimality.

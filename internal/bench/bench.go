@@ -1,12 +1,3 @@
-// Package bench is the experiment harness: it regenerates every table and
-// figure of the paper's evaluation (§6) plus the running-example tables
-// (§3–§4), Theorem 1's comparison (§5), and the ablation studies DESIGN.md
-// calls out. Each experiment renders the same rows/series the paper prints,
-// next to the paper's values where they are data-independent.
-//
-// Experiments accept a Config so the same code serves three consumers: the
-// root bench_test.go benchmarks (laptop-scale defaults), the fdbench CLI
-// (flag-controlled scale up to paper size), and tests (tiny scale).
 package bench
 
 import (

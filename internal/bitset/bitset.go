@@ -1,12 +1,3 @@
-// Package bitset provides compact, growable sets of small non-negative
-// integers. It is used throughout evolvefd to represent sets of attribute
-// positions: relations such as the Veterans case study of the paper have
-// hundreds of attributes, so a fixed 64-bit word is not enough.
-//
-// A Set is a value type backed by a []uint64; the zero value is an empty set.
-// All operations that return a Set allocate a fresh backing slice, so Sets can
-// be shared freely between goroutines as long as callers do not mutate them
-// concurrently with readers.
 package bitset
 
 import (

@@ -1,0 +1,14 @@
+// Package bitset provides compact, growable sets of small non-negative
+// integers. It is used throughout evolvefd to represent sets of attribute
+// positions — the X and Y of every functional dependency (Definition 1 of
+// the paper), the candidate antecedents a repair search sweeps (§4.2–4.3),
+// and the lattice nodes FD discovery enumerates. Relations such as the
+// Veterans case study of §6.2 have hundreds of attributes, so a fixed
+// 64-bit word is not enough.
+//
+// A Set is a value type backed by a []uint64; the zero value is an empty
+// set. All operations that return a Set allocate a fresh backing slice, so
+// Sets can be shared freely between goroutines as long as callers do not
+// mutate them concurrently with readers. Key returns a canonical string
+// form used as a map key by the partition caches and the measure cache.
+package bitset

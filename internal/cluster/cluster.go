@@ -1,8 +1,3 @@
-// Package cluster implements the clustering view of functional dependencies
-// (Definitions 5 and 6 of the paper): the X-clustering of an instance, the
-// proper-association test, and the homogeneity / completeness properties
-// that connect the paper's confidence-based measures to the entropy-based
-// baseline (§5, Theorem 1).
 package cluster
 
 import (

@@ -1,0 +1,13 @@
+// Package cluster implements the clustering view of functional dependencies
+// (Definitions 5 and 6 of the paper): the X-clustering of an instance, the
+// proper-association test between two clusterings, and the homogeneity /
+// completeness properties that connect the paper's confidence-based
+// measures (§3) to the entropy-based baseline (§5, Theorem 1).
+//
+// An FD X → Y holds exactly when the X-clustering properly associates to
+// the Y-clustering — every X-class maps into a single Y-class. The package
+// also renders two clusterings side by side with their association
+// (RenderAssociation), reproducing the content of Figure 2 in text form;
+// the quantitative counting over clusterings lives in internal/pli, which
+// represents the same objects as position list indices.
+package cluster

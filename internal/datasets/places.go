@@ -1,8 +1,3 @@
-// Package datasets provides the relation instances used by the paper's
-// examples and experiments: the exact Places running example (Figure 1) and
-// synthetic stand-ins for the six real-life relations of §6.2 (Country,
-// Rental, Image, PageLinks, Veterans), whose original files (MySQL sample
-// databases, Wikimedia dumps, KDD Cup 98) are not redistributable here.
 package datasets
 
 import (

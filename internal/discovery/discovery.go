@@ -80,8 +80,6 @@ func MinimalFDs(counter pli.Counter, opts Options) ([]core.FD, Stats) {
 		// of one is pruned.
 		var minimal []bitset.Set
 		ySet := bitset.New(y)
-		yCount := counter.Count(ySet)
-		_ = yCount
 		for size := 1; size <= maxLHS; size++ {
 			forEachSubset(lhsPool, size, func(attrs []int) bool {
 				x := bitset.New(attrs...)

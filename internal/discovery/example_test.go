@@ -1,0 +1,59 @@
+package discovery_test
+
+import (
+	"fmt"
+
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/discovery"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// ExampleOptions bounds the levelwise search on the paper's running
+// example: restricted to single-attribute antecedents and the AreaCode
+// consequent, the only minimal exact FD is Municipal → AreaCode — the same
+// dependency Table 1 scores with goodness 0.
+func ExampleOptions() {
+	r := datasets.Places()
+	fds, stats := discovery.MinimalFDs(pli.NewPLICounter(r), discovery.Options{
+		MaxLHS:      1,
+		Consequents: []int{r.Schema().Index("AreaCode")},
+	})
+	for _, fd := range fds {
+		fmt.Println(fd.FormatWith(r.Schema()))
+	}
+	fmt.Println("exactness checks:", stats.Checked)
+	// Output:
+	// [Municipal] -> [AreaCode]
+	// exactness checks: 8
+}
+
+// ExampleIncrementalDiscoverer maintains a minimal cover across DML: the
+// appended tuple breaks a → b (demoting it from the cover), and deleting it
+// again flips the witnessed border entry back — all without re-running the
+// levelwise search.
+func ExampleIncrementalDiscoverer() {
+	schema, _ := relation.SchemaOf("a", "b")
+	r := relation.New("t", schema)
+	r.MustAppend(relation.String("1"), relation.String("x"))
+	r.MustAppend(relation.String("2"), relation.String("y"))
+
+	counter := pli.NewIncrementalCounter(r)
+	d := discovery.NewIncrementalDiscoverer(counter, discovery.Options{MaxLHS: 1})
+	fmt.Println("seed cover:", d.Cover())
+
+	r.MustAppend(relation.String("1"), relation.String("z")) // breaks a → b
+	fmt.Println("after append:", d.Cover())
+
+	counter.Delete(2) // a → b holds again
+	fmt.Println("after delete:", d.Cover())
+
+	stats := d.Stats()
+	fmt.Printf("demoted %d, promoted %d, witness checks %d\n",
+		stats.Demoted, stats.Promoted, stats.WitnessChecks)
+	// Output:
+	// seed cover: [{1} -> {0} {0} -> {1}]
+	// after append: [{1} -> {0}]
+	// after delete: [{1} -> {0} {0} -> {1}]
+	// demoted 1, promoted 1, witness checks 1
+}

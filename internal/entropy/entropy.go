@@ -1,14 +1,3 @@
-// Package entropy implements the entropy-based (EB) constraint-repair
-// baseline that §5 of the paper compares against: the variation of
-// information between clusterings (Meilă 2007), the conditional-entropy
-// candidate ranking of Chiang & Miller (ICDE 2011) as the paper describes
-// it, and the ε_VI measure whose equivalence with ε_CB is Theorem 1.
-//
-// The original CONDOR tool was unavailable to the paper's authors ("an
-// experimental comparison … was unfortunately impossible"), so this package
-// is built strictly from the specification in §5; together with
-// internal/core it enables the comparison the paper could only argue
-// theoretically.
 package entropy
 
 import (

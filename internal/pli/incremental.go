@@ -154,6 +154,19 @@ func (c *IncrementalCounter) Track(x bitset.Set) {
 	c.track(x)
 }
 
+// EnsureTrackedCapacity raises the bound on incrementally-maintained sets to
+// at least n, so a caller that knows its working set — the incremental
+// discoverer tracks the antecedent and attribute sets of every FD in its
+// cover — can keep those indices from thrashing the LRU. The bound never
+// shrinks: lowering it under live indices would evict state mid-use.
+func (c *IncrementalCounter) EnsureTrackedCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.maxTracked {
+		c.maxTracked = n
+	}
+}
+
 // TrackedSets reports how many attribute sets are maintained incrementally.
 func (c *IncrementalCounter) TrackedSets() int {
 	c.mu.Lock()

@@ -335,3 +335,34 @@ func TestIncrementalDeleteErrors(t *testing.T) {
 		t.Fatalf("count after delete = %d, want 2", n)
 	}
 }
+
+// TestEnsureTrackedCapacity checks the capacity knob the incremental
+// discoverer relies on: raising the bound keeps a working set larger than
+// the construction-time maximum fully resident, and the bound never shrinks.
+func TestEnsureTrackedCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := randomRelation(rng, 30, 8, 3)
+	inc := NewIncrementalCounterSize(r, 4)
+	inc.EnsureTrackedCapacity(8)
+	var sets []bitset.Set
+	for i := 0; i < 7; i++ {
+		sets = append(sets, bitset.New(i, i+1))
+	}
+	for _, s := range sets {
+		inc.Track(s)
+	}
+	if got := inc.TrackedSets(); got != 7 {
+		t.Fatalf("tracked sets = %d, want all 7 under a capacity of 8", got)
+	}
+	for _, s := range sets {
+		if !inc.isTracked(s) {
+			t.Fatalf("set %v evicted despite raised capacity", s)
+		}
+	}
+	// Lowering is a no-op: nothing gets evicted by the weaker request.
+	inc.EnsureTrackedCapacity(2)
+	inc.Track(bitset.New(0, 2))
+	if got := inc.TrackedSets(); got != 8 {
+		t.Fatalf("tracked sets = %d, want 8 (capacity must not shrink)", got)
+	}
+}

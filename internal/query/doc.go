@@ -1,0 +1,17 @@
+// Package query implements a small SQL engine over internal/relation: a
+// lexer, a recursive-descent parser and an executor for the query shapes
+// the paper's prototype issued against MySQL, most importantly
+//
+//	SELECT COUNT(DISTINCT a, b) FROM t
+//
+// (§4.4: "the computation of confidence and goodness can be implemented
+// using SQL queries" — the section shows the exact query pair for F1's
+// confidence) plus enough of SELECT/WHERE/GROUP BY/ORDER BY/LIMIT to
+// inspect violating tuples interactively, the workflow §6 describes.
+//
+// The package also provides a pli.Counter implementation that routes every
+// cardinality through SQL text — the ablation baseline closest to the
+// paper's actual implementation, priced against the PLI, hash and sort
+// strategies in internal/bench. Counting respects tombstones: deleted rows
+// are invisible to every query, like in the rest of the system.
+package query

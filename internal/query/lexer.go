@@ -1,14 +1,3 @@
-// Package query implements a small SQL engine over internal/relation: a
-// lexer, a recursive-descent parser and an executor for the query shapes the
-// paper's prototype issued against MySQL, most importantly
-//
-//	SELECT COUNT(DISTINCT a, b) FROM t
-//
-// (§4.4: "the computation of confidence and goodness can be implemented
-// using SQL queries") plus enough of SELECT/WHERE/GROUP BY/ORDER BY/LIMIT to
-// inspect violating tuples interactively. It also provides a pli.Counter
-// implementation that routes every cardinality through SQL text, which is
-// the ablation baseline closest to the paper's actual implementation.
 package query
 
 import (

@@ -1,0 +1,20 @@
+// Package relation implements the in-memory relational substrate of
+// evolvefd: schemas, dictionary-encoded columnar relation instances, CSV
+// input/output and projection/selection utilities — the "relation instance
+// r over schema R" of the paper's §2 data model.
+//
+// The paper's prototype sat on MySQL; Go has no comparably rich relational
+// library, so this package substitutes one. It is deliberately
+// column-oriented: every FD measure in the paper reduces to counting
+// distinct projections |π_X(r)| (Definition 3), which is fastest over
+// dense per-column dictionary codes. NULL tracking is per live row,
+// because §6.2.1 requires FD attributes to be NULL-free and DML can move a
+// column in and out of eligibility.
+//
+// The evolution model is full DML with stable row ids: Append grows the
+// column stores, Delete tombstones rows without reindexing (codes of dead
+// rows stay readable, which is what lets incremental indexes find the
+// clusters a row leaves), and Update rewrites cells in place. Mutations
+// counts delete/update batches so counters layered above can detect
+// changes that bypassed them.
+package relation

@@ -1,11 +1,3 @@
-// Package relation implements the in-memory relational substrate of evolvefd:
-// schemas, dictionary-encoded columnar relation instances, CSV input/output
-// and projection/selection utilities.
-//
-// The paper's prototype sat on MySQL; Go has no comparably rich relational or
-// dataframe library, so this package substitutes one. It is deliberately
-// column-oriented: every FD measure in the paper reduces to counting distinct
-// projections, which is fastest over dictionary codes.
 package relation
 
 import (

@@ -1,0 +1,11 @@
+// Package texttable renders small aligned text tables. It is the output
+// format of the experiment harness — every table of the paper's evaluation
+// (§6, Tables 1–8) is regenerated as one of these so measured columns line
+// up beside the paper's printed values — and of the CLI tools (fdrepair's
+// violation, repair and discovery listings; fdsql result sets).
+//
+// Tables hold cells as strings; columns are sized to the widest cell and
+// aligned left by default, with AlignRight for numeric columns. No paper
+// section corresponds to this package: it exists so reports stay readable
+// in a terminal and diffable in tests.
+package texttable

@@ -1,6 +1,3 @@
-// Package texttable renders small aligned text tables, the output format of
-// the experiment harness (every table of the paper is regenerated as one of
-// these) and of the CLI tools.
 package texttable
 
 import (

@@ -1,0 +1,110 @@
+// doccheck verifies that the root package and every package under cmd/ and
+// internal/ carries a package comment, so `go doc` tells the same story as
+// ARCHITECTURE.md. It exits non-zero listing every undocumented package.
+//
+// Usage: go run ./internal/tools/doccheck [root-dir]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	undocumented, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "packages without a package comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintln(os.Stderr, "  "+dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: every package has a package comment")
+}
+
+// check walks the in-scope directories and returns those that contain Go
+// files but no package comment in any non-test file.
+func check(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	collect := func(dir string) error {
+		return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+	}
+	dirs[root] = true // the root package itself
+	for _, sub := range []string{"cmd", "internal"} {
+		dir := filepath.Join(root, sub)
+		if _, err := os.Stat(dir); err != nil {
+			continue
+		}
+		if err := collect(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	var undocumented []string
+	for dir := range dirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			undocumented = append(undocumented, dir)
+		}
+	}
+	sort.Strings(undocumented)
+	return undocumented, nil
+}
+
+// hasPackageComment reports whether some non-test Go file in dir carries a
+// doc comment on its package clause.
+func hasPackageComment(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	sawGo := false
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		sawGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	// A directory without non-test Go files has nothing to document.
+	return !sawGo, nil
+}

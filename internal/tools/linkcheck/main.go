@@ -1,0 +1,65 @@
+// linkcheck verifies the repository-local links of markdown files: every
+// [text](target) whose target is not an external URL or a pure anchor must
+// name an existing file or directory relative to the markdown file. It
+// exits non-zero listing every broken link.
+//
+// Usage: go run ./internal/tools/linkcheck README.md ARCHITECTURE.md ...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links — image links and links with a
+// quoted title included; reference-style definitions (unused in this
+// repository) are not.
+var linkPattern = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if !localTarget(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %s\n", path, m[1])
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("linkcheck: all local links resolve")
+}
+
+// localTarget reports whether a link target should exist in the repository
+// (as opposed to external URLs, mail addresses and in-page anchors).
+func localTarget(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "#"} {
+		if strings.HasPrefix(target, prefix) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,19 +1,3 @@
-// Package tpch is a deterministic, dependency-free stand-in for the TPC-H
-// DBGEN tool the paper uses for its synthetic experiments (§6.1). It
-// generates the eight TPC-H tables with the standard schemas — matching the
-// arities reported in Table 4 of the paper — and cardinalities that scale
-// with a scale factor SF (SF 1 ≈ the paper's "1GB" database, SF 0.1 ≈
-// "100MB", SF 0.25 ≈ "250MB").
-//
-// Deliberate deviation from the real DBGEN: entity "names" are drawn from
-// finite pools instead of being key-derived unique strings, so that the
-// name-keyed FDs of Table 5 (customer [name]→[address], part [name]→[mfgr],
-// …) are approximate rather than trivially exact — the paper's hour-scale
-// repair times imply non-trivial searches, which requires violated FDs.
-// Everything that the FD-repair experiments measure (arity, cardinality,
-// value-frequency structure, violation rates) is preserved; the exact TPC-H
-// text grammar is irrelevant to counting distinct projections. See DESIGN.md
-// §3 for the substitution table.
 package tpch
 
 import (
