@@ -88,6 +88,10 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 			delete(lastRepairs, rest)
 		case "status", "s":
 			watchStatus(w, s)
+		case "mem":
+			watchMem(w, s)
+		case "compact":
+			watchCompact(w, s)
 		default:
 			fmt.Fprintf(w, "unknown command %q ('help' for commands)\n", cmd)
 		}
@@ -109,6 +113,9 @@ func watchHelp(w io.Writer) {
   define <label> <fd>  declare another FD, e.g. define F9 Zip -> City
   drop <label>         remove an FD
   status               rows, generation, measure-cache stats
+  mem                  storage footprint: segments, tombstones, reclaimable bytes
+  compact              squeeze tombstones out (bumps the storage epoch; row ids
+                       become dense again, incremental state is remapped)
   quit
 `)
 }
@@ -291,6 +298,33 @@ func watchDiscover(w io.Writer, s *evolvefd.Session, maxLHS int) error {
 	fmt.Fprintf(w, "cover %d FDs · border %d · since seed: %d revalidated, %d witness checks, %d probes, +%d/-%d FDs\n",
 		st.CoverSize, st.BorderSize, st.Revalidated, st.WitnessChecks, st.Probes, st.Promoted, st.Demoted)
 	return nil
+}
+
+// watchMem prints the storage footprint: how much of the column store is
+// dead weight and what a compact would reclaim, plus the incremental state
+// riding on top of it.
+func watchMem(w io.Writer, s *evolvefd.Session) {
+	st := s.MemStats()
+	fmt.Fprintf(w, "storage: %d physical rows (%d live, %d tombstones, ratio %.2f) · %d segments (%d dirty, %d rows each) · epoch %d\n",
+		st.PhysicalRows, st.LiveRows, st.Tombstones, st.TombstoneRatio,
+		st.Segments, st.DirtySegments, st.SegmentRows, st.Epoch)
+	fmt.Fprintf(w, "bytes: %d column-store (%d reclaimable by compact) · %d dict entries\n",
+		st.StorageBytes, st.ReclaimableBytes, st.DictEntries)
+	fmt.Fprintf(w, "state: %d tracked sets · %d cached measures · %d compactions so far\n",
+		st.TrackedSets, st.CachedMeasures, st.Compactions)
+}
+
+// watchCompact squeezes the tombstones out and reports what moved. The
+// session remaps its partition and discovery state across the epoch
+// boundary, so the next check reuses every unchanged measure.
+func watchCompact(w io.Writer, s *evolvefd.Session) {
+	st := s.Compact()
+	if st.Reclaimed == 0 {
+		fmt.Fprintln(w, "nothing to compact: no tombstones")
+		return
+	}
+	fmt.Fprintf(w, "compacted: reclaimed %d tombstones (%d → %d rows), %d row ids remapped, epoch %d\n",
+		st.Reclaimed, st.OldRows, st.NewRows, st.Moved, st.Epoch)
 }
 
 func watchStatus(w io.Writer, s *evolvefd.Session) {

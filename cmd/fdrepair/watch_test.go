@@ -229,3 +229,54 @@ func TestWatchDiscoverFlagsBrokenDefinedFD(t *testing.T) {
 		t.Errorf("disc transcript missing %q:\n%s", want, out.String())
 	}
 }
+
+func TestWatchMemAndCompact(t *testing.T) {
+	out := runWatchScript(t,
+		"compact", // clean instance: nothing to do
+		"check",
+		"del 1,3",
+		"mem",
+		"compact",
+		"mem",
+		"check", // post-compaction re-check reuses every unchanged measure
+		"quit",
+	)
+	for _, want := range []string{
+		"nothing to compact: no tombstones",
+		"storage: 11 physical rows (9 live, 2 tombstones, ratio 0.18)",
+		"1 segments (1 dirty, 4096 rows each) · epoch 0",
+		"compacted: reclaimed 2 tombstones (11 → 9 rows), 8 row ids remapped, epoch 1",
+		"storage: 9 physical rows (9 live, 0 tombstones, ratio 0.00)",
+		"(0 dirty, 4096 rows each) · epoch 1",
+		"1 compactions so far",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mem/compact transcript missing %q:\n%s", want, out)
+		}
+	}
+	// The final check must be cache-served: compaction preserves stamps.
+	if !strings.Contains(out, "recheck: 1 measures reused, 0 recomputed") {
+		t.Errorf("post-compaction recheck recomputed measures:\n%s", out)
+	}
+}
+
+func TestWatchCompactKeepsSessionUsable(t *testing.T) {
+	out := runWatchScript(t,
+		"del 1",
+		"compact",
+		// Row ids are dense again: row 1 now names the old row 2.
+		"del 1",
+		"status",
+		"repair F1",
+		"quit",
+	)
+	for _, want := range []string{
+		"compacted: reclaimed 1 tombstones (11 → 10 rows)",
+		"deleted 1; 9 live tuples",
+		"repairs for F1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compact-then-evolve transcript missing %q:\n%s", want, out)
+		}
+	}
+}

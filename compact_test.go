@@ -1,0 +1,176 @@
+package evolvefd_test
+
+import (
+	"reflect"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+func TestSessionCompactBasics(t *testing.T) {
+	s := placesSession(t)
+	total := s.Relation().NumRows()
+
+	// Compacting a clean instance is a no-op.
+	st := s.Compact()
+	if st.Reclaimed != 0 || st.Epoch != 0 {
+		t.Fatalf("no-op compaction = %+v", st)
+	}
+
+	if err := s.Delete(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	mem := s.MemStats()
+	if mem.Tombstones != 2 || mem.PhysicalRows != total || mem.ReclaimableBytes == 0 {
+		t.Fatalf("pre-compaction MemStats = %+v", mem)
+	}
+
+	st = s.Compact()
+	if st.Reclaimed != 2 || st.OldRows != total || st.NewRows != total-2 || st.Epoch != 1 {
+		t.Fatalf("compaction stats = %+v", st)
+	}
+	if st.Moved != total-2-1 {
+		t.Fatalf("Moved = %d, want %d (everything after row 1)", st.Moved, total-2-1)
+	}
+	if s.Epoch() != 1 || s.LiveRows() != total-2 || s.Relation().NumRows() != total-2 {
+		t.Fatalf("post-compaction shape: epoch %d, live %d, physical %d",
+			s.Epoch(), s.LiveRows(), s.Relation().NumRows())
+	}
+	mem = s.MemStats()
+	if mem.Tombstones != 0 || mem.ReclaimableBytes != 0 || mem.Compactions != 1 {
+		t.Fatalf("post-compaction MemStats = %+v", mem)
+	}
+}
+
+// TestSessionCompactPreservesState is the facade-level differential: Check,
+// Measures, Repair and the discovered cover must be identical before and
+// after a compaction, and the unchanged measures must be served from cache
+// across the epoch boundary (reused, not recomputed).
+func TestSessionCompactPreservesState(t *testing.T) {
+	s := placesSession(t)
+	// Seed the incremental discoverer before the deletes, so the cover
+	// comparisons below exercise maintained state rather than fresh seeds.
+	if _, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	check0 := s.Check()
+	repair0, err := s.Repair("F1", evolvefd.Options{MaxAdded: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover0, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused0, recomputed0 := s.CacheStats()
+
+	if st := s.Compact(); st.Reclaimed != 2 {
+		t.Fatalf("compaction stats = %+v", st)
+	}
+
+	check1 := s.Check()
+	if !reflect.DeepEqual(check0, check1) {
+		t.Fatalf("Check diverged across compaction:\n before %+v\n after  %+v", check0, check1)
+	}
+	repair1, err := s.Repair("F1", evolvefd.Options{MaxAdded: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repair0, repair1) {
+		t.Fatalf("Repair diverged across compaction:\n before %+v\n after  %+v", repair0, repair1)
+	}
+	cover1, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cover0, cover1) {
+		t.Fatalf("cover diverged across compaction:\n before %+v\n after  %+v", cover0, cover1)
+	}
+	if st := s.DiscoveryStats(); st.Reseeds != 0 {
+		t.Fatalf("compaction reseeded discovery %d times, want 0", st.Reseeds)
+	}
+	// The post-compaction Check recomputed nothing: every measure crossed the
+	// epoch boundary in cache.
+	reused1, recomputed1 := s.CacheStats()
+	if recomputed1 != recomputed0 {
+		t.Fatalf("compaction forced %d measure recomputations, want 0", recomputed1-recomputed0)
+	}
+	if reused1 == reused0 {
+		t.Fatal("post-compaction Check did not touch the measure cache")
+	}
+}
+
+// TestSessionCompactThenEvolve streams DML across several compactions and
+// checks the session against a fresh session over the equivalent dense
+// instance at the end.
+func TestSessionCompactThenEvolve(t *testing.T) {
+	s := placesSession(t)
+	if err := s.Delete(0, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact()
+	// Row ids are dense again; keep mutating in the new epoch.
+	if err := s.AppendStrings("Newtown", "Granville", "Glendale", "999", "974-2345", "Boxwood", "10211", "NY", "NY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact()
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", s.Epoch())
+	}
+
+	fresh := evolvefd.NewSession(s.Relation().Clone("dense"))
+	for _, label := range []string{"F1", "F2", "F3"} {
+		if err := fresh.Define(label, datasets.PlacesFDs()[label]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := s.Check(), fresh.Check()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("evolved session diverged from dense replay:\n got %+v\nwant %+v", got, want)
+	}
+	for _, label := range []string{"F1", "F2", "F3"} {
+		gm, err1 := s.Measures(label)
+		wm, err2 := fresh.Measures(label)
+		if err1 != nil || err2 != nil || gm != wm {
+			t.Fatalf("%s measures diverged: %+v vs %+v (%v/%v)", label, gm, wm, err1, err2)
+		}
+	}
+}
+
+func TestSessionAutoCompact(t *testing.T) {
+	s := placesSession(t)
+	s.EnableAutoCompact(evolvefd.AutoCompactOptions{TombstoneRatio: 0.25, MinTombstones: 2})
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatal("one tombstone of 11 rows must not trigger the policy")
+	}
+	if err := s.Delete(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("3/11 tombstones ≥ 25%% with ≥ 2 minimum must compact; epoch = %d", s.Epoch())
+	}
+	if st := s.MemStats(); st.Tombstones != 0 || st.Compactions != 1 || st.LiveRows != 8 {
+		t.Fatalf("post-auto-compaction MemStats = %+v", st)
+	}
+	s.DisableAutoCompact()
+	if err := s.Delete(0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 || s.MemStats().Tombstones != 4 {
+		t.Fatal("disabled policy must leave tombstones in place")
+	}
+	// The evolved instance still answers correctly.
+	if s.LiveRows() != 4 {
+		t.Fatalf("live = %d, want 4", s.LiveRows())
+	}
+}

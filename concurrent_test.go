@@ -292,3 +292,197 @@ func TestSessionConcurrentDMLDifferential(t *testing.T) {
 		}
 	}
 }
+
+// compactScript derives a deterministic mixed DML stream with a compaction
+// every `every` operations. Because compactions shift row ids, targets are
+// expressed as positions into the live-row list maintained at apply time —
+// the concurrent run and the serial replay resolve them identically.
+type compactOp struct {
+	kind    byte // 'a'ppend, 'd'elete, 'u'pdate, 'c'ompact
+	liveIdx int  // position into the apply-time live list for 'd'/'u'
+	tuple   []evolvefd.Value
+}
+
+func compactScript(full *evolvefd.Relation, initial, ops, every int) []compactOp {
+	script := make([]compactOp, 0, ops)
+	live, pool := initial, initial
+	for i := 0; i < ops && pool < full.NumRows(); i++ {
+		if every > 0 && i%every == every-1 {
+			script = append(script, compactOp{kind: 'c'})
+			continue
+		}
+		switch {
+		case i%3 == 0 || live < 2:
+			script = append(script, compactOp{kind: 'a', tuple: full.Row(pool)})
+			pool++
+			live++
+		case i%3 == 1:
+			script = append(script, compactOp{kind: 'd', liveIdx: (i * 131) % live})
+			live--
+		default:
+			script = append(script, compactOp{kind: 'u', liveIdx: (i * 173) % live, tuple: full.Row(pool)})
+			pool++
+		}
+	}
+	return script
+}
+
+// applyCompactDML applies a compaction-bearing script, resolving live-list
+// positions to current row ids. After a compaction the live rows are exactly
+// [0, LiveRows) in their pre-compaction order, so the list is rebuilt
+// densely — both runs therefore target identical tuples. Returns how many
+// tombstones the compactions reclaimed in total.
+func applyCompactDML(t *testing.T, s *evolvefd.Session, ops []compactOp) int {
+	t.Helper()
+	live := make([]int, s.LiveRows())
+	for i := range live {
+		live[i] = i
+	}
+	reclaimed := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 'a':
+			if err := s.Append(op.tuple...); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, s.Relation().NumRows()-1)
+		case 'd':
+			row := live[op.liveIdx]
+			if err := s.Delete(row); err != nil {
+				t.Fatal(err)
+			}
+			// Preserve live-list order so later compactions renumber rows in
+			// the order both runs agree on.
+			live = append(live[:op.liveIdx], live[op.liveIdx+1:]...)
+		case 'u':
+			if err := s.Update(live[op.liveIdx], op.tuple...); err != nil {
+				t.Fatal(err)
+			}
+		case 'c':
+			st := s.Compact()
+			reclaimed += st.Reclaimed
+			for i := range live {
+				live[i] = i
+			}
+		}
+	}
+	return reclaimed
+}
+
+// TestSessionConcurrentCompactionDifferential extends the DML race
+// differential with interleaved compactions: Check/Repair/Measures readers
+// hammer the session while the writer applies a scripted mix of appends,
+// deletes, updates and Compact calls, and the final state must be
+// bit-identical to a serial replay of the same script. Run under -race in
+// CI, this proves Compact's remapping composes with the RWMutex model: no
+// reader ever observes a half-moved instance, and the epoch crossings leak
+// nothing into measures, repairs or discovery.
+func TestSessionConcurrentCompactionDifferential(t *testing.T) {
+	const (
+		initial = 300
+		ops     = 160
+		every   = 28
+		readers = 4
+	)
+	full := datasets.Synthesize("stream", initial+ops, 20260729, concurrentSpecs())
+	s := newConcurrentSession(t, full, initial)
+	script := compactScript(full, initial, ops, every)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	repairOpts := evolvefd.Options{FirstOnly: true, MaxAdded: 2}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch (g + i) % 4 {
+				case 0:
+					for _, v := range s.Check() {
+						if v.Measures.Exact {
+							t.Errorf("Check returned exact FD %s as violated", v.Label)
+							return
+						}
+					}
+				case 1:
+					if _, err := s.Repair("F1", repairOpts); err != nil {
+						t.Errorf("Repair: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Measures("F2"); err != nil {
+						t.Errorf("Measures: %v", err)
+						return
+					}
+				case 3:
+					st := s.MemStats()
+					if st.LiveRows+st.Tombstones != st.PhysicalRows {
+						t.Errorf("MemStats inconsistent: %+v", st)
+						return
+					}
+					s.Epoch()
+				}
+			}
+		}(g)
+	}
+
+	reclaimed := applyCompactDML(t, s, script)
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if reclaimed == 0 {
+		t.Fatal("script never reclaimed a tombstone; compactions were no-ops")
+	}
+	if s.Epoch() == 0 {
+		t.Fatal("no compaction bumped the epoch")
+	}
+
+	replay := newConcurrentSession(t, full, initial)
+	if got := applyCompactDML(t, replay, script); got != reclaimed {
+		t.Fatalf("serial replay reclaimed %d tombstones, concurrent run %d", got, reclaimed)
+	}
+
+	if g1, g2 := s.LiveRows(), replay.LiveRows(); g1 != g2 {
+		t.Fatalf("live rows diverged: %d vs %d", g1, g2)
+	}
+	if e1, e2 := s.Epoch(), replay.Epoch(); e1 != e2 {
+		t.Fatalf("epochs diverged: %d vs %d", e1, e2)
+	}
+	gotCheck, wantCheck := s.Check(), replay.Check()
+	if !reflect.DeepEqual(gotCheck, wantCheck) {
+		t.Fatalf("final Check diverged from serial replay:\n got %+v\nwant %+v", gotCheck, wantCheck)
+	}
+	for _, v := range wantCheck {
+		got, err1 := s.Repair(v.Label, repairOpts)
+		want, err2 := replay.Repair(v.Label, repairOpts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("final Repair errored: %v / %v", err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("final Repair(%s) diverged from serial replay:\n got %+v\nwant %+v", v.Label, got, want)
+		}
+	}
+	// The tuple bags themselves must agree row for row: compactions preserve
+	// live order, so both sessions enumerate identical instances.
+	r1, r2 := s.Relation(), replay.Relation()
+	for row := 0; row < r1.NumRows(); row++ {
+		if r1.IsDeleted(row) != r2.IsDeleted(row) {
+			t.Fatalf("row %d tombstone state diverged", row)
+		}
+		if r1.IsDeleted(row) {
+			continue
+		}
+		for col := 0; col < r1.NumCols(); col++ {
+			if r1.Value(row, col) != r2.Value(row, col) {
+				t.Fatalf("cell (%d,%d) diverged: %v vs %v", row, col, r1.Value(row, col), r2.Value(row, col))
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/evolvefd/evolvefd/internal/core"
 	"github.com/evolvefd/evolvefd/internal/discovery"
@@ -159,14 +160,17 @@ type Suggestion struct {
 // them, Update/UpdateStrings correct them in place, and the session
 // maintains its partition state incrementally so that a re-Check after a
 // small batch costs time proportional to the batch, not to the whole
-// relation. Deletes never reindex the column stores, so row ids stay stable
-// for the life of the session.
+// relation. Deletes only tombstone rows, so row ids stay stable until a
+// Compact (explicit, or automatic under EnableAutoCompact) squeezes the
+// tombstones out and bumps the storage epoch; the session's incremental
+// state crosses that boundary by remapping, not rebuilding.
 //
 // A Session is safe for concurrent use: Check, Measures, Repair and the
 // other read paths may run in parallel with each other (repair searches fan
-// out internally), while Append, Delete, Update, Define, Drop and Accept
-// serialise against them. Callers that reach the underlying *Relation
-// through Relation() must not mutate it concurrently with session queries.
+// out internally), while Append, Delete, Update, Define, Drop, Accept and
+// Compact serialise against them. Callers that reach the underlying
+// *Relation through Relation() must not mutate it concurrently with session
+// queries.
 type Session struct {
 	// mu orders relation growth and FD-set edits against the read paths;
 	// the counter and measure cache carry their own finer-grained locks.
@@ -185,6 +189,11 @@ type Session struct {
 	// cover and the per-label exactness at the previous checkpoint.
 	lastCover map[string]bool
 	lastExact map[string]bool
+	// autoCompact, when non-nil, is the tombstone-ratio policy applied after
+	// every Delete; compactions counts the storage compactions the session
+	// performed (manual and automatic).
+	autoCompact *AutoCompactOptions
+	compactions uint64
 }
 
 // NewSession opens a session over a relation using the incremental PLI
@@ -221,16 +230,27 @@ func (s *Session) AppendStrings(cells ...string) error {
 }
 
 // Delete removes the tuples with the given row ids from the instance. Rows
-// are tombstoned, not compacted: ids of surviving tuples do not shift, and
-// the maintained partitions shrink in time proportional to the batch — a
-// cluster's count only changes when its last member leaves, so FDs whose
-// projections the deletes leave untouched are not recomputed by the next
-// Check. Deleting an unknown or already-deleted row fails without applying
-// any of the batch.
+// are tombstoned, not immediately compacted: ids of surviving tuples do not
+// shift, and the maintained partitions shrink in time proportional to the
+// batch — a cluster's count only changes when its last member leaves, so FDs
+// whose projections the deletes leave untouched are not recomputed by the
+// next Check. Deleting an unknown or already-deleted row fails without
+// applying any of the batch. Accumulated tombstones are reclaimed by Compact
+// — explicitly, or automatically under an EnableAutoCompact policy (in which
+// case this call may shift row ids; consult Epoch).
 func (s *Session) Delete(rows ...int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.counter.Delete(rows...)
+	if err := s.counter.Delete(rows...); err != nil {
+		return err
+	}
+	if p := s.autoCompact; p != nil {
+		st := s.rel.MemStats()
+		if st.Tombstones >= p.minTombstones() && st.TombstoneRatio >= p.ratio() {
+			s.compactLocked()
+		}
+	}
+	return nil
 }
 
 // Update replaces the tuple at one live row id in place — the designer
@@ -283,6 +303,169 @@ func (s *Session) CachedMeasures() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.cache.Size()
+}
+
+// CompactionStats describes one Compact call.
+type CompactionStats struct {
+	// Reclaimed counts the tombstones squeezed out; 0 means the instance was
+	// already clean and nothing changed.
+	Reclaimed int
+	// OldRows and NewRows are the physical row extents before and after.
+	OldRows, NewRows int
+	// Moved counts the live rows whose ids shifted — the remap work every
+	// incremental layer paid, as opposed to the live rows before the first
+	// tombstone, which kept their ids for free.
+	Moved int
+	// Epoch is the storage epoch after the call.
+	Epoch uint64
+	// Duration is the wall-clock cost of the compaction, remapping of the
+	// session's incremental state included.
+	Duration time.Duration
+}
+
+// Compact squeezes accumulated tombstones out of the instance's segmented
+// column stores and bumps the storage epoch. The session's incremental state
+// crosses the boundary by translation, not reconstruction: tracked partition
+// clusters remap their row ids in O(moved rows), discovery witnesses remap
+// in O(border), and every measure whose generation stamps survived — all of
+// them, since compaction changes no count — stays cached. Row ids visible
+// through earlier Check/Repair output are invalidated: after a compaction
+// the live rows are densely numbered [0, LiveRows).
+//
+// Compact serialises against all readers like any other write; a no-op on a
+// tombstone-free instance.
+func (s *Session) Compact() CompactionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked runs one compaction under the held write lock: the
+// discoverer (if any) folds pending DML into its borders first, so every
+// witness is live and remappable; then the counter compacts the relation and
+// remaps its tracked indexes; then the discoverer translates its witnesses.
+func (s *Session) compactLocked() CompactionStats {
+	start := time.Now()
+	if s.disc != nil {
+		s.disc.Sync()
+	}
+	m := s.counter.Compact()
+	if m == nil {
+		return CompactionStats{OldRows: s.rel.NumRows(), NewRows: s.rel.NumRows(), Epoch: s.rel.Epoch()}
+	}
+	if s.disc != nil {
+		s.disc.OnCompact(m)
+	}
+	s.compactions++
+	return CompactionStats{
+		Reclaimed: m.Reclaimed(),
+		OldRows:   m.OldRows,
+		NewRows:   m.NewRows,
+		Moved:     m.Moved(),
+		Epoch:     m.Epoch,
+		Duration:  time.Since(start),
+	}
+}
+
+// Epoch reports the instance's storage epoch: 0 at open, +1 per compaction
+// that reclaimed tombstones. Row ids are stable exactly within one epoch.
+func (s *Session) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.Epoch()
+}
+
+// AutoCompactOptions tunes the automatic compaction policy (see
+// EnableAutoCompact). The zero value means the defaults: compact when at
+// least 1024 tombstones make up ≥ 30% of the physical extent.
+type AutoCompactOptions struct {
+	// TombstoneRatio is the tombstones/physical-rows threshold at or above
+	// which a Delete triggers compaction; ≤ 0 means 0.3.
+	TombstoneRatio float64
+	// MinTombstones is the minimum absolute tombstone count before the ratio
+	// applies, so small instances do not compact on every other delete;
+	// ≤ 0 means 1024.
+	MinTombstones int
+}
+
+func (o *AutoCompactOptions) ratio() float64 {
+	if o.TombstoneRatio <= 0 {
+		return 0.3
+	}
+	return o.TombstoneRatio
+}
+
+func (o *AutoCompactOptions) minTombstones() int {
+	if o.MinTombstones <= 0 {
+		return 1024
+	}
+	return o.MinTombstones
+}
+
+// EnableAutoCompact turns on automatic storage reclamation: after every
+// Delete whose tombstones reach the policy's thresholds the session compacts
+// inline, under the same write lock, so readers never observe a half-moved
+// instance. Callers that cache row ids across calls should prefer explicit
+// Compact at points of their choosing instead.
+func (s *Session) EnableAutoCompact(opts AutoCompactOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.autoCompact = &opts
+}
+
+// DisableAutoCompact turns automatic reclamation back off.
+func (s *Session) DisableAutoCompact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.autoCompact = nil
+}
+
+// MemStats describes the session's storage and incremental-state footprint.
+type MemStats struct {
+	// PhysicalRows, LiveRows and Tombstones describe the row extent;
+	// TombstoneRatio is Tombstones/PhysicalRows.
+	PhysicalRows, LiveRows, Tombstones int
+	TombstoneRatio                     float64
+	// Segments, DirtySegments and SegmentRows describe the storage segments
+	// (DirtySegments hold at least one tombstone).
+	Segments, DirtySegments, SegmentRows int
+	// Epoch is the storage epoch; Compactions how many compactions the
+	// session has performed (manual and automatic).
+	Epoch       uint64
+	Compactions uint64
+	// StorageBytes estimates the column-store footprint; ReclaimableBytes
+	// the share a Compact would return; DictEntries the interned values.
+	StorageBytes, ReclaimableBytes int64
+	DictEntries                    int
+	// TrackedSets counts the incrementally-maintained attribute-set indexes;
+	// CachedMeasures the generation-stamped measure entries.
+	TrackedSets, CachedMeasures int
+}
+
+// MemStats reports the session's storage statistics — the observability
+// surface of the compaction policy: watch TombstoneRatio and
+// ReclaimableBytes grow under delete-heavy traffic, Compact, and watch them
+// return to zero while TrackedSets and CachedMeasures stay put.
+func (s *Session) MemStats() MemStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.rel.MemStats()
+	return MemStats{
+		PhysicalRows:     st.PhysicalRows,
+		LiveRows:         st.LiveRows,
+		Tombstones:       st.Tombstones,
+		TombstoneRatio:   st.TombstoneRatio,
+		Segments:         st.Segments,
+		DirtySegments:    st.DirtySegments,
+		SegmentRows:      st.SegmentRows,
+		Epoch:            st.Epoch,
+		Compactions:      s.compactions,
+		StorageBytes:     st.StorageBytes,
+		ReclaimableBytes: st.ReclaimableBytes,
+		DictEntries:      st.DictEntries,
+		TrackedSets:      s.counter.TrackedSets(),
+		CachedMeasures:   s.cache.Size(),
+	}
 }
 
 // Define declares an FD like "A, B -> C" under a unique label.

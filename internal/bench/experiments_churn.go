@@ -17,7 +17,32 @@ func init() {
 		ID:    "churn",
 		Title: "mixed DML stream (append/delete/update): incremental maintenance vs full PLI rebuild",
 		Run:   runChurn,
+		RunJSON: func(cfg Config) (any, error) {
+			rows, batchOps, batches := churnParams(cfg)
+			return RunChurnSynthetic(cfg, rows, batchOps, batches)
+		},
+		Render: func(v any, w io.Writer) error {
+			res, ok := v.(ChurnResult)
+			if !ok {
+				return fmt.Errorf("bench: churn render got %T", v)
+			}
+			return renderChurn(res, w)
+		},
 	})
+}
+
+// churnParams scales the stream: 50k initial rows at default scale, batches
+// of rows/250 mixed operations, five batches.
+func churnParams(cfg Config) (rows, batchOps, batches int) {
+	rows = int(50000 * cfg.scale() / DefaultScale)
+	if rows < 1000 {
+		rows = 1000
+	}
+	batchOps = rows / 250
+	if batchOps < 20 {
+		batchOps = 20
+	}
+	return rows, batchOps, 5
 }
 
 // ChurnResult measures one mixed-DML run: a relation takes `Batches` batches
@@ -169,22 +194,20 @@ func RunChurnSynthetic(cfg Config, rows, batchOps, batches int) (ChurnResult, er
 // deletes and corrects tuples as well as appending them, where a full
 // rebuild pays O(|r|) per batch and the incremental path pays O(batch).
 func runChurn(cfg Config, w io.Writer) error {
-	rows := int(50000 * cfg.scale() / DefaultScale)
-	if rows < 1000 {
-		rows = 1000
-	}
-	batchOps := rows / 250
-	if batchOps < 20 {
-		batchOps = 20
-	}
-	const batches = 5
+	rows, batchOps, batches := churnParams(cfg)
 	res, err := RunChurnSynthetic(cfg, rows, batchOps, batches)
 	if err != nil {
 		return err
 	}
+	return renderChurn(res, w)
+}
 
+// renderChurn writes the experiment's report table and shape notes (also the
+// Render half of fdbench -json, so the printed numbers and the persisted
+// BENCH_churn.json describe the same run).
+func renderChurn(res ChurnResult, w io.Writer) error {
 	tab := texttable.New(
-		fmt.Sprintf("incremental DML maintenance vs full PLI rebuild (%d mixed batches)", batches),
+		fmt.Sprintf("incremental DML maintenance vs full PLI rebuild (%d mixed batches)", res.Batches),
 		"dataset", "rows", "appends", "deletes", "updates", "final live",
 		"cold check", "incremental", "full rebuild", "speedup", "reused/recomputed",
 	).AlignRight(1, 2, 3, 4, 5, 9)
@@ -205,7 +228,7 @@ func runChurn(cfg Config, w io.Writer) error {
 	for _, m := range res.Mismatches {
 		fmt.Fprintln(w, "MEASURE MISMATCH:", m)
 	}
-	_, err = fmt.Fprintln(w, `shape check: the incremental side pays per operation (cluster joins, shrinks
+	_, err := fmt.Fprintln(w, `shape check: the incremental side pays per operation (cluster joins, shrinks
 and re-routes), the rebuild side pays per live row; the differential column
 must list no mismatches — including against a compacted clone of the final
 live rows.`)

@@ -18,6 +18,17 @@ func init() {
 		ID:    "discoverchurn",
 		Title: "mixed DML stream: incremental FD-cover maintenance vs per-batch full rediscovery",
 		Run:   runDiscoverChurn,
+		RunJSON: func(cfg Config) (any, error) {
+			rows, batchOps, batches := churnParams(cfg)
+			return RunDiscoverChurn(cfg, rows, batchOps, batches)
+		},
+		Render: func(v any, w io.Writer) error {
+			res, ok := v.(DiscoverChurnResult)
+			if !ok {
+				return fmt.Errorf("bench: discoverchurn render got %T", v)
+			}
+			return renderDiscoverChurn(res, w)
+		},
 	})
 }
 
@@ -164,22 +175,20 @@ func RunDiscoverChurn(cfg Config, rows, batchOps, batches int) (DiscoverChurnRes
 // revivals — the stats columns expose exactly how much of the lattice each
 // batch really touched.
 func runDiscoverChurn(cfg Config, w io.Writer) error {
-	rows := int(50000 * cfg.scale() / DefaultScale)
-	if rows < 1000 {
-		rows = 1000
-	}
-	batchOps := rows / 250
-	if batchOps < 20 {
-		batchOps = 20
-	}
-	const batches = 5
+	rows, batchOps, batches := churnParams(cfg)
 	res, err := RunDiscoverChurn(cfg, rows, batchOps, batches)
 	if err != nil {
 		return err
 	}
+	return renderDiscoverChurn(res, w)
+}
 
+// renderDiscoverChurn writes the experiment's report table and shape notes
+// (also the Render half of fdbench -json, so the printed numbers and the
+// persisted BENCH_discoverchurn.json describe the same run).
+func renderDiscoverChurn(res DiscoverChurnResult, w io.Writer) error {
 	tab := texttable.New(
-		fmt.Sprintf("incremental FD-cover maintenance vs full rediscovery (%d mixed batches)", batches),
+		fmt.Sprintf("incremental FD-cover maintenance vs full rediscovery (%d mixed batches)", res.Batches),
 		"dataset", "rows", "+/-/~ ops", "final live", "cover", "seed pass",
 		"incremental", "rediscovery", "speedup",
 	).AlignRight(1, 2, 3, 4, 8)
@@ -203,7 +212,7 @@ func runDiscoverChurn(cfg Config, w io.Writer) error {
 	for _, m := range res.Mismatches {
 		fmt.Fprintln(w, "COVER MISMATCH:", m)
 	}
-	_, err = fmt.Fprintln(w, `shape check: rediscovery probes the whole bounded lattice per batch; the
+	_, err := fmt.Fprintln(w, `shape check: rediscovery probes the whole bounded lattice per batch; the
 incremental side probes only around demoted and revived FDs, and the
 differential column must list no mismatches — including against a compacted
 clone of the final live rows.`)

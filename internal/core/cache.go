@@ -12,17 +12,26 @@ import (
 // actually changed. pli.IncrementalCounter implements it; the stamps are
 // what lets a periodic re-check after an append batch skip every FD whose
 // antecedent/consequent partitions were untouched by the new tuples.
+//
+// Epoch reports the storage epoch of the underlying relation. A compaction
+// bumps the epoch and moves row ids, but preserves every count — and a
+// remap-aware counter preserves the stamps with them — so a stamp match
+// across an epoch boundary still proves the measures unchanged. The cache
+// exploits that to carry its entries across compactions instead of
+// recomputing, and counts the crossings (EpochSurvivals) as the observable.
 type GenCounter interface {
 	pli.Counter
 	Generation() uint64
 	CountWithGen(x bitset.Set) (int, uint64)
+	Epoch() uint64
 }
 
 // measureEntry is one cached measure computation with the count stamps it
-// was derived from.
+// was derived from and the storage epoch it last served in.
 type measureEntry struct {
 	m                 Measures
 	genX, genXY, genY uint64
+	epoch             uint64
 }
 
 // MeasureCache memoises FD measures across repeated Check calls. Bound to a
@@ -40,6 +49,11 @@ type MeasureCache struct {
 	entries map[string]measureEntry
 	hits    uint64
 	misses  uint64
+	// epochSurvivals counts cache hits whose entry was computed in an
+	// earlier storage epoch — measures that crossed a compaction boundary
+	// without being recomputed, because their count stamps were preserved by
+	// the remap.
+	epochSurvivals uint64
 }
 
 // NewMeasureCache builds a cache over counter, detecting generation support.
@@ -64,18 +78,36 @@ func (mc *MeasureCache) Compute(fd FD) Measures {
 	numX, genX := mc.gen.CountWithGen(fd.X)
 	numXY, genXY := mc.gen.CountWithGen(fd.Attrs())
 	numY, genY := mc.gen.CountWithGen(fd.Y)
+	epoch := mc.gen.Epoch()
 
 	key := measureKey(fd)
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if e, ok := mc.entries[key]; ok && e.genX == genX && e.genXY == genXY && e.genY == genY {
 		mc.hits++
+		if e.epoch != epoch {
+			// The entry was computed before a compaction; the preserved
+			// stamps prove the counts survived the remap, so translate the
+			// entry into the new epoch instead of recomputing.
+			mc.epochSurvivals++
+			e.epoch = epoch
+			mc.entries[key] = e
+		}
 		return e.m
 	}
 	mc.misses++
 	m := NewMeasures(numX, numXY, numY)
-	mc.entries[key] = measureEntry{m: m, genX: genX, genXY: genXY, genY: genY}
+	mc.entries[key] = measureEntry{m: m, genX: genX, genXY: genXY, genY: genY, epoch: epoch}
 	return m
+}
+
+// EpochSurvivals reports how many cache hits crossed a storage-epoch
+// boundary: measures served after a compaction without recomputation. It is
+// the cache-level proof that compaction preserves measure state.
+func (mc *MeasureCache) EpochSurvivals() uint64 {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.epochSurvivals
 }
 
 // Stats reports how many Compute calls were served from cache versus

@@ -176,3 +176,54 @@ func TestOrderFDsCachedMatchesOrderFDs(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureCacheSurvivesCompaction(t *testing.T) {
+	r := appendRelation(t, [][]string{
+		{"x", "1", "p"}, {"x", "1", "p"}, {"x", "2", "p"}, {"y", "1", "q"},
+	})
+	fdAB, fdAC := cacheFDs(t, r)
+	counter := pli.NewIncrementalCounter(r)
+	mc := NewMeasureCache(counter)
+	m0, m1 := mc.Compute(fdAB), mc.Compute(fdAC)
+	// Delete one half of the duplicated (x,1,p) pair: no projection count
+	// changes, then squeeze the tombstone out. The remap preserves the count
+	// stamps, so both measures must be served from cache across the epoch
+	// boundary — and still agree with a from-scratch computation.
+	if err := counter.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Compact() == nil {
+		t.Fatal("Compact returned nil with a tombstone present")
+	}
+	if got := mc.Compute(fdAB); got != m0 {
+		t.Fatalf("a→b changed across compaction: %+v vs %+v", got, m0)
+	}
+	if got := mc.Compute(fdAC); got != m1 {
+		t.Fatalf("a→c changed across compaction: %+v vs %+v", got, m1)
+	}
+	if hits, misses := mc.Stats(); hits != 2 || misses != 2 {
+		t.Fatalf("post-compaction stats = %d hits %d misses, want 2/2", hits, misses)
+	}
+	if got := mc.EpochSurvivals(); got != 2 {
+		t.Fatalf("EpochSurvivals = %d, want 2", got)
+	}
+	for _, fd := range []FD{fdAB, fdAC} {
+		if want, got := Compute(pli.NewPLICounter(r), fd), mc.Compute(fd); got != want {
+			t.Fatalf("%s post-compaction = %+v, want %+v", fd.Label, got, want)
+		}
+	}
+	// A second epoch: this time the compaction follows a delete that does
+	// change a→b's projections (the only y row — id 2 in the new epoch —
+	// leaves), so a→b recomputes while nothing is wrongly reused.
+	if err := counter.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Compact() == nil {
+		t.Fatal("second Compact returned nil")
+	}
+	for _, fd := range []FD{fdAB, fdAC} {
+		if want, got := Compute(pli.NewPLICounter(r), fd), mc.Compute(fd); got != want {
+			t.Fatalf("%s after epoch 2 = %+v, want %+v", fd.Label, got, want)
+		}
+	}
+}

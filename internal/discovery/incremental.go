@@ -6,6 +6,7 @@ import (
 	"github.com/evolvefd/evolvefd/internal/bitset"
 	"github.com/evolvefd/evolvefd/internal/core"
 	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
 )
 
 // IncStats reports the work an IncrementalDiscoverer performed across
@@ -115,14 +116,15 @@ type batchCtx struct {
 // An IncrementalDiscoverer is not safe for concurrent use; callers must
 // serialise Sync/Cover against relation mutations (evolvefd.Session does).
 type IncrementalDiscoverer struct {
-	counter  *pli.IncrementalCounter
-	opts     Options
-	maxLHS   int
-	eligible bitset.Set
-	states   []*consequentState
-	stats    IncStats
-	prevRows int
-	prevMuts uint64
+	counter   *pli.IncrementalCounter
+	opts      Options
+	maxLHS    int
+	eligible  bitset.Set
+	states    []*consequentState
+	stats     IncStats
+	prevRows  int
+	prevMuts  uint64
+	prevEpoch uint64
 	// coverCache is the sorted cover of the current state; nil after a
 	// batch or reseed. Back-to-back Cover calls without intervening
 	// mutations (DiscoverIncremental followed by Suggestions) rebuild and
@@ -192,6 +194,16 @@ func (d *IncrementalDiscoverer) Cover() []core.FD {
 // changed; Cover calls it implicitly.
 func (d *IncrementalDiscoverer) Sync() {
 	r := d.counter.Relation()
+	if r.Epoch() != d.prevEpoch {
+		// The relation was compacted without OnCompact: the remap table is
+		// gone and every stored witness row id is meaningless. Reseed — the
+		// correct fallback, like the counter's own out-of-band rebuild.
+		d.stats.Batches++
+		d.stats.Reseeds++
+		d.coverCache = nil
+		d.reseed()
+		return
+	}
 	rows, muts := r.NumRows(), r.Mutations()
 	if rows == d.prevRows && muts == d.prevMuts {
 		return
@@ -218,12 +230,44 @@ func (d *IncrementalDiscoverer) Sync() {
 	d.ensureCapacity()
 }
 
+// OnCompact carries the maintained borders across a storage-epoch boundary
+// by translating the row ids of every negative-border witness through the
+// remap table — O(border size), no probe, no reseed. The positive border
+// needs nothing at all: its revalidation runs on generation stamps, which a
+// remap-aware compaction preserves.
+//
+// The caller must Sync() BEFORE compacting the relation (evolvefd.Session
+// does), so every witness refers to a checked, live pre-compaction row: a
+// live row always has a new id. A nil remap (the compaction was a no-op) is
+// ignored.
+func (d *IncrementalDiscoverer) OnCompact(m *relation.Remap) {
+	if m == nil {
+		return
+	}
+	r := d.counter.Relation()
+	d.prevRows = r.NumRows()
+	d.prevEpoch = r.Epoch()
+	// prevMuts is untouched: compaction does not advance Mutations.
+	for _, st := range d.states {
+		for _, b := range st.invalid {
+			w1, w2 := m.NewID(b.w1), m.NewID(b.w2)
+			if w1 < 0 || w2 < 0 {
+				panic(fmt.Sprintf("discovery: witness (%d,%d) of %v -> %d was a tombstone at compaction; Sync before Compact",
+					b.w1, b.w2, b.x, st.y))
+			}
+			b.w1, b.w2 = w1, w2
+		}
+	}
+	// coverCache holds attribute sets only — row-id free, still valid.
+}
+
 // reseed rebuilds every consequent's borders from scratch with a levelwise
 // pass — construction, and the fallback when a column's NULL-eligibility
 // changed. Callers account it in stats.
 func (d *IncrementalDiscoverer) reseed() {
 	r := d.counter.Relation()
 	d.prevRows, d.prevMuts = r.NumRows(), r.Mutations()
+	d.prevEpoch = r.Epoch()
 	d.eligible = r.NullFreeColumns()
 	d.states = nil
 	d.coverCache = nil

@@ -1,0 +1,216 @@
+package pli
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// relationOf builds a two-column string relation from literal rows.
+func relationOf(t *testing.T, rows [][]string) *relation.Relation {
+	t.Helper()
+	schema, err := relation.SchemaOf("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New("t", schema)
+	for _, cells := range rows {
+		if err := r.AppendStrings(cells...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestIncrementalCompactDifferential interleaves compactions with randomized
+// mixed DML and asserts after every batch that tracked and untracked counts,
+// generation-stamped counts, and materialised partitions all agree with
+// from-scratch counters over the same (possibly remapped) instance.
+func TestIncrementalCompactDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	const ncols = 5
+	r := randomRelation(rng, 60, ncols, 4)
+	inc := NewIncrementalCounter(r)
+	sets := randomSets(rng, ncols, 12)
+	for i, s := range sets {
+		if i%2 == 0 {
+			inc.Track(s)
+		}
+	}
+	tuple := make([]relation.Value, ncols)
+	compactions := 0
+	for batch := 0; batch < 12; batch++ {
+		for op := 0; op < 12; op++ {
+			live := liveRowIDs(r)
+			switch roll := rng.Intn(3); {
+			case roll == 0 || len(live) < 2:
+				appendRandomRows(t, rng, r, 1)
+			case roll == 1:
+				if err := inc.Delete(live[rng.Intn(len(live))]); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				for c := range tuple {
+					tuple[c] = relation.String(string(rune('A' + rng.Intn(4))))
+				}
+				if err := inc.Update(live[rng.Intn(len(live))], tuple...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if batch%3 == 2 {
+			if m := inc.Compact(); m != nil {
+				compactions++
+				if r.HasTombstones() {
+					t.Fatalf("batch %d: tombstones survived Compact", batch)
+				}
+			}
+		}
+		fresh, hash := NewPLICounter(r), NewHashCounter(r)
+		for _, s := range sets {
+			want := fresh.Count(s)
+			if alt := hash.Count(s); alt != want {
+				t.Fatalf("batch %d: scratch counters disagree on %v: pli %d, hash %d", batch, s, want, alt)
+			}
+			if got := inc.Count(s); got != want {
+				t.Fatalf("batch %d: Count(%v) = %d, want %d", batch, s, got, want)
+			}
+			if got, _ := inc.CountWithGen(s); got != want {
+				t.Fatalf("batch %d: CountWithGen(%v) = %d, want %d", batch, s, got, want)
+			}
+			if !inc.Partition(s).EqualPartition(fresh.Partition(s)) {
+				t.Fatalf("batch %d: Partition(%v) diverged from scratch", batch, s)
+			}
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("stream never compacted; widen the mix")
+	}
+}
+
+// TestCompactPreservesGenerationStamps is the heart of the remap design: a
+// compaction moves row ids but no count, so every tracked set's generation
+// stamp — and therefore every measure cached against it — must survive the
+// epoch boundary unchanged.
+func TestCompactPreservesGenerationStamps(t *testing.T) {
+	r := relationOf(t, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"}, {"a2", "b2"}, {"a3", "b3"},
+	})
+	inc := NewIncrementalCounter(r)
+	a, ab := bitset.New(0), bitset.New(0, 1)
+	n0, g0 := inc.CountWithGen(a)
+	n1, g1 := inc.CountWithGen(ab)
+	// Delete one row of a 2-cluster: |π_A| and |π_AB| are unchanged, so the
+	// stamps must hold through both the delete and the compaction.
+	if err := inc.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	gen := inc.Generation()
+	m := inc.Compact()
+	if m == nil || m.Reclaimed() != 1 {
+		t.Fatalf("Compact = %v, want one reclaimed tombstone", m)
+	}
+	if inc.Generation() <= gen {
+		t.Fatal("Compact must advance the generation (partition row ids moved)")
+	}
+	if inc.Epoch() != 1 {
+		t.Fatalf("Epoch = %d, want 1", inc.Epoch())
+	}
+	if n, g := inc.CountWithGen(a); n != n0 || g != g0 {
+		t.Fatalf("CountWithGen(a) = (%d,%d) after compaction, want unchanged (%d,%d)", n, g, n0, g0)
+	}
+	if n, g := inc.CountWithGen(ab); n != n1 || g != g1 {
+		t.Fatalf("CountWithGen(ab) = (%d,%d) after compaction, want unchanged (%d,%d)", n, g, n1, g1)
+	}
+	// The remapped partition must match a from-scratch build over the
+	// compacted instance.
+	if !inc.Partition(a).EqualPartition(NewPLICounter(r).Partition(a)) {
+		t.Fatal("remapped partition diverged from scratch after compaction")
+	}
+}
+
+// TestCompactNoTombstonesIsNoop: a clean instance compacts to nil without
+// advancing generation or epoch.
+func TestCompactNoTombstonesIsNoop(t *testing.T) {
+	r := relationOf(t, [][]string{{"a1", "b1"}, {"a2", "b2"}})
+	inc := NewIncrementalCounter(r)
+	gen := inc.Generation()
+	if m := inc.Compact(); m != nil {
+		t.Fatalf("Compact on clean instance = %v, want nil", m)
+	}
+	if inc.Generation() != gen || inc.Epoch() != 0 {
+		t.Fatalf("no-op Compact moved generation/epoch: %d/%d", inc.Generation(), inc.Epoch())
+	}
+}
+
+// TestOutOfBandCompactionRebuilds: a Compact applied directly to the
+// relation loses the remap table, so the counter must detect the epoch
+// change and rebuild its tracked state — correct counts, stamps advanced.
+func TestOutOfBandCompactionRebuilds(t *testing.T) {
+	r := relationOf(t, [][]string{
+		{"a1", "b1"}, {"a1", "b2"}, {"a2", "b1"}, {"a2", "b2"},
+	})
+	inc := NewIncrementalCounter(r)
+	a := bitset.New(0)
+	if n, _ := inc.CountWithGen(a); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	if err := inc.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Compact() == nil { // behind the counter's back
+		t.Fatal("relation.Compact returned nil")
+	}
+	want := NewHashCounter(r).Count(a)
+	if got := inc.Count(a); got != want {
+		t.Fatalf("Count after out-of-band compaction = %d, want %d", got, want)
+	}
+	if !inc.Partition(a).EqualPartition(NewPLICounter(r).Partition(a)) {
+		t.Fatal("partition diverged after out-of-band compaction")
+	}
+}
+
+// TestPLICounterEpochInvalidation: a standalone PLICounter serves cached
+// partitions only within one storage epoch; a compaction must flush pinned
+// singletons and composite entries alike before the next query.
+func TestPLICounterEpochInvalidation(t *testing.T) {
+	r := relationOf(t, [][]string{
+		{"a1", "b1"}, {"a1", "b2"}, {"a2", "b1"}, {"a2", "b2"}, {"a2", "b2"},
+	})
+	c := NewPLICounter(r)
+	a, ab := bitset.New(0), bitset.New(0, 1)
+	if got := c.Count(ab); got != 4 {
+		t.Fatalf("Count(ab) = %d, want 4", got)
+	}
+	cached := c.CacheSize()
+	if err := r.Delete(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Compact() == nil {
+		t.Fatal("relation.Compact returned nil")
+	}
+	// Same counter, new epoch: every count and partition must describe the
+	// compacted instance.
+	if got := c.Count(a); got != 2 {
+		t.Fatalf("post-compaction Count(a) = %d, want 2", got)
+	}
+	if got := c.Count(ab); got != 3 {
+		t.Fatalf("post-compaction Count(ab) = %d, want 3", got)
+	}
+	if c.CacheSize() > cached+1 {
+		t.Fatalf("stale entries survived the epoch flush: %d cached", c.CacheSize())
+	}
+	p := c.Partition(a)
+	if p.NumRows() != 3 {
+		t.Fatalf("partition covers %d rows, want 3", p.NumRows())
+	}
+	for _, cls := range p.Classes() {
+		for _, row := range cls {
+			if int(row) >= r.NumRows() {
+				t.Fatalf("partition references old-epoch row %d (extent %d)", row, r.NumRows())
+			}
+		}
+	}
+}

@@ -156,6 +156,13 @@ func (s *cacheShard) peek(key string) (*Partition, bool) {
 // assembled by products and memoised in a sharded, bounded LRU cache with
 // duplicate-build suppression, so concurrent search workers asking for the
 // same partition build it once and never serialise on unrelated keys.
+//
+// Cached partitions carry row ids and are therefore only valid within one
+// storage epoch: every query first compares the relation's epoch against the
+// one the caches were built in, and a compaction-induced mismatch drops
+// every cached partition (pinned singletons included) before serving. The
+// relation must not be compacted concurrently with queries, like any other
+// mutation.
 type PLICounter struct {
 	r *relation.Relation
 	// pinned holds the empty-set and single-column partitions, never
@@ -169,6 +176,10 @@ type PLICounter struct {
 	// builds counts actual multi-column partition constructions — the
 	// observable that singleflight suppresses duplicate work.
 	builds atomic.Uint64
+	// epoch is the storage epoch the caches reflect; resetMu serialises the
+	// epoch-mismatch cache reset.
+	epoch   atomic.Uint64
+	resetMu sync.Mutex
 }
 
 // NewPLICounter builds a PLI-based counter over r with the default cache
@@ -195,7 +206,35 @@ func NewPLICounterSize(r *relation.Relation, maxEntries int) *PLICounter {
 		c.shards[i].max = perShard
 	}
 	c.scratch.New = func() any { return NewScratch(r.NumRows()) }
+	c.epoch.Store(r.Epoch())
 	return c
+}
+
+// syncEpoch drops every cached partition when the relation was compacted
+// since the caches were filled: the partitions' row ids belong to the old
+// epoch. The fast path is one atomic load; the reset itself is serialised so
+// concurrent readers entering after a compaction reset exactly once.
+func (c *PLICounter) syncEpoch() {
+	e := c.r.Epoch()
+	if c.epoch.Load() == e {
+		return
+	}
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	if c.epoch.Load() == e {
+		return
+	}
+	c.pinnedMu.Lock()
+	c.pinned = make(map[string]*cacheEntry)
+	c.pinnedMu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*cacheEntry)
+		s.lru = list.New()
+		s.mu.Unlock()
+	}
+	c.epoch.Store(e)
 }
 
 // Relation returns the bound instance.
@@ -224,6 +263,7 @@ func (c *PLICounter) putScratch(s *productScratch) { c.scratch.Put(s) }
 // Partition returns the (memoised) stripped partition for x. Concurrent
 // requests for the same uncached set build it exactly once.
 func (c *PLICounter) Partition(x bitset.Set) *Partition {
+	c.syncEpoch()
 	members := x.Members()
 	key := x.Key()
 	if len(members) <= 1 {
@@ -244,6 +284,7 @@ func (c *PLICounter) Partition(x bitset.Set) *Partition {
 // x — the search-aware fast path — and memoised for the child's own later
 // expansion.
 func (c *PLICounter) ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition {
+	c.syncEpoch()
 	child := x.With(attr)
 	members := child.Members()
 	key := child.Key()

@@ -28,10 +28,15 @@ type trackedIndex struct {
 	cols  []int
 	ids   map[string]int32 // encoded code tuple → position in rows
 	rows  [][]int32        // cluster id → member rows; may be empty after deletes
-	// pos maps a live row to its slot within its cluster slice, so unlinking
-	// a deleted/updated row is O(1) instead of a scan of the cluster — on a
-	// low-cardinality set a single cluster can hold most of the relation.
-	pos map[int32]int32
+	// pos records, for every live row id, the row's slot within its cluster
+	// slice, so unlinking a deleted/updated row is O(1) instead of a scan of
+	// the cluster — on a low-cardinality set a single cluster can hold most
+	// of the relation. It is a row-indexed array, not a map: O(extent)
+	// memory like the cluster slices themselves, no hashing on the DML hot
+	// path, and a storage compaction remaps it with pure array writes.
+	// Slots of dead rows are stale and never read (tombstoned rows are
+	// unlinked when they die and row ids are never reused within an epoch).
+	pos []int32
 	// live is the number of non-empty clusters, i.e. |π_X| over live rows.
 	// It can shrink: deletes empty clusters, updates move rows between them.
 	live int
@@ -74,9 +79,11 @@ type trackedIndex struct {
 //
 // Appends may go straight to the relation (they are folded in on the next
 // query); deletes and updates must go through Delete/Update/UpdateStrings so
-// the tracked clusters shrink in O(ops). A mutation applied to the relation
-// behind the counter's back is detected via relation.Mutations and answered
-// by rebuilding every tracked index — correct, just no longer incremental.
+// the tracked clusters shrink in O(ops), and compaction through Compact so
+// the tracked row ids are remapped rather than rebuilt. A mutation or
+// compaction applied to the relation behind the counter's back is detected
+// via relation.Mutations / relation.Epoch and answered by rebuilding every
+// tracked index — correct, just no longer incremental.
 //
 // Like every Counter, an IncrementalCounter is safe for concurrent use; the
 // relation must not be mutated concurrently with queries.
@@ -85,10 +92,11 @@ type IncrementalCounter struct {
 	mu sync.Mutex
 	// gen counts applied mutation batches (append folds, delete batches,
 	// updates); it starts at 1 so a zero stamp never collides with a live one.
-	gen         uint64
-	appliedRows int    // physical rows folded into every tracked index so far
-	appliedMuts uint64 // relation.Mutations() value the tracked state reflects
-	tracked     map[string]*trackedIndex
+	gen          uint64
+	appliedRows  int    // physical rows folded into every tracked index so far
+	appliedMuts  uint64 // relation.Mutations() value the tracked state reflects
+	appliedEpoch uint64 // relation.Epoch() the tracked row ids belong to
+	tracked      map[string]*trackedIndex
 	// lru orders tracked sets by recency of use (front = least recently
 	// used); eviction beyond maxTracked drops the front so the hot X/XY/Y
 	// indices of live FDs survive cold one-shot sets.
@@ -120,17 +128,24 @@ func NewIncrementalCounterSize(r *relation.Relation, maxTracked int) *Incrementa
 		maxTracked = 4
 	}
 	return &IncrementalCounter{
-		r:           r,
-		gen:         1,
-		appliedRows: r.NumRows(),
-		appliedMuts: r.Mutations(),
-		tracked:     make(map[string]*trackedIndex),
-		lru:         list.New(),
-		maxTracked:  maxTracked,
-		emptyGen:    1,
-		wasEmpty:    r.LiveRows() == 0,
+		r:            r,
+		gen:          1,
+		appliedRows:  r.NumRows(),
+		appliedMuts:  r.Mutations(),
+		appliedEpoch: r.Epoch(),
+		tracked:      make(map[string]*trackedIndex),
+		lru:          list.New(),
+		maxTracked:   maxTracked,
+		emptyGen:     1,
+		wasEmpty:     r.LiveRows() == 0,
 	}
 }
+
+// Epoch reports the relation's storage epoch. Together with Generation it
+// tells caches what kind of change occurred: a generation bump with an
+// unchanged per-set stamp after a compaction means row ids moved but every
+// count — and therefore every measure — is provably unchanged.
+func (c *IncrementalCounter) Epoch() uint64 { return c.r.Epoch() }
 
 // Relation returns the bound instance.
 func (c *IncrementalCounter) Relation() *relation.Relation { return c.r }
@@ -350,11 +365,81 @@ func (c *IncrementalCounter) UpdateStrings(row int, cells ...string) error {
 	return c.Update(row, tuple...)
 }
 
+// Compact squeezes the tombstones out of the relation and carries every
+// tracked index across the epoch boundary by remapping its row ids instead
+// of rebuilding it: cluster membership, cluster counts and — crucially —
+// every lastChanged stamp are untouched, because compaction preserves the
+// tuple bag and therefore every |π_X|. A measure cache keyed on those stamps
+// keeps serving its entries across the boundary for free. The cost is
+// O(moved rows × tracked sets): rows below the remap's identity prefix are
+// not visited at all.
+//
+// The generation still advances — the inner delegate's composite partitions
+// and any materialised Partition carry old-epoch row ids — so partition
+// consumers rebuild while count consumers don't, which is exactly the split
+// the epoch design wants. Returns nil when the relation has no tombstones.
+func (c *IncrementalCounter) Compact() *relation.Remap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	m := c.r.Compact()
+	if m == nil {
+		return nil
+	}
+	c.gen++
+	for _, idx := range c.tracked {
+		c.remapIndex(idx, m)
+	}
+	c.appliedRows = c.r.NumRows()
+	c.appliedEpoch = m.Epoch
+	return m
+}
+
+// remapIndex rewrites the row ids of one tracked index through the remap
+// table: every cluster member at or above the identity prefix is translated
+// in place, and its slot is re-recorded under the new id. Cluster identity,
+// the key map, live/dead counts and every generation stamp are untouched —
+// compaction changes no count. Pure array reads and writes, no hashing:
+// O(live rows) with a one-compare fast path for the unmoved prefix, and the
+// pos table shrinks to the new extent. Callers must hold c.mu.
+func (c *IncrementalCounter) remapIndex(idx *trackedIndex, m *relation.Remap) {
+	for _, members := range idx.rows {
+		for slot, old := range members {
+			if int(old) < m.FirstMoved {
+				continue
+			}
+			n := int32(m.NewID(int(old)))
+			if n < 0 {
+				panic(fmt.Sprintf("pli: tracked index for %v holds tombstoned row %d at compaction", idx.cols, old))
+			}
+			members[slot] = n
+			idx.pos[n] = int32(slot)
+		}
+	}
+	if m.NewRows < len(idx.pos) {
+		idx.pos = idx.pos[:m.NewRows]
+	}
+}
+
 // sync folds rows appended since the last query into every tracked index and
 // bumps the generation. If the relation was deleted from or updated without
 // going through this counter, every tracked index is rebuilt from scratch
-// instead — correct, just not incremental. Callers must hold c.mu.
+// instead — correct, just not incremental. An out-of-band compaction
+// (relation.Compact called directly, so the remap table was lost) is
+// detected via the storage epoch and likewise answered by a full rebuild;
+// Compact on this counter remaps instead. Callers must hold c.mu.
 func (c *IncrementalCounter) sync() {
+	if c.r.Epoch() != c.appliedEpoch {
+		c.gen++
+		for _, idx := range c.tracked {
+			c.rebuild(idx)
+		}
+		c.appliedRows = c.r.NumRows()
+		c.appliedMuts = c.r.Mutations()
+		c.appliedEpoch = c.r.Epoch()
+		c.noteLiveness()
+		return
+	}
 	if c.r.Mutations() != c.appliedMuts {
 		c.gen++
 		for _, idx := range c.tracked {
@@ -401,7 +486,6 @@ func (c *IncrementalCounter) track(x bitset.Set) *trackedIndex {
 		attrs: x.Clone(),
 		cols:  x.Members(),
 		ids:   make(map[string]int32),
-		pos:   make(map[int32]int32),
 	}
 	c.fold(idx, 0, c.r.NumRows())
 	idx.lastChanged = c.gen
@@ -421,7 +505,7 @@ func (c *IncrementalCounter) track(x bitset.Set) *trackedIndex {
 func (c *IncrementalCounter) rebuild(idx *trackedIndex) {
 	idx.ids = make(map[string]int32)
 	idx.rows = idx.rows[:0]
-	idx.pos = make(map[int32]int32)
+	idx.pos = idx.pos[:0]
 	idx.live = 0
 	idx.dead = 0
 	c.fold(idx, 0, c.r.NumRows())
@@ -439,6 +523,7 @@ func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 	if need := len(idx.cols) * 4; cap(c.keyBuf) < need {
 		c.keyBuf = make([]byte, 0, need)
 	}
+	idx.pos = growPos(idx.pos, to)
 	changed := false
 	for row := from; row < to; row++ {
 		if c.r.IsDeleted(row) {
@@ -516,10 +601,25 @@ func (c *IncrementalCounter) oldRowKey(idx *trackedIndex, oldCodes []int32) []by
 	return appendCodeKey(c.keyBuf[:0], cols, 0)
 }
 
+// growPos widens a slot array to cover row ids below n, doubling capacity so
+// per-row append folds amortise to O(1); fresh entries are zero and only
+// ever read after a fold or link wrote them.
+func growPos(pos []int32, n int) []int32 {
+	if len(pos) >= n {
+		return pos
+	}
+	if cap(pos) >= n {
+		return pos[:n]
+	}
+	out := make([]int32, n, max(n, 2*cap(pos)))
+	copy(out, pos)
+	return out
+}
+
 // unlink removes row from the cluster key names in O(1) (swap-remove at the
 // slot the pos index records), decrementing live if the cluster empties. The
 // empty cluster keeps its id so a later row with the same codes revives it
-// in place.
+// in place; the dying row's pos slot goes stale and is never read again.
 func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
 	id, ok := idx.ids[key]
 	if !ok {
@@ -527,16 +627,12 @@ func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
 		// while mutations flow through the counter.
 		panic(fmt.Sprintf("pli: tracked index for %v lost cluster of row %d", idx.cols, row))
 	}
-	slot, ok := idx.pos[row]
-	if !ok {
-		panic(fmt.Sprintf("pli: tracked index for %v lost slot of row %d", idx.cols, row))
-	}
+	slot := idx.pos[row]
 	members := idx.rows[id]
 	last := members[len(members)-1]
 	members[slot] = last
 	idx.pos[last] = slot
 	idx.rows[id] = members[:len(members)-1]
-	delete(idx.pos, row)
 	if len(idx.rows[id]) == 0 {
 		idx.live--
 		idx.dead++
@@ -586,6 +682,7 @@ func (c *IncrementalCounter) link(idx *trackedIndex, key string, row int32) {
 		idx.dead--
 	}
 	idx.rows[id] = append(idx.rows[id], row)
+	idx.pos = growPos(idx.pos, int(row)+1)
 	idx.pos[row] = int32(len(idx.rows[id]) - 1)
 }
 

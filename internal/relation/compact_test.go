@@ -1,0 +1,266 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func compactSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "a", Kind: KindString},
+		Column{Name: "b", Kind: KindInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fillRows appends n tuples ("v<i mod mod>", i) so cell values are easy to
+// predict per row id.
+func fillRows(t *testing.T, r *Relation, n, mod int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.Append(String(fmt.Sprintf("v%d", i%mod)), Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompactNoTombstonesIsNoop(t *testing.T) {
+	r := New("t", compactSchema(t))
+	fillRows(t, r, 10, 3)
+	if m := r.Compact(); m != nil {
+		t.Fatalf("Compact on clean instance returned %v, want nil", m)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("no-op Compact bumped epoch to %d", r.Epoch())
+	}
+}
+
+func TestCompactSqueezesTombstones(t *testing.T) {
+	r := NewWithSegmentRows("t", compactSchema(t), 4)
+	fillRows(t, r, 10, 3)
+	if err := r.Delete(1, 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	muts := r.Mutations()
+
+	// Snapshot live tuples in order before compacting.
+	var want [][]Value
+	for row := 0; row < r.NumRows(); row++ {
+		if !r.IsDeleted(row) {
+			want = append(want, r.Row(row))
+		}
+	}
+
+	m := r.Compact()
+	if m == nil {
+		t.Fatal("Compact returned nil with tombstones present")
+	}
+	if m.OldRows != 10 || m.NewRows != 7 || m.Reclaimed() != 3 {
+		t.Fatalf("remap extents wrong: %v", m)
+	}
+	if m.FirstMoved != 1 {
+		t.Fatalf("FirstMoved = %d, want 1 (first tombstone)", m.FirstMoved)
+	}
+	if m.Moved() != 6 {
+		t.Fatalf("Moved = %d, want 6 live rows shifted", m.Moved())
+	}
+	if m.Epoch != 1 || r.Epoch() != 1 {
+		t.Fatalf("epoch not bumped: remap %d, relation %d", m.Epoch, r.Epoch())
+	}
+	if r.NumRows() != 7 || r.LiveRows() != 7 || r.HasTombstones() {
+		t.Fatalf("post-compaction extents wrong: %s", r.String())
+	}
+	if r.Mutations() != muts {
+		t.Fatalf("Compact advanced Mutations %d→%d; epoch is the compaction signal", muts, r.Mutations())
+	}
+	for row, tuple := range want {
+		for col := range tuple {
+			if got := r.Value(row, col); got != tuple[col] {
+				t.Fatalf("row %d col %d = %v, want %v", row, col, got, tuple[col])
+			}
+		}
+	}
+}
+
+func TestCompactRemapTranslation(t *testing.T) {
+	r := New("t", compactSchema(t))
+	fillRows(t, r, 8, 8)
+	if err := r.Delete(0, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Compact()
+	wantIDs := map[int]int{0: -1, 1: 0, 2: 1, 3: -1, 4: 2, 5: 3, 6: 4, 7: -1}
+	for old, want := range wantIDs {
+		if got := m.NewID(old); got != want {
+			t.Fatalf("NewID(%d) = %d, want %d", old, got, want)
+		}
+	}
+	if m.FirstMoved != 0 {
+		t.Fatalf("FirstMoved = %d, want 0", m.FirstMoved)
+	}
+}
+
+func TestCompactIdentityPrefixSkipsCleanSegments(t *testing.T) {
+	r := NewWithSegmentRows("t", compactSchema(t), 4)
+	fillRows(t, r, 16, 5)
+	// Tombstones only in the third segment (rows 8..11).
+	if err := r.Delete(9, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DirtySegments(); got != 1 {
+		t.Fatalf("DirtySegments = %d, want 1", got)
+	}
+	m := r.Compact()
+	if m.FirstMoved != 9 {
+		t.Fatalf("FirstMoved = %d, want 9: the clean prefix must keep its ids", m.FirstMoved)
+	}
+	for old := 0; old < 9; old++ {
+		if m.NewID(old) != old {
+			t.Fatalf("prefix row %d moved to %d", old, m.NewID(old))
+		}
+	}
+	if m.NewID(11) != 9 || m.NewID(15) != 13 {
+		t.Fatalf("tail rows misremapped: 11→%d, 15→%d", m.NewID(11), m.NewID(15))
+	}
+}
+
+func TestCompactThenMutateAndCompactAgain(t *testing.T) {
+	r := NewWithSegmentRows("t", compactSchema(t), 4)
+	fillRows(t, r, 12, 4)
+	if err := r.Delete(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m := r.Compact(); m.Epoch != 1 {
+		t.Fatalf("first compaction epoch %d", m.Epoch)
+	}
+	// Keep evolving in the new epoch: append, update, delete, re-compact.
+	fillRows(t, r, 3, 2)
+	if err := r.Update(2, String("vX"), Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	var want [][]Value
+	for row := 0; row < r.NumRows(); row++ {
+		if !r.IsDeleted(row) {
+			want = append(want, r.Row(row))
+		}
+	}
+	m := r.Compact()
+	if m.Epoch != 2 || r.Epoch() != 2 {
+		t.Fatalf("second compaction epoch %d / %d, want 2", m.Epoch, r.Epoch())
+	}
+	if r.NumRows() != len(want) {
+		t.Fatalf("NumRows = %d, want %d", r.NumRows(), len(want))
+	}
+	for row, tuple := range want {
+		for col := range tuple {
+			if got := r.Value(row, col); got != tuple[col] {
+				t.Fatalf("row %d col %d = %v, want %v", row, col, got, tuple[col])
+			}
+		}
+	}
+}
+
+func TestCompactPreservesNullCounts(t *testing.T) {
+	r := New("t", compactSchema(t))
+	r.MustAppend(String("x"), Int(1))
+	r.MustAppend(Null, Int(2))
+	r.MustAppend(String("y"), Null)
+	r.MustAppend(Null, Int(4))
+	if err := r.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.NullCount(0) != 1 || r.NullCount(1) != 1 {
+		t.Fatalf("pre-compaction null counts %d/%d", r.NullCount(0), r.NullCount(1))
+	}
+	r.Compact()
+	if r.NullCount(0) != 1 || r.NullCount(1) != 1 {
+		t.Fatalf("post-compaction null counts %d/%d, want 1/1", r.NullCount(0), r.NullCount(1))
+	}
+	if !r.IsNull(2, 0) || !r.IsNull(1, 1) {
+		t.Fatal("NULL cells lost their positions across compaction")
+	}
+}
+
+// TestCompactMatchesCloneRandomized fuzzes mixed DML + compaction against
+// Clone, the reference dense copy: after any mutation history, Compact must
+// leave exactly the tuple sequence a Clone of the live rows has.
+func TestCompactMatchesCloneRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		r := NewWithSegmentRows("t", compactSchema(t), 8)
+		fillRows(t, r, 50, 7)
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				r.MustAppend(String(fmt.Sprintf("n%d", rng.Intn(9))), Int(int64(rng.Intn(100))))
+			case 1:
+				if row := rng.Intn(r.NumRows()); !r.IsDeleted(row) {
+					if err := r.Delete(row); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2:
+				if row := rng.Intn(r.NumRows()); !r.IsDeleted(row) {
+					if err := r.Update(row, String("u"), Int(int64(rng.Intn(10)))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3:
+				if rng.Intn(3) == 0 {
+					r.Compact()
+				}
+			}
+		}
+		clone := r.Clone("ref")
+		r.Compact()
+		if r.NumRows() != clone.NumRows() {
+			t.Fatalf("trial %d: %d rows vs clone %d", trial, r.NumRows(), clone.NumRows())
+		}
+		for row := 0; row < r.NumRows(); row++ {
+			for col := 0; col < r.NumCols(); col++ {
+				if r.Value(row, col) != clone.Value(row, col) {
+					t.Fatalf("trial %d row %d col %d: %v vs clone %v",
+						trial, row, col, r.Value(row, col), clone.Value(row, col))
+				}
+			}
+		}
+		if r.NullCount(0) != clone.NullCount(0) || r.NullCount(1) != clone.NullCount(1) {
+			t.Fatalf("trial %d: null counts diverged from clone", trial)
+		}
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	r := NewWithSegmentRows("t", compactSchema(t), 4)
+	fillRows(t, r, 10, 3)
+	if err := r.Delete(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	st := r.MemStats()
+	if st.PhysicalRows != 10 || st.LiveRows != 8 || st.Tombstones != 2 {
+		t.Fatalf("row accounting wrong: %+v", st)
+	}
+	if st.Segments != 3 || st.DirtySegments != 2 || st.SegmentRows != 4 {
+		t.Fatalf("segment accounting wrong: %+v", st)
+	}
+	if st.TombstoneRatio != 0.2 {
+		t.Fatalf("TombstoneRatio = %v, want 0.2", st.TombstoneRatio)
+	}
+	// 10 rows × 2 cols × 4 bytes + 10 tombstone flags.
+	if st.StorageBytes != 90 || st.ReclaimableBytes != 2*2*4+2 {
+		t.Fatalf("byte accounting wrong: %+v", st)
+	}
+	r.Compact()
+	st = r.MemStats()
+	if st.Tombstones != 0 || st.ReclaimableBytes != 0 || st.Epoch != 1 {
+		t.Fatalf("post-compaction stats wrong: %+v", st)
+	}
+}

@@ -11,10 +11,14 @@
 // because §6.2.1 requires FD attributes to be NULL-free and DML can move a
 // column in and out of eligibility.
 //
-// The evolution model is full DML with stable row ids: Append grows the
-// column stores, Delete tombstones rows without reindexing (codes of dead
-// rows stay readable, which is what lets incremental indexes find the
-// clusters a row leaves), and Update rewrites cells in place. Mutations
-// counts delete/update batches so counters layered above can detect
-// changes that bypassed them.
+// The evolution model is full DML with epoch-stable row ids: Append grows
+// the column stores, Delete tombstones rows without reindexing (codes of
+// dead rows stay readable, which is what lets incremental indexes find the
+// clusters a row leaves), and Update rewrites cells in place. Storage is
+// organised as fixed-capacity segments with per-segment tombstone counts;
+// Compact squeezes tombstones out segment by segment, bumps the storage
+// Epoch, and returns the old→new row-id Remap consumers translate their
+// state through. Mutations counts delete/update batches so counters
+// layered above can detect changes that bypassed them; Epoch plays the
+// same role for compactions.
 package relation

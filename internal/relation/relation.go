@@ -41,11 +41,14 @@ func (d *dict) lookup(v Value) (int32, bool) {
 // as sets of tuples; duplicates do not affect any of the distinct-projection
 // measures, and Relation preserves physical duplicates like a SQL table does.
 //
-// Storage is append-plus-tombstones: rows are added with Append and removed
-// with Delete, which only marks the row dead — the column stores are never
-// reindexed, so PLIs and caches can reference code slices without copying and
-// row ids stay stable across the life of the instance. Update rewrites the
-// cells of one live row in place. Row-count accessors distinguish the
+// Storage is epoch-versioned and segmented: rows are added with Append and
+// removed with Delete, which only marks the row dead — within one storage
+// epoch the column stores are never reindexed, so PLIs and caches can
+// reference code slices without copying and row ids stay stable. Update
+// rewrites the cells of one live row in place. Compact squeezes accumulated
+// tombstones out segment by segment, shifts later live rows down, and bumps
+// the epoch, handing callers a Remap so incremental state can translate its
+// row ids instead of rebuilding. Row-count accessors distinguish the
 // physical extent (NumRows, the valid row-id range) from the live tuple count
 // (LiveRows); all distinct-projection counts are over live tuples only.
 type Relation struct {
@@ -63,16 +66,24 @@ type Relation struct {
 	// incremental state compare it against the value they have applied to
 	// detect out-of-band mutations (appends are detected by row growth).
 	mutations uint64
+	// segRows is the segment capacity; segDead counts tombstones per segment
+	// (nil while no row is dead), so Compact can skip clean segments. epoch
+	// is bumped by every Compact that moved rows — row ids are only stable
+	// within one epoch.
+	segRows int
+	segDead []int
+	epoch   uint64
 }
 
 // New creates an empty relation instance with the given name and schema.
 func New(name string, schema *Schema) *Relation {
 	r := &Relation{
-		name:   name,
-		schema: schema,
-		cols:   make([][]int32, schema.Len()),
-		dicts:  make([]*dict, schema.Len()),
-		nulls:  make([]int, schema.Len()),
+		name:    name,
+		schema:  schema,
+		cols:    make([][]int32, schema.Len()),
+		dicts:   make([]*dict, schema.Len()),
+		nulls:   make([]int, schema.Len()),
+		segRows: DefaultSegmentRows,
 	}
 	for i := range r.dicts {
 		r.dicts[i] = newDict()
@@ -185,8 +196,12 @@ func (r *Relation) Delete(rows ...int) error {
 		}
 		r.dead[row] = true
 	}
+	if need := r.NumSegments(); len(r.segDead) < need {
+		r.segDead = append(r.segDead, make([]int, need-len(r.segDead))...)
+	}
 	for _, row := range rows {
 		r.deleted++
+		r.segDead[row/r.segRows]++
 		for col := range r.cols {
 			if r.cols[col][row] == nullCode {
 				r.nulls[col]--

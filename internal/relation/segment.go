@@ -1,0 +1,241 @@
+package relation
+
+import "fmt"
+
+// DefaultSegmentRows is the default segment capacity: the column stores are
+// organised as a sequence of fixed-capacity row ranges ("segments", the unit
+// of tombstone accounting and compaction, like row groups inside a columnar
+// file). 4096 rows keeps a segment's codes for one column inside a few cache
+// pages while giving Compact enough granularity to skip clean prefixes.
+const DefaultSegmentRows = 4096
+
+// NewWithSegmentRows is New with an explicit segment capacity (minimum 1).
+// Production code uses New and DefaultSegmentRows; tests shrink segments to
+// exercise multi-segment compaction on small instances.
+func NewWithSegmentRows(name string, schema *Schema, segRows int) *Relation {
+	r := New(name, schema)
+	if segRows < 1 {
+		segRows = 1
+	}
+	r.segRows = segRows
+	return r
+}
+
+// SegmentRows returns the segment capacity in rows.
+func (r *Relation) SegmentRows() int { return r.segRows }
+
+// NumSegments returns how many segments the physical extent spans.
+func (r *Relation) NumSegments() int {
+	if r.rows == 0 {
+		return 0
+	}
+	return (r.rows + r.segRows - 1) / r.segRows
+}
+
+// DirtySegments returns how many segments contain at least one tombstone —
+// the segments a Compact would rewrite.
+func (r *Relation) DirtySegments() int {
+	n := 0
+	for _, d := range r.segDead {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Epoch returns the storage epoch: 0 at creation, bumped by every Compact
+// that reclaimed tombstones (a pure tail truncation bumps it too, even
+// though Moved is then 0 — the physical extent still changed). Row ids are
+// stable within an epoch; any state that stores row ids (partitions,
+// cluster maps, witnesses) is valid only for the epoch it was built in and
+// must be remapped or rebuilt when the epoch changes.
+func (r *Relation) Epoch() uint64 { return r.epoch }
+
+// Remap is the row-id translation table produced by one Compact: for every
+// row id of the previous epoch it names the row's id in the new epoch, or −1
+// for a squeezed-out tombstone. Rows below FirstMoved kept their ids, so
+// remapping loops can skip the clean prefix wholesale.
+type Remap struct {
+	// Epoch is the storage epoch the compaction established.
+	Epoch uint64
+	// OldRows and NewRows are the physical extents before and after.
+	OldRows, NewRows int
+	// FirstMoved is the first old row id whose mapping is not the identity —
+	// the position of the first tombstone. Every live row below it kept its
+	// id; every live row at or above it shifted down.
+	FirstMoved int
+	// old2new covers only [FirstMoved, OldRows), indexed by old−FirstMoved;
+	// the identity prefix is implicit, so a tail-heavy compaction carries a
+	// table proportional to the rewritten region, not the extent.
+	old2new []int32
+}
+
+// NewID translates an old-epoch row id: the row's id in the new epoch, or −1
+// if the row was a tombstone and no longer exists.
+func (m *Remap) NewID(old int) int {
+	if old < m.FirstMoved {
+		return old
+	}
+	return int(m.old2new[old-m.FirstMoved])
+}
+
+// Moved returns how many live rows changed id — the work factor of every
+// remap-instead-of-rebuild consumer (tracked cluster maps, witnesses).
+func (m *Remap) Moved() int { return m.NewRows - m.FirstMoved }
+
+// Reclaimed returns how many tombstones the compaction squeezed out.
+func (m *Remap) Reclaimed() int { return m.OldRows - m.NewRows }
+
+// String renders a compact summary like "remap(epoch 3: 50000→30000 rows,
+// 20000 reclaimed, 29873 moved)".
+func (m *Remap) String() string {
+	return fmt.Sprintf("remap(epoch %d: %d→%d rows, %d reclaimed, %d moved)",
+		m.Epoch, m.OldRows, m.NewRows, m.Reclaimed(), m.Moved())
+}
+
+// Compact squeezes the tombstones out of the column stores segment by
+// segment and bumps the storage epoch. Live rows keep their relative order;
+// rows before the first tombstone keep their ids, every later live row
+// shifts down into the space the dead rows held. Clean segments in the
+// prefix are untouched; within the rewritten region, runs of consecutive
+// live rows are moved with single bulk copies. Dictionaries are NOT rebuilt
+// — codes keep their meaning, which is what lets incremental indexes remap
+// their row ids without re-hashing any value — so DictLen remains an upper
+// bound after past updates (see Mutated).
+//
+// Returns nil (and changes nothing, not even the epoch) when the instance
+// has no tombstones. Otherwise returns the old→new Remap every row-id-
+// carrying consumer needs; Mutations is NOT advanced — compaction preserves
+// the tuple bag, and counters detect it via Epoch instead.
+func (r *Relation) Compact() *Remap {
+	if r.deleted == 0 {
+		return nil
+	}
+	oldRows := r.rows
+	// Locate the first tombstone, skipping clean segments via the per-segment
+	// dead counts.
+	firstDead := -1
+	for seg := 0; seg < len(r.segDead) && firstDead < 0; seg++ {
+		if r.segDead[seg] == 0 {
+			continue
+		}
+		end := min((seg+1)*r.segRows, oldRows)
+		for row := seg * r.segRows; row < end; row++ {
+			if r.dead[row] {
+				firstDead = row
+				break
+			}
+		}
+	}
+	if firstDead < 0 {
+		// deleted > 0 guarantees a tombstone; reaching here means the
+		// per-segment accounting is corrupt.
+		panic(fmt.Sprintf("relation %s: %d tombstones recorded but none found", r.name, r.deleted))
+	}
+
+	// Build the remap table (rewritten region only; the identity prefix is
+	// implicit) and the live spans (maximal runs of consecutive live rows)
+	// in one pass.
+	old2new := make([]int32, oldRows-firstDead)
+	type span struct{ start, end int }
+	var spans []span
+	next := firstDead
+	for row := firstDead; row < oldRows; {
+		if r.dead[row] {
+			old2new[row-firstDead] = -1
+			row++
+			continue
+		}
+		start := row
+		for row < oldRows && !r.dead[row] {
+			old2new[row-firstDead] = int32(next)
+			next++
+			row++
+		}
+		spans = append(spans, span{start, row})
+	}
+
+	// Rewrite each column: bulk-copy the live spans down over the dead rows.
+	// Sources never precede destinations, so the in-place copies are safe;
+	// when at least half the extent was dead the codes move to a fresh,
+	// right-sized allocation so the memory is actually released.
+	for col := range r.cols {
+		codes := r.cols[col]
+		if next <= cap(codes)/2 {
+			fresh := make([]int32, next)
+			copy(fresh, codes[:firstDead])
+			w := firstDead
+			for _, sp := range spans {
+				w += copy(fresh[w:], codes[sp.start:sp.end])
+			}
+			r.cols[col] = fresh
+			continue
+		}
+		w := firstDead
+		for _, sp := range spans {
+			w += copy(codes[w:], codes[sp.start:sp.end])
+		}
+		r.cols[col] = codes[:next]
+	}
+	r.rows = next
+	r.deleted = 0
+	r.dead = nil
+	r.segDead = nil
+	r.epoch++
+	return &Remap{
+		Epoch:      r.epoch,
+		OldRows:    oldRows,
+		NewRows:    next,
+		FirstMoved: firstDead,
+		old2new:    old2new,
+	}
+}
+
+// MemStats describes the instance's physical storage: extent versus live
+// rows, segment occupancy, and how many bytes a Compact would reclaim.
+type MemStats struct {
+	// PhysicalRows is the row extent (tombstones included); LiveRows the
+	// tuple count; Tombstones the difference.
+	PhysicalRows, LiveRows, Tombstones int
+	// Segments is the number of storage segments; DirtySegments how many
+	// contain tombstones; SegmentRows the per-segment capacity.
+	Segments, DirtySegments, SegmentRows int
+	// Epoch is the current storage epoch.
+	Epoch uint64
+	// StorageBytes estimates the column-store footprint (4 bytes per cell
+	// plus tombstone flags); ReclaimableBytes the share held by tombstoned
+	// rows, i.e. what a Compact would return.
+	StorageBytes, ReclaimableBytes int64
+	// DictEntries counts interned dictionary values across all columns.
+	DictEntries int
+	// TombstoneRatio is Tombstones / PhysicalRows (0 on an empty instance).
+	TombstoneRatio float64
+}
+
+// MemStats reports the instance's storage statistics.
+func (r *Relation) MemStats() MemStats {
+	st := MemStats{
+		PhysicalRows:  r.rows,
+		LiveRows:      r.LiveRows(),
+		Tombstones:    r.deleted,
+		Segments:      r.NumSegments(),
+		DirtySegments: r.DirtySegments(),
+		SegmentRows:   r.segRows,
+		Epoch:         r.epoch,
+	}
+	cells := int64(r.rows) * int64(len(r.cols))
+	st.StorageBytes = cells * 4
+	st.ReclaimableBytes = int64(r.deleted) * int64(len(r.cols)) * 4
+	if r.dead != nil {
+		st.StorageBytes += int64(len(r.dead))
+		st.ReclaimableBytes += int64(r.deleted)
+	}
+	for _, d := range r.dicts {
+		st.DictEntries += len(d.values)
+	}
+	if r.rows > 0 {
+		st.TombstoneRatio = float64(r.deleted) / float64(r.rows)
+	}
+	return st
+}
