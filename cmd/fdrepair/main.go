@@ -13,6 +13,8 @@
 //	fdrepair -csv data.csv -fd "a -> b" -balanced      # §4.4 objective function
 //	fdrepair -csv data.csv -discover -max-lhs 2        # §2 discovery baseline
 //	fdrepair -csv data.csv -fd "a -> b" -watch         # streaming append/re-check REPL
+//	fdrepair -csv data.csv -fd "a -> b" -watch -data-dir state/   # durable REPL
+//	fdrepair -watch -data-dir state/                   # recover after a restart
 package main
 
 import (
@@ -65,37 +67,73 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		discover    = fs.Bool("discover", false, "list minimal exact FDs instead of repairing (-max-lhs bounds antecedents)")
 		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover and the -watch 'disc' command")
 		watch       = fs.Bool("watch", false, "streaming REPL: append tuples and re-check incrementally (-strategy is ignored)")
+		dataDir     = fs.String("data-dir", "", "persist the -watch session (write-ahead log + snapshots) in this directory; rerun with the same directory to recover after a restart")
 		parallelism = fs.Int("parallelism", 0, "repair search workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	fs.Var(&fds, "fd", "functional dependency \"X1,X2 -> Y\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *csvPath == "" {
+	if *dataDir != "" && !*watch {
+		return fmt.Errorf("-data-dir only applies to -watch sessions")
+	}
+	// A -watch restart recovers relation AND dependencies from the data
+	// directory, so neither -csv nor -fd is needed then.
+	recovering := *watch && *dataDir != "" && evolvefd.HasSessionState(*dataDir)
+	if *csvPath == "" && !recovering {
 		return fmt.Errorf("-csv is required")
 	}
-	if len(fds) == 0 && !*discover {
+	if len(fds) == 0 && !*discover && !recovering {
 		return fmt.Errorf("at least one -fd is required (or -discover)")
 	}
-	rel, err := relation.ReadCSVFile(*csvPath, relation.CSVOptions{InferKinds: true})
-	if err != nil {
-		return err
+	var rel *relation.Relation
+	if !recovering {
+		var err error
+		rel, err = relation.ReadCSVFile(*csvPath, relation.CSVOptions{InferKinds: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded %s: %d attributes × %d tuples\n", rel.Name(), rel.NumCols(), rel.NumRows())
 	}
-	fmt.Fprintf(stdout, "loaded %s: %d attributes × %d tuples\n", rel.Name(), rel.NumCols(), rel.NumRows())
 
 	if *watch {
-		session := evolvefd.NewSession(rel)
+		var session *evolvefd.Session
+		switch {
+		case recovering:
+			var err error
+			session, err = evolvefd.OpenSession(*dataDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "recovered session from %s: %d live tuples, %d FDs\n",
+				*dataDir, session.LiveRows(), len(session.Labels()))
+			if len(fds) > 0 {
+				fmt.Fprintln(stdout, "note: -fd flags ignored; dependencies were recovered from the session state")
+				fds = nil
+			}
+		case *dataDir != "":
+			var err error
+			session, err = evolvefd.NewDurableSession(rel, *dataDir, evolvefd.DurabilityOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "persisting session state in %s\n", *dataDir)
+		default:
+			session = evolvefd.NewSession(rel)
+			fmt.Fprintln(stdout, "note: state is ephemeral — set -data-dir to persist this session across restarts")
+		}
 		// Decompose multi-consequent FDs exactly like the batch and
 		// interactive modes do, so -watch sees the same dependency set.
+		schema := session.Relation().Schema()
 		for i, spec := range fds {
-			fd, err := core.ParseFD(rel.Schema(), "F"+strconv.Itoa(i+1), spec)
+			fd, err := core.ParseFD(schema, "F"+strconv.Itoa(i+1), spec)
 			if err != nil {
 				return err
 			}
 			for _, part := range fd.Decompose() {
 				body := fmt.Sprintf("[%s] -> [%s]",
-					strings.Join(rel.Schema().NameSet(part.X), ", "),
-					strings.Join(rel.Schema().NameSet(part.Y), ", "))
+					strings.Join(schema.NameSet(part.X), ", "),
+					strings.Join(schema.NameSet(part.Y), ", "))
 				if err := session.Define(part.Label, body); err != nil {
 					return err
 				}

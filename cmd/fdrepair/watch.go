@@ -29,7 +29,11 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 		fmt.Fprint(w, "> ")
 		if !scanner.Scan() {
 			fmt.Fprintln(w)
-			return scanner.Err()
+			if err := scanner.Err(); err != nil {
+				s.Close()
+				return err
+			}
+			return watchClose(w, s)
 		}
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
@@ -39,7 +43,7 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 		rest = strings.TrimSpace(rest)
 		switch strings.ToLower(cmd) {
 		case "quit", "exit", "q":
-			return nil
+			return watchClose(w, s)
 		case "help", "?":
 			watchHelp(w)
 		case "append", "add", "a":
@@ -96,6 +100,19 @@ func runWatch(stdin io.Reader, w io.Writer, s *evolvefd.Session, opts evolvefd.O
 			fmt.Fprintf(w, "unknown command %q ('help' for commands)\n", cmd)
 		}
 	}
+}
+
+// watchClose flushes and closes the session's write-ahead log on exit; a
+// non-nil error means some suffix of the session's mutations may not have
+// reached disk, which the designer must hear about.
+func watchClose(w io.Writer, s *evolvefd.Session) error {
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("closing session state: %w", err)
+	}
+	if dir := s.DataDir(); dir != "" {
+		fmt.Fprintf(w, "state saved in %s (rerun with -data-dir %s to resume)\n", dir, dir)
+	}
+	return nil
 }
 
 func watchHelp(w io.Writer) {

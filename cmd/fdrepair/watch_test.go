@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -278,5 +279,67 @@ func TestWatchCompactKeepsSessionUsable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("compact-then-evolve transcript missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWatchEphemeralNotice: without -data-dir, the REPL must warn once that
+// nothing survives a restart.
+func TestWatchEphemeralNotice(t *testing.T) {
+	out := runWatchScript(t, "quit")
+	if !strings.Contains(out, "state is ephemeral") {
+		t.Errorf("watch transcript missing the ephemeral-state notice:\n%s", out)
+	}
+	if strings.Contains(out, "state saved in") {
+		t.Errorf("ephemeral session claims saved state:\n%s", out)
+	}
+}
+
+// TestWatchDataDirSurvivesRestart: a -watch session with -data-dir is
+// recovered by a second invocation that names only the directory — no CSV,
+// no -fd flags — with the DML and the accepted FD evolution intact.
+func TestWatchDataDirSurvivesRestart(t *testing.T) {
+	csv := placesCSV(t)
+	dir := filepath.Join(t.TempDir(), "state")
+
+	var first bytes.Buffer
+	err := run([]string{"-csv", csv, "-fd", "District,Region -> AreaCode", "-watch", "-data-dir", dir},
+		strings.NewReader("append D9,R9,M9,555,700-9999,Elm,99999,Pine,WA\ndel 0\nrepair F1\naccept F1 1\nquit\n"),
+		&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"persisting session state in " + dir,
+		"appended row 11; 12 live tuples",
+		"deleted 1; 11 live tuples",
+		"state saved in " + dir,
+	} {
+		if !strings.Contains(first.String(), want) {
+			t.Errorf("first run transcript missing %q:\n%s", want, first.String())
+		}
+	}
+
+	// Restart: no -csv, no -fd. Passing a stale -fd must be ignored loudly.
+	var second bytes.Buffer
+	err = run([]string{"-watch", "-data-dir", dir, "-fd", "Zip -> City"},
+		strings.NewReader("status\nmeasures\nquit\n"), &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"recovered session from " + dir + ": 11 live tuples, 1 FDs",
+		"-fd flags ignored",
+		// The accepted antecedent extension survived the restart.
+		"[District, Region, Municipal] -> [AreaCode]",
+		"satisfied",
+	} {
+		if !strings.Contains(second.String(), want) {
+			t.Errorf("restart transcript missing %q:\n%s", want, second.String())
+		}
+	}
+	// -data-dir outside -watch is a usage error.
+	if err := run([]string{"-csv", csv, "-fd", "Zip -> City", "-data-dir", dir},
+		strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-data-dir without -watch was accepted")
 	}
 }

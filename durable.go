@@ -1,0 +1,438 @@
+package evolvefd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/discovery"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/wal"
+)
+
+// ErrSessionClosed is returned by mutating operations on a Session whose
+// durable state was Closed.
+var ErrSessionClosed = errors.New("evolvefd: session is closed")
+
+// DurabilityOptions tunes a durable session's write-ahead logging. The zero
+// value is the safe configuration: every mutation is written and fsynced
+// before the call returns.
+type DurabilityOptions struct {
+	// GroupCommit batches this many mutation records per fsync: records
+	// buffer in process and hit the disk together, amortising the sync cost
+	// under bulk loads. A crash loses at most the buffered suffix — never a
+	// torn half-mutation. ≤ 1 means every record is flushed synchronously;
+	// call Flush to force out a partial batch.
+	GroupCommit int
+	// NoFsync skips fsync entirely (records are still written in order), for
+	// tests and benchmarks where the OS page cache is durability enough.
+	NoFsync bool
+}
+
+// durability is the Session's WAL attachment: the data directory, the live
+// log generation, and a sticky error — once a log write fails, later
+// mutations must not be logged (the gap would corrupt replay), so logging
+// stops and the error surfaces on Flush/Close. A successful checkpoint
+// clears the sticky error: the snapshot captures the full state, making the
+// broken log tail irrelevant.
+type durability struct {
+	dir       string
+	opts      DurabilityOptions
+	log       *wal.Log
+	seq       uint64
+	replaying bool
+	closed    bool
+	err       error
+}
+
+// NewDurableSession opens a session over rel whose every mutation is
+// write-ahead logged under dir (created if missing; it must not already
+// hold session state — recover that with OpenSession instead). The initial
+// state is captured as snapshot 1 immediately, so the directory is
+// recoverable from the first mutation on.
+func NewDurableSession(rel *Relation, dir string, opts DurabilityOptions) (*Session, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snaps, logs, err := wal.ListStates(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) > 0 || len(logs) > 0 {
+		return nil, fmt.Errorf("evolvefd: %s already holds session state; use OpenSession", dir)
+	}
+	s := NewSession(rel)
+	s.dur = &durability{dir: dir, opts: opts, seq: 1}
+	if err := wal.WriteSnapshot(dir, s.snapshotLocked(1), opts.NoFsync); err != nil {
+		return nil, err
+	}
+	log, err := wal.Create(wal.LogPath(dir, 1), opts.GroupCommit, opts.NoFsync)
+	if err != nil {
+		return nil, err
+	}
+	s.dur.log = log
+	return s, nil
+}
+
+// HasSessionState reports whether dir holds durable session state (a
+// snapshot or write-ahead log) that OpenSession could recover. A missing or
+// empty directory reports false.
+func HasSessionState(dir string) bool {
+	snaps, logs, err := wal.ListStates(dir)
+	return err == nil && (len(snaps) > 0 || len(logs) > 0)
+}
+
+// OpenSession recovers a durable session from dir: it loads the newest
+// valid snapshot, replays the write-ahead log tail through the ordinary
+// session code paths, and truncates any torn final record. The cost is
+// O(snapshot + tail), not O(history) — the relation's columns load without
+// re-interning, the counter resumes its generation clock, and the discovery
+// borders import without re-searching the lattice.
+func OpenSession(dir string) (*Session, error) {
+	return OpenSessionOptions(dir, DurabilityOptions{})
+}
+
+// OpenSessionOptions is OpenSession with explicit durability tuning for the
+// recovered session's future mutations.
+func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
+	snaps, logs, err := wal.ListStates(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("evolvefd: no snapshot in %s (not a session directory?)", dir)
+	}
+	// Probe snapshots newest-first; a corrupt one falls back to its
+	// predecessor, whose log chain still reaches the present because Compact
+	// records are logical and two generations are retained.
+	var s *Session
+	var chosen uint64
+	var firstErr error
+	fellBack := false
+	for i := len(snaps) - 1; i >= 0 && s == nil; i-- {
+		snap, err := wal.ReadSnapshot(dir, snaps[i])
+		var cand *Session
+		if err == nil {
+			cand, err = restoreSnapshot(snap)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("snapshot %d: %w", snaps[i], err)
+			}
+			fellBack = true
+			continue
+		}
+		s, chosen = cand, snaps[i]
+	}
+	if s == nil {
+		return nil, fmt.Errorf("evolvefd: no usable snapshot in %s: %w", dir, firstErr)
+	}
+	maxSeq := chosen
+	if n := len(logs); n > 0 && logs[n-1] > maxSeq {
+		maxSeq = logs[n-1]
+	}
+	s.dur = &durability{dir: dir, opts: opts, seq: maxSeq, replaying: true}
+	for seq := chosen; seq <= maxSeq; seq++ {
+		path := wal.LogPath(dir, seq)
+		payloads, valid, size, err := wal.ReadLog(path)
+		if errors.Is(err, os.ErrNotExist) {
+			if seq == maxSeq {
+				// The crash hit between writing snapshot maxSeq and creating
+				// its log: nothing happened after the snapshot.
+				continue
+			}
+			return nil, fmt.Errorf("evolvefd: log %d missing from %s", seq, dir)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if valid < size {
+			// Only the final log may end in a torn record; earlier logs were
+			// sealed by a flush before their snapshot was written, so a bad
+			// record there is damage recovery must not paper over.
+			if seq != maxSeq {
+				return nil, fmt.Errorf("evolvefd: log %d in %s is corrupt before the final log", seq, dir)
+			}
+			if err := wal.TruncateTorn(path, valid); err != nil {
+				return nil, err
+			}
+		}
+		for i, payload := range payloads {
+			op, err := wal.DecodeOp(payload)
+			if err != nil {
+				return nil, fmt.Errorf("evolvefd: log %d record %d: %w", seq, i, err)
+			}
+			if err := s.applyOp(op); err != nil {
+				return nil, fmt.Errorf("evolvefd: replay log %d record %d: %w", seq, i, err)
+			}
+		}
+	}
+	s.dur.replaying = false
+	log, err := wal.OpenAppend(wal.LogPath(dir, maxSeq), opts.GroupCommit, opts.NoFsync)
+	if err != nil {
+		return nil, err
+	}
+	s.dur.log = log
+	if fellBack {
+		// A newer-but-corrupt snapshot is still on disk and would be probed
+		// first by the next recovery; supersede it with a fresh checkpoint.
+		s.mu.Lock()
+		s.checkpointLocked()
+		err := s.dur.err
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restoreSnapshot rebuilds a Session from a decoded snapshot: relation and
+// counter (with the generation clock resumed), defined FDs re-parsed from
+// their specs, and the discovery borders re-imported with full validation
+// against the restored instance.
+func restoreSnapshot(snap *wal.Snapshot) (*Session, error) {
+	rel := snap.Rel
+	counter := pli.NewIncrementalCounter(rel)
+	counter.RestoreGeneration(snap.Generation)
+	if err := counter.ImportIndexes(snap.Indexes); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		rel:     rel,
+		counter: counter,
+		cache:   core.NewMeasureCache(counter),
+		fds:     make(map[string]core.FD, len(snap.FDs)),
+	}
+	s.compactions = snap.Compactions
+	for _, dfd := range snap.FDs {
+		if _, dup := s.fds[dfd.Label]; dup {
+			return nil, fmt.Errorf("duplicate FD label %q", dfd.Label)
+		}
+		fd, err := core.ParseFD(rel.Schema(), dfd.Label, dfd.Spec)
+		if err != nil {
+			return nil, err
+		}
+		s.fds[dfd.Label] = fd
+		s.order = append(s.order, dfd.Label)
+	}
+	if snap.Disc != nil {
+		dopts := discovery.Options{MaxLHS: snap.Disc.MaxLHS}
+		if snap.Disc.HasConsequents {
+			dopts.Consequents = append([]int{}, snap.Disc.Consequents...)
+		}
+		disc, err := discovery.RestoreDiscoverer(counter, dopts, &snap.Disc.Borders)
+		if err != nil {
+			return nil, err
+		}
+		s.disc = disc
+		s.discOpts = dopts
+		s.lastCover = make(map[string]bool, len(snap.Disc.LastCover))
+		for _, key := range snap.Disc.LastCover {
+			s.lastCover[key] = true
+		}
+		s.lastExact = make(map[string]bool, len(snap.Disc.LastExact))
+		for _, le := range snap.Disc.LastExact {
+			if _, ok := s.fds[le.Label]; !ok {
+				return nil, fmt.Errorf("exactness baseline names undefined FD %q", le.Label)
+			}
+			s.lastExact[le.Label] = le.Exact
+		}
+	}
+	return s, nil
+}
+
+// applyOp replays one logged mutation through the ordinary session methods,
+// so recovery exercises exactly the code the live session ran. A failure on
+// a checksum-valid record is corruption, surfaced to the caller.
+func (s *Session) applyOp(op wal.Op) error {
+	switch op.Kind {
+	case wal.OpAppend:
+		return s.Append(op.Tuple...)
+	case wal.OpAppendStrings:
+		return s.AppendStrings(op.Cells...)
+	case wal.OpDelete:
+		return s.Delete(op.Rows...)
+	case wal.OpUpdate:
+		return s.Update(op.Row, op.Tuple...)
+	case wal.OpUpdateStrings:
+		return s.UpdateStrings(op.Row, op.Cells...)
+	case wal.OpDefine:
+		return s.Define(op.Label, op.Spec)
+	case wal.OpAccept:
+		return s.Accept(op.Label, Suggestion{Added: op.Names})
+	case wal.OpDrop:
+		return s.Drop(op.Label)
+	case wal.OpCompact:
+		s.Compact()
+		return nil
+	default:
+		return fmt.Errorf("evolvefd: unknown op kind %d", op.Kind)
+	}
+}
+
+// DataDir returns the session's durable data directory, or "" for an
+// ephemeral (NewSession) session.
+func (s *Session) DataDir() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dur == nil {
+		return ""
+	}
+	return s.dur.dir
+}
+
+// Flush forces every buffered write-ahead record to disk — the group-commit
+// drain point for callers that batch mutations. A nil return means every
+// mutation applied so far is durable. On an ephemeral session it is a no-op.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dur
+	if d == nil || d.closed {
+		return s.durErrLocked()
+	}
+	if err := d.log.Flush(); err != nil && d.err == nil {
+		d.err = err
+	}
+	return s.durErrLocked()
+}
+
+// Close flushes and closes the session's write-ahead log. The session stays
+// readable, but every later mutation fails with ErrSessionClosed — its
+// effect could no longer be made durable. Close is idempotent and returns
+// the first logging error the session swallowed, if any: a non-nil return
+// means some suffix of mutations may not have reached disk.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	if !d.closed {
+		d.closed = true
+		if err := d.log.Close(); err != nil && d.err == nil {
+			d.err = err
+		}
+	}
+	return s.durErrLocked()
+}
+
+// durErrLocked returns the sticky durability error, if any.
+func (s *Session) durErrLocked() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.err
+}
+
+// mutGuardLocked rejects mutations on a closed durable session before they
+// touch any state.
+func (s *Session) mutGuardLocked() error {
+	if s.dur != nil && s.dur.closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// logOp appends one mutation record to the write-ahead log, after the
+// mutation was applied successfully (only ops that cannot fail on replay
+// are logged). Logging stops at the first error — a gap mid-log would make
+// replay diverge — and the error surfaces on Flush/Close.
+func (s *Session) logOp(op wal.Op) {
+	d := s.dur
+	if d == nil || d.replaying || d.err != nil {
+		return
+	}
+	if err := d.log.Append(wal.EncodeOp(nil, op)); err != nil {
+		d.err = err
+	}
+}
+
+// checkpointLocked seals the current log generation and establishes the
+// next one: the Compact record is flushed to the old log (recovery from the
+// previous snapshot replays it), the full state is written as snapshot
+// seq+1 via temp-file-and-rename, the log rotates, and generations older
+// than the previous snapshot are pruned — recovery keeps a one-generation
+// fallback if the newest snapshot proves unreadable.
+func (s *Session) checkpointLocked() {
+	d := s.dur
+	if d == nil || d.replaying || d.closed {
+		return
+	}
+	if d.err == nil {
+		if err := d.log.Append(wal.EncodeOp(nil, wal.Op{Kind: wal.OpCompact})); err != nil {
+			d.err = err
+		} else if err := d.log.Flush(); err != nil {
+			d.err = err
+		}
+	}
+	seq := d.seq + 1
+	if err := wal.WriteSnapshot(d.dir, s.snapshotLocked(seq), d.opts.NoFsync); err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return
+	}
+	next, err := wal.Create(wal.LogPath(d.dir, seq), d.opts.GroupCommit, d.opts.NoFsync)
+	if err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return
+	}
+	d.log.Close()
+	d.log = next
+	d.seq = seq
+	// The snapshot captures the full state, so even if this generation's log
+	// tail was broken, durability is whole again.
+	d.err = nil
+	wal.Prune(d.dir, seq-1)
+}
+
+// snapshotLocked captures the session's durable state under the held write
+// lock. The discoverer, when present, was synced by the surrounding
+// compaction, so its exported witnesses are live current-epoch rows.
+func (s *Session) snapshotLocked(seq uint64) *wal.Snapshot {
+	snap := &wal.Snapshot{
+		Seq:         seq,
+		Generation:  s.counter.Generation(),
+		Compactions: s.compactions,
+		Rel:         s.rel,
+	}
+	schema := s.rel.Schema()
+	for _, label := range s.order {
+		// Format the bare dependency body (no "label: " prefix): the spec must
+		// re-parse through core.ParseFD on recovery, and the label travels in
+		// its own field.
+		fd := s.fds[label]
+		fd.Label = ""
+		snap.FDs = append(snap.FDs, wal.DefinedFD{Label: label, Spec: fd.FormatWith(schema)})
+	}
+	if s.disc != nil {
+		d := &wal.DiscState{
+			MaxLHS:         s.discOpts.MaxLHS,
+			HasConsequents: s.discOpts.Consequents != nil,
+			Consequents:    s.discOpts.Consequents,
+			Borders:        *s.disc.ExportBorders(),
+		}
+		for key := range s.lastCover {
+			d.LastCover = append(d.LastCover, key)
+		}
+		sort.Strings(d.LastCover)
+		for _, label := range s.order {
+			if exact, ok := s.lastExact[label]; ok {
+				d.LastExact = append(d.LastExact, wal.LabelExact{Label: label, Exact: exact})
+			}
+		}
+		snap.Disc = d
+	}
+	// Dump the tracked cluster indexes so recovery decodes its partition
+	// state instead of refolding the instance once per tracked set — the
+	// bulk of a cold restore on a big relation.
+	snap.Indexes = s.counter.ExportIndexes()
+	return snap
+}

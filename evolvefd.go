@@ -35,6 +35,7 @@ import (
 	"github.com/evolvefd/evolvefd/internal/discovery"
 	"github.com/evolvefd/evolvefd/internal/pli"
 	"github.com/evolvefd/evolvefd/internal/relation"
+	"github.com/evolvefd/evolvefd/internal/wal"
 )
 
 // Relation is an in-memory relation instance (see internal/relation).
@@ -194,6 +195,9 @@ type Session struct {
 	// performed (manual and automatic).
 	autoCompact *AutoCompactOptions
 	compactions uint64
+	// dur, when non-nil, is the write-ahead-log attachment of a durable
+	// session (NewDurableSession/OpenSession); nil sessions are ephemeral.
+	dur *durability
 }
 
 // NewSession opens a session over a relation using the incremental PLI
@@ -218,7 +222,14 @@ func (s *Session) Relation() *Relation { return s.rel }
 func (s *Session) Append(tuple ...Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rel.Append(tuple...)
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
+	if err := s.rel.Append(tuple...); err != nil {
+		return err
+	}
+	s.logOp(wal.Op{Kind: wal.OpAppend, Tuple: tuple})
+	return nil
 }
 
 // AppendStrings parses each text cell with the column kind and appends the
@@ -226,7 +237,14 @@ func (s *Session) Append(tuple ...Value) error {
 func (s *Session) AppendStrings(cells ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rel.AppendStrings(cells...)
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
+	if err := s.rel.AppendStrings(cells...); err != nil {
+		return err
+	}
+	s.logOp(wal.Op{Kind: wal.OpAppendStrings, Cells: cells})
+	return nil
 }
 
 // Delete removes the tuples with the given row ids from the instance. Rows
@@ -241,9 +259,15 @@ func (s *Session) AppendStrings(cells ...string) error {
 func (s *Session) Delete(rows ...int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
 	if err := s.counter.Delete(rows...); err != nil {
 		return err
 	}
+	// Logged before the auto-compaction check, so a triggered compaction's
+	// own record follows the delete that caused it.
+	s.logOp(wal.Op{Kind: wal.OpDelete, Rows: rows})
 	if p := s.autoCompact; p != nil {
 		st := s.rel.MemStats()
 		if st.Tombstones >= p.minTombstones() && st.TombstoneRatio >= p.ratio() {
@@ -260,7 +284,14 @@ func (s *Session) Delete(rows ...int) error {
 func (s *Session) Update(row int, tuple ...Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.counter.Update(row, tuple...)
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
+	if err := s.counter.Update(row, tuple...); err != nil {
+		return err
+	}
+	s.logOp(wal.Op{Kind: wal.OpUpdate, Row: row, Tuple: tuple})
+	return nil
 }
 
 // UpdateStrings parses each text cell with the column kind and updates the
@@ -268,7 +299,14 @@ func (s *Session) Update(row int, tuple ...Value) error {
 func (s *Session) UpdateStrings(row int, cells ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.counter.UpdateStrings(row, cells...)
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
+	if err := s.counter.UpdateStrings(row, cells...); err != nil {
+		return err
+	}
+	s.logOp(wal.Op{Kind: wal.OpUpdateStrings, Row: row, Cells: cells})
+	return nil
 }
 
 // LiveRows returns the number of live (non-deleted) tuples in the instance.
@@ -337,6 +375,9 @@ type CompactionStats struct {
 func (s *Session) Compact() CompactionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutGuardLocked(); err != nil {
+		return CompactionStats{OldRows: s.rel.NumRows(), NewRows: s.rel.NumRows(), Epoch: s.rel.Epoch()}
+	}
 	return s.compactLocked()
 }
 
@@ -344,6 +385,10 @@ func (s *Session) Compact() CompactionStats {
 // discoverer (if any) folds pending DML into its borders first, so every
 // witness is live and remappable; then the counter compacts the relation and
 // remaps its tracked indexes; then the discoverer translates its witnesses.
+// On a durable session, every Compact — even one that found no tombstones —
+// ends in a checkpoint: the epoch boundary is where a snapshot is cheapest
+// (segments are dense, witnesses freshly remapped), and a clean instance
+// still wants its log tail folded into a snapshot.
 func (s *Session) compactLocked() CompactionStats {
 	start := time.Now()
 	if s.disc != nil {
@@ -351,12 +396,14 @@ func (s *Session) compactLocked() CompactionStats {
 	}
 	m := s.counter.Compact()
 	if m == nil {
+		s.checkpointLocked()
 		return CompactionStats{OldRows: s.rel.NumRows(), NewRows: s.rel.NumRows(), Epoch: s.rel.Epoch()}
 	}
 	if s.disc != nil {
 		s.disc.OnCompact(m)
 	}
 	s.compactions++
+	s.checkpointLocked()
 	return CompactionStats{
 		Reclaimed: m.Reclaimed(),
 		OldRows:   m.OldRows,
@@ -472,6 +519,9 @@ func (s *Session) MemStats() MemStats {
 func (s *Session) Define(label, spec string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
 	if _, dup := s.fds[label]; dup {
 		return fmt.Errorf("evolvefd: FD %q already defined", label)
 	}
@@ -481,6 +531,7 @@ func (s *Session) Define(label, spec string) error {
 	}
 	s.fds[label] = fd
 	s.order = append(s.order, label)
+	s.logOp(wal.Op{Kind: wal.OpDefine, Label: label, Spec: spec})
 	return nil
 }
 
@@ -493,13 +544,17 @@ func (s *Session) MustDefine(label, spec string) {
 
 // Drop removes a defined FD and evicts its cached measures, so a long-lived
 // session's measure cache tracks the FDs actually defined instead of
-// accumulating every FD ever seen.
-func (s *Session) Drop(label string) {
+// accumulating every FD ever seen. Dropping an unknown label is a no-op;
+// the only error is mutating a closed durable session.
+func (s *Session) Drop(label string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
 	fd, ok := s.fds[label]
 	if !ok {
-		return
+		return nil
 	}
 	s.cache.Evict(fd)
 	delete(s.fds, label)
@@ -509,6 +564,8 @@ func (s *Session) Drop(label string) {
 			break
 		}
 	}
+	s.logOp(wal.Op{Kind: wal.OpDrop, Label: label})
+	return nil
 }
 
 // Labels returns the defined FD labels in definition order.
@@ -596,6 +653,9 @@ func (s *Session) Repair(label string, opts Options) ([]Suggestion, error) {
 func (s *Session) Accept(label string, suggestion Suggestion) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutGuardLocked(); err != nil {
+		return err
+	}
 	fd, ok := s.fds[label]
 	if !ok {
 		return fmt.Errorf("evolvefd: unknown FD %q", label)
@@ -610,6 +670,7 @@ func (s *Session) Accept(label string, suggestion Suggestion) error {
 	// weight from here on.
 	s.cache.Evict(fd)
 	s.fds[label] = ext
+	s.logOp(wal.Op{Kind: wal.OpAccept, Label: label, Names: suggestion.Added})
 	return nil
 }
 

@@ -1,0 +1,203 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/pli"
+)
+
+// BorderSnapshot is the durable form of an IncrementalDiscoverer's maintained
+// state: the positive border (minimal cover, attribute sets only — generation
+// stamps are session-local and re-established on restore) and the negative
+// border with its witness row pairs. It is plain data so the wal package can
+// serialize it without importing discovery internals.
+type BorderSnapshot struct {
+	// MaxLHS is the normalized antecedent bound the borders were built under.
+	MaxLHS int
+	// Eligible lists the NULL-free columns at snapshot time, sorted; restore
+	// fails if the relation disagrees, because the borders would then
+	// describe a different lattice.
+	Eligible []int
+	// States holds one entry per maintained consequent, in state order.
+	States []ConsequentSnapshot
+}
+
+// ConsequentSnapshot is the durable border state for one consequent.
+type ConsequentSnapshot struct {
+	// Y is the consequent column.
+	Y int
+	// Valid holds the antecedent sets of the minimal cover, each a sorted
+	// column list.
+	Valid [][]int
+	// Invalid holds the witnessed negative border.
+	Invalid []WitnessSnapshot
+}
+
+// WitnessSnapshot is one negative-border FD: an invalid antecedent set and
+// the two live rows that prove the violation.
+type WitnessSnapshot struct {
+	// X is the antecedent set, a sorted column list.
+	X []int
+	// W1 and W2 are the witness rows: they agree on X and differ on Y.
+	W1, W2 int
+}
+
+// ExportBorders captures the discoverer's maintained borders as plain data.
+// The caller must have Sync()ed (evolvefd.Session snapshots right after a
+// compaction, which syncs), so every witness refers to a live current-epoch
+// row.
+func (d *IncrementalDiscoverer) ExportBorders() *BorderSnapshot {
+	snap := &BorderSnapshot{
+		MaxLHS:   d.maxLHS,
+		Eligible: append([]int(nil), d.eligible.Members()...),
+	}
+	for _, st := range d.states {
+		cs := ConsequentSnapshot{Y: st.y}
+		for _, f := range st.valid {
+			cs.Valid = append(cs.Valid, f.x.Members())
+		}
+		for _, b := range st.invalid {
+			cs.Invalid = append(cs.Invalid, WitnessSnapshot{X: b.x.Members(), W1: b.w1, W2: b.w2})
+		}
+		snap.States = append(snap.States, cs)
+	}
+	return snap
+}
+
+// RestoreDiscoverer rebuilds an IncrementalDiscoverer from a BorderSnapshot
+// over a counter whose relation matches the instance the snapshot was taken
+// against. Every imported fact is re-validated against the live instance —
+// cover FDs by re-counting (which also mints fresh generation stamps),
+// border FDs by checking their witness pair — so a snapshot that does not
+// describe this instance is rejected with an error, never trusted. The cost
+// is O(border size) count probes instead of the O(lattice) levelwise reseed
+// NewIncrementalDiscoverer pays, which is the recovery speedup.
+func RestoreDiscoverer(counter *pli.IncrementalCounter, opts Options, snap *BorderSnapshot) (*IncrementalDiscoverer, error) {
+	d := &IncrementalDiscoverer{counter: counter, opts: opts, maxLHS: opts.MaxLHS}
+	if d.maxLHS <= 0 {
+		d.maxLHS = 2
+	}
+	if snap.MaxLHS != d.maxLHS {
+		return nil, fmt.Errorf("discovery: snapshot built with MaxLHS %d, session wants %d", snap.MaxLHS, d.maxLHS)
+	}
+	r := counter.Relation()
+	d.prevRows, d.prevMuts = r.NumRows(), r.Mutations()
+	d.prevEpoch = r.Epoch()
+	d.eligible = r.NullFreeColumns()
+	if got := d.eligible.Members(); !equalInts(got, snap.Eligible) {
+		return nil, fmt.Errorf("discovery: snapshot eligible columns %v, relation has %v", snap.Eligible, got)
+	}
+
+	var pool []int
+	for c := 0; c < r.NumCols(); c++ {
+		if !r.HasNulls(c) {
+			pool = append(pool, c)
+		}
+	}
+	checkAttrs := func(attrs []int) error {
+		if len(attrs) == 0 || len(attrs) > d.maxLHS {
+			return fmt.Errorf("discovery: snapshot antecedent %v outside size bound %d", attrs, d.maxLHS)
+		}
+		if !sort.IntsAreSorted(attrs) {
+			return fmt.Errorf("discovery: snapshot antecedent %v not sorted", attrs)
+		}
+		for i, a := range attrs {
+			if a < 0 || a >= r.NumCols() || r.HasNulls(a) {
+				return fmt.Errorf("discovery: snapshot antecedent %v names ineligible column %d", attrs, a)
+			}
+			if i > 0 && attrs[i-1] == a {
+				return fmt.Errorf("discovery: snapshot antecedent %v repeats column %d", attrs, a)
+			}
+		}
+		return nil
+	}
+	// Re-register every cover antecedent (and its Y-extension) in one
+	// parallel sweep before the validation loop: each is a full fold over
+	// the instance, and folding them one CountWithGen at a time is what
+	// would dominate recovery time. The loop below then validates against
+	// the already-built indexes in O(1) per FD.
+	// Malformed snapshot entries are skipped here — the validation loop
+	// below reaches them and reports the error.
+	var coverSets []bitset.Set
+	for _, cs := range snap.States {
+		if cs.Y < 0 || cs.Y >= r.NumCols() || r.HasNulls(cs.Y) {
+			continue
+		}
+		for _, attrs := range cs.Valid {
+			if checkAttrs(attrs) != nil {
+				continue
+			}
+			x := bitset.New(attrs...)
+			coverSets = append(coverSets, x, x.Union(bitset.New(cs.Y)))
+		}
+	}
+	counter.TrackBatch(coverSets)
+
+	seenY := make(map[int]bool)
+	for _, cs := range snap.States {
+		if cs.Y < 0 || cs.Y >= r.NumCols() || r.HasNulls(cs.Y) {
+			return nil, fmt.Errorf("discovery: snapshot consequent %d ineligible", cs.Y)
+		}
+		if seenY[cs.Y] {
+			return nil, fmt.Errorf("discovery: snapshot repeats consequent %d", cs.Y)
+		}
+		seenY[cs.Y] = true
+		st := &consequentState{y: cs.Y, ySet: bitset.New(cs.Y)}
+		for _, c := range pool {
+			if c != cs.Y {
+				st.pool = append(st.pool, c)
+			}
+		}
+		d.states = append(d.states, st)
+		for _, attrs := range cs.Valid {
+			if err := checkAttrs(attrs); err != nil {
+				return nil, err
+			}
+			x := bitset.New(attrs...)
+			if x.Contains(cs.Y) {
+				return nil, fmt.Errorf("discovery: snapshot cover FD %v -> %d is trivial", attrs, cs.Y)
+			}
+			xa := x.Union(st.ySet)
+			cntX, genX := counter.CountWithGen(x)
+			cntXA, genXA := counter.CountWithGen(xa)
+			if cntX != cntXA {
+				return nil, fmt.Errorf("discovery: snapshot cover FD %v -> %d does not hold on the instance", attrs, cs.Y)
+			}
+			st.valid = append(st.valid, &coverFD{x: x, xa: xa, genX: genX, genXA: genXA})
+		}
+		for _, w := range cs.Invalid {
+			if err := checkAttrs(w.X); err != nil {
+				return nil, err
+			}
+			x := bitset.New(w.X...)
+			if x.Contains(cs.Y) {
+				return nil, fmt.Errorf("discovery: snapshot border FD %v -> %d is trivial", w.X, cs.Y)
+			}
+			if w.W1 < 0 || w.W1 >= r.NumRows() || w.W2 < 0 || w.W2 >= r.NumRows() || w.W1 == w.W2 {
+				return nil, fmt.Errorf("discovery: snapshot witness (%d,%d) of %v -> %d out of range", w.W1, w.W2, w.X, cs.Y)
+			}
+			b := &borderFD{x: x, cols: x.Members(), w1: w.W1, w2: w.W2}
+			if !d.witnessIntact(st, b) {
+				return nil, fmt.Errorf("discovery: snapshot witness (%d,%d) of %v -> %d does not violate on the instance", w.W1, w.W2, w.X, cs.Y)
+			}
+			st.invalid = append(st.invalid, b)
+		}
+	}
+	d.ensureCapacity()
+	return d, nil
+}
+
+// equalInts reports whether two int slices hold the same sequence.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

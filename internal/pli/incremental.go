@@ -3,7 +3,9 @@ package pli
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/evolvefd/evolvefd/internal/bitset"
 	"github.com/evolvefd/evolvefd/internal/relation"
@@ -160,6 +162,21 @@ func (c *IncrementalCounter) Generation() uint64 {
 	return c.gen
 }
 
+// RestoreGeneration fast-forwards the generation counter to gen, for crash
+// recovery: a counter rebuilt over a restored instance starts at 1, but the
+// session it resurrects had already folded many batches, and cached stamps
+// only stay truthful ("same generation ⇒ same count") if the clock never
+// runs backwards relative to the session's history. Only forward jumps are
+// applied; the call must precede any mutation folding (evolvefd.OpenSession
+// calls it right after constructing the counter).
+func (c *IncrementalCounter) RestoreGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gen {
+		c.gen = gen
+	}
+}
+
 // Track registers x for incremental maintenance. Tracking an already-tracked
 // set refreshes its recency; the empty set needs no index and is ignored.
 func (c *IncrementalCounter) Track(x bitset.Set) {
@@ -167,6 +184,198 @@ func (c *IncrementalCounter) Track(x bitset.Set) {
 	defer c.mu.Unlock()
 	c.sync()
 	c.track(x)
+}
+
+// TrackBatch registers every set in xs for incremental maintenance,
+// building the missing indexes concurrently — each build is an independent
+// read-only fold over the relation, so a caller that must register dozens
+// of sets at once (recovery re-tracking a snapshot's whole discovery
+// border) pays one parallel sweep of the instance instead of a serial fold
+// per set. Empty sets need no index and are skipped; already-tracked sets
+// just refresh their recency, and eviction beyond the tracked-set bound
+// behaves as if the sets had been tracked one at a time in order.
+func (c *IncrementalCounter) TrackBatch(xs []bitset.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	var fresh []*trackedIndex
+	queued := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		key := x.Key()
+		if x.IsEmpty() || queued[key] {
+			continue
+		}
+		queued[key] = true
+		if idx, ok := c.tracked[key]; ok {
+			c.lru.MoveToBack(idx.elem)
+			continue
+		}
+		fresh = append(fresh, &trackedIndex{
+			attrs: x.Clone(),
+			cols:  x.Members(),
+			ids:   make(map[string]int32),
+		})
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(fresh) {
+		workers = len(fresh)
+	}
+	rows := c.r.NumRows()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fresh) {
+					return
+				}
+				c.foldBuf(fresh[i], 0, rows, &buf)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, idx := range fresh {
+		idx.lastChanged = c.gen
+		key := idx.attrs.Key()
+		c.tracked[key] = idx
+		idx.elem = c.lru.PushBack(key)
+	}
+	for len(c.tracked) > c.maxTracked {
+		front := c.lru.Front()
+		c.lru.Remove(front)
+		delete(c.tracked, front.Value.(string))
+	}
+}
+
+// IndexDump is the durable form of one tracked attribute-set index: the
+// sorted attribute columns and the live member rows of every non-empty
+// cluster. The cluster-key map, the position slots and the live count are
+// all derivable from the members plus the relation's column codes, so a
+// dump carries only what cannot be reconstructed in O(clusters).
+type IndexDump struct {
+	Attrs    []int
+	Clusters [][]int32
+}
+
+// ExportIndexes dumps every tracked index in recency order (least recently
+// used first), so importing the dumps in order reproduces the LRU. Emptied
+// clusters are dropped — reviving and re-creating a cluster are equivalent
+// going forward — which renumbers cluster ids without changing any count.
+func (c *IncrementalCounter) ExportIndexes() []IndexDump {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	dumps := make([]IndexDump, 0, len(c.tracked))
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		idx := c.tracked[e.Value.(string)]
+		d := IndexDump{Attrs: append([]int(nil), idx.cols...)}
+		for _, rows := range idx.rows {
+			if len(rows) > 0 {
+				d.Clusters = append(d.Clusters, append([]int32(nil), rows...))
+			}
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps
+}
+
+// ImportIndexes re-registers exported indexes against the relation the
+// counter wraps, reconstructing each cluster map with one key probe per
+// cluster instead of one per row — the difference between a recovery that
+// decodes its partition state and one that refolds the whole instance per
+// set. The dumps must describe the current relation: member rows are bounds-
+// and liveness-checked and every index must cover the live rows exactly,
+// so a dump from any other instance fails cleanly. Already-tracked sets are
+// skipped; the tracked-set bound rises to hold the full import, matching
+// the capacity the exporting counter had to have. The counter takes
+// ownership of the cluster slices — callers must not reuse them.
+func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync()
+	if n := len(c.tracked) + len(dumps); n > c.maxTracked {
+		c.maxTracked = n
+	}
+	for _, d := range dumps {
+		x := bitset.New(d.Attrs...)
+		cols := x.Members()
+		if len(cols) != len(d.Attrs) {
+			return fmt.Errorf("pli: import index %v repeats attributes", d.Attrs)
+		}
+		for _, col := range cols {
+			if col < 0 || col >= c.r.NumCols() {
+				return fmt.Errorf("pli: import index %v names column %d of %d", d.Attrs, col, c.r.NumCols())
+			}
+		}
+		key := x.Key()
+		if _, ok := c.tracked[key]; ok {
+			continue
+		}
+		idx := &trackedIndex{
+			attrs: x,
+			cols:  cols,
+			ids:   make(map[string]int32, len(d.Clusters)),
+			rows:  make([][]int32, 0, len(d.Clusters)),
+		}
+		nrows := c.r.NumRows()
+		// Checkpoints follow a Compact, so the instance usually has no
+		// tombstones and the per-row liveness probe can be skipped; the
+		// members-vs-live total below still catches a dump whose row count
+		// does not match the instance.
+		noDead := c.r.LiveRows() == nrows
+		idx.pos = growPos(idx.pos, nrows)
+		codes := make([][]int32, len(cols))
+		for i, col := range cols {
+			codes[i] = c.r.ColumnCodes(col)
+		}
+		// Code keys are fixed-width, so every cluster's key packs into one
+		// shared string sliced per cluster below — one allocation for the
+		// whole map's keys instead of one per cluster.
+		keyLen := 4 * len(cols)
+		arena := make([]byte, 0, keyLen*len(d.Clusters))
+		members := 0
+		for _, cls := range d.Clusters {
+			if len(cls) == 0 {
+				return fmt.Errorf("pli: import index %v has an empty cluster", d.Attrs)
+			}
+			for p, row := range cls {
+				if uint(row) >= uint(nrows) {
+					return fmt.Errorf("pli: import index %v cluster row %d out of range", d.Attrs, row)
+				}
+				if !noDead && c.r.IsDeleted(int(row)) {
+					return fmt.Errorf("pli: import index %v cluster holds deleted row %d", d.Attrs, row)
+				}
+				idx.pos[row] = int32(p)
+			}
+			members += len(cls)
+			arena = appendCodeKey(arena, codes, int(cls[0]))
+			idx.rows = append(idx.rows, cls)
+			idx.live++
+		}
+		if members != c.r.LiveRows() {
+			return fmt.Errorf("pli: import index %v covers %d rows, relation has %d live",
+				d.Attrs, members, c.r.LiveRows())
+		}
+		keys := string(arena)
+		for j := range d.Clusters {
+			k := keys[j*keyLen : (j+1)*keyLen]
+			if _, dup := idx.ids[k]; dup {
+				return fmt.Errorf("pli: import index %v has two clusters with one key", d.Attrs)
+			}
+			idx.ids[k] = int32(j)
+		}
+		idx.lastChanged = c.gen
+		c.tracked[key] = idx
+		idx.elem = c.lru.PushBack(key)
+	}
+	return nil
 }
 
 // EnsureTrackedCapacity raises the bound on incrementally-maintained sets to
@@ -516,20 +725,29 @@ func (c *IncrementalCounter) rebuild(idx *trackedIndex) {
 // stamping lastChanged if the cluster count changed (a fresh cluster
 // appeared, or an emptied one came back to life).
 func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
+	c.foldBuf(idx, from, to, &c.keyBuf)
+}
+
+// foldBuf is fold with an explicit key buffer, so concurrent index builds
+// (TrackBatch) can fold without sharing c.keyBuf. Apart from the buffer it
+// only reads shared state (the relation's columns and c.gen), which is what
+// makes parallel builds over disjoint indexes safe.
+func (c *IncrementalCounter) foldBuf(idx *trackedIndex, from, to int, keyBuf *[]byte) {
 	cols := make([][]int32, len(idx.cols))
 	for i, col := range idx.cols {
 		cols[i] = c.r.ColumnCodes(col)
 	}
-	if need := len(idx.cols) * 4; cap(c.keyBuf) < need {
-		c.keyBuf = make([]byte, 0, need)
+	if need := len(idx.cols) * 4; cap(*keyBuf) < need {
+		*keyBuf = make([]byte, 0, need)
 	}
+	buf := *keyBuf
 	idx.pos = growPos(idx.pos, to)
 	changed := false
 	for row := from; row < to; row++ {
 		if c.r.IsDeleted(row) {
 			continue
 		}
-		k := appendCodeKey(c.keyBuf[:0], cols, row)
+		k := appendCodeKey(buf[:0], cols, row)
 		id, ok := idx.ids[string(k)]
 		if !ok {
 			id = int32(len(idx.rows))
@@ -545,7 +763,7 @@ func (c *IncrementalCounter) fold(idx *trackedIndex, from, to int) {
 		idx.rows[id] = append(idx.rows[id], int32(row))
 		idx.pos[int32(row)] = int32(len(idx.rows[id]) - 1)
 	}
-	c.keyBuf = c.keyBuf[:0]
+	*keyBuf = buf[:0]
 	if changed {
 		idx.lastChanged = c.gen
 	}

@@ -1,0 +1,128 @@
+// covercheck enforces the committed per-package coverage floors in
+// floors.txt against the output of `go test -cover ./...`. Every package
+// with a floor must appear in the test output with at least its floor's
+// statement coverage; a floored package that reports no coverage at all
+// (skipped, build-failed, or stripped of its tests) fails the check too,
+// so a floor cannot be dodged by deleting the tests it guards. Packages
+// without a floor are listed as advisory so new packages get noticed.
+//
+// Usage: go test -cover ./... | go run ./internal/tools/covercheck
+// or:    go run ./internal/tools/covercheck cover.out
+package main
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+//go:embed floors.txt
+var floorsFile string
+
+// coverLine matches `go test -cover` package result lines, e.g.
+// `ok  	example.com/pkg	0.42s	coverage: 81.1% of statements`.
+var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covercheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	failures, err := check(in, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "coverage floors violated:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("covercheck: every floored package meets its coverage floor")
+}
+
+// parseFloors reads the committed floors table.
+func parseFloors() (map[string]float64, error) {
+	floors := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader([]byte(floorsFile)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed floors line %q", line)
+		}
+		min, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed floor in %q: %v", line, err)
+		}
+		floors[fields[0]] = min
+	}
+	return floors, sc.Err()
+}
+
+// check compares the coverage report read from in against the floors and
+// returns the violations.
+func check(in io.Reader, out io.Writer) ([]string, error) {
+	floors, err := parseFloors()
+	if err != nil {
+		return nil, err
+	}
+	got := map[string]float64{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if m := coverLine.FindStringSubmatch(sc.Text()); m != nil {
+			pct, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("malformed coverage in %q", sc.Text())
+			}
+			got[m[1]] = pct
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(got) == 0 {
+		return nil, fmt.Errorf("no coverage lines found — pipe `go test -cover ./...` output in")
+	}
+
+	var failures, advisory []string
+	for pkg, min := range floors {
+		pct, ok := got[pkg]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: floor %.0f%% but no coverage reported", pkg, min))
+		case pct < min:
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < floor %.0f%%", pkg, pct, min))
+		}
+	}
+	for pkg, pct := range got {
+		if _, ok := floors[pkg]; !ok {
+			advisory = append(advisory, fmt.Sprintf("%s: %.1f%% (no floor committed)", pkg, pct))
+		}
+	}
+	sort.Strings(failures)
+	sort.Strings(advisory)
+	for _, a := range advisory {
+		fmt.Fprintln(out, "advisory:", a)
+	}
+	fmt.Fprintf(out, "covercheck: %d packages reported, %d floors enforced\n", len(got), len(floors))
+	return failures, nil
+}

@@ -1,0 +1,25 @@
+// Package wal is the durability substrate of an evolvefd session: a
+// write-ahead log of every mutating session operation plus epoch-aligned
+// snapshots of the full incremental state.
+//
+// The log is a sequence of length-prefixed records, each protected by a
+// CRC32 over its payload:
+//
+//	┌────────────┬────────────┬─────────────────────┐
+//	│ len  (u32) │ crc  (u32) │ payload (len bytes) │   little-endian
+//	└────────────┴────────────┴─────────────────────┘
+//
+// One session mutation (an Append, a whole Delete batch, an Update, a
+// Define/Accept/Drop, a Compact) is one record, so a record is the atomic
+// unit of recovery: replay applies complete records and stops at the first
+// torn or corrupt one. Records are buffered in process and written+fsynced
+// in groups (group commit); a crash loses at most the un-synced suffix,
+// never tears a record into a half-applied mutation.
+//
+// Snapshots are written at Compact boundaries via temp-file-and-rename, so
+// a reader never observes a partial snapshot. Every snapshot seq owns a log
+// file of the same seq holding the records after it; Compact records are
+// logical (the compaction re-runs on replay), which keeps replay continuous
+// across snapshot generations when recovery falls back to an older
+// snapshot. Recovery cost is O(snapshot + tail), not O(history).
+package wal

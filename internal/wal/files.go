@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File naming: snapshot seq S lives in snap-<S>.snap, and the records after
+// it in wal-<S>.log. Sequence numbers are zero-padded so lexical order is
+// numeric order.
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	logPrefix  = "wal-"
+	logSuffix  = ".log"
+)
+
+// SnapshotPath returns the path of snapshot seq under dir.
+func SnapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix))
+}
+
+// LogPath returns the path of log seq under dir.
+func LogPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", logPrefix, seq, logSuffix))
+}
+
+// ListStates scans dir and returns the snapshot and log sequence numbers
+// present, each sorted ascending. Unrelated files are ignored.
+func ListStates(dir string) (snaps, logs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parseSeq(e.Name(), logPrefix, logSuffix); ok {
+			logs = append(logs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	return snaps, logs, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Prune removes every snapshot and log file whose sequence is below keep.
+// Removal failures are ignored — stale generations are garbage, not state.
+func Prune(dir string, keep uint64) {
+	snaps, logs, err := ListStates(dir)
+	if err != nil {
+		return
+	}
+	for _, seq := range snaps {
+		if seq < keep {
+			os.Remove(SnapshotPath(dir, seq))
+		}
+	}
+	for _, seq := range logs {
+		if seq < keep {
+			os.Remove(LogPath(dir, seq))
+		}
+	}
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// and an os.Rename, so path either holds the old content or all of the new
+// one — never a prefix. With fsync, the file is synced before the rename and
+// the directory after it, making the swap durable, not just atomic.
+func WriteFileAtomic(path string, data []byte, fsync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if fsync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// recordHeader is the fixed framing cost per record: u32 payload length plus
+// u32 CRC32-IEEE of the payload, both little-endian.
+const recordHeader = 8
+
+// maxRecordLen bounds a single record's payload; anything larger in a length
+// field is corruption, not data.
+const maxRecordLen = 1 << 30
+
+// AppendRecord frames one payload and appends it to buf.
+func AppendRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// NextRecord decodes the record at the front of data. ok is false when the
+// bytes do not hold one complete, checksum-valid record — a torn tail and
+// bit corruption are indistinguishable by design; both end the log.
+func NextRecord(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < recordHeader {
+		return nil, 0, false
+	}
+	l := binary.LittleEndian.Uint32(data)
+	if l > maxRecordLen || int(l) > len(data)-recordHeader {
+		return nil, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(data[4:])
+	payload = data[recordHeader : recordHeader+int(l)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	return payload, recordHeader + int(l), true
+}
+
+// ScanRecords splits data into its complete, checksum-valid record prefix,
+// returning the payloads and the byte length of that prefix. It never fails:
+// the first invalid record simply ends the scan, which is exactly the
+// recovery rule for a torn log tail.
+func ScanRecords(data []byte) (payloads [][]byte, valid int) {
+	for {
+		p, n, ok := NextRecord(data[valid:])
+		if !ok {
+			return payloads, valid
+		}
+		payloads = append(payloads, p)
+		valid += n
+	}
+}
+
+// Op kinds, one per mutating session operation. The typed and string-typed
+// DML flavours are distinct ops so replay re-runs exactly the code path the
+// live session ran (including cell parsing).
+const (
+	// OpAppend appends one tuple of typed values.
+	OpAppend byte = 1
+	// OpAppendStrings appends one tuple of unparsed text cells.
+	OpAppendStrings byte = 2
+	// OpDelete tombstones a batch of rows.
+	OpDelete byte = 3
+	// OpUpdate replaces one row with typed values.
+	OpUpdate byte = 4
+	// OpUpdateStrings replaces one row with unparsed text cells.
+	OpUpdateStrings byte = 5
+	// OpDefine declares an FD under a label.
+	OpDefine byte = 6
+	// OpAccept extends a defined FD's antecedent with named attributes.
+	OpAccept byte = 7
+	// OpDrop removes a defined FD.
+	OpDrop byte = 8
+	// OpCompact marks a storage compaction. The record is logical — replay
+	// re-runs the compaction — which is what keeps replay continuous across
+	// snapshot generations.
+	OpCompact byte = 9
+)
+
+// Op is one logged session mutation. Kind selects which of the remaining
+// fields carry the operation's arguments.
+type Op struct {
+	// Kind is one of the Op* constants.
+	Kind byte
+	// Row is the target row of OpUpdate/OpUpdateStrings.
+	Row int
+	// Rows is the target batch of OpDelete.
+	Rows []int
+	// Tuple holds the typed values of OpAppend/OpUpdate.
+	Tuple []relation.Value
+	// Cells holds the text cells of OpAppendStrings/OpUpdateStrings.
+	Cells []string
+	// Label names the FD of OpDefine/OpAccept/OpDrop; Spec is OpDefine's
+	// dependency text.
+	Label, Spec string
+	// Names lists the attribute names OpAccept adds to the antecedent.
+	Names []string
+}
+
+// EncodeOp appends the payload encoding of op to buf. The result is what
+// one WAL record carries.
+func EncodeOp(buf []byte, op Op) []byte {
+	buf = append(buf, op.Kind)
+	switch op.Kind {
+	case OpAppend, OpUpdate:
+		if op.Kind == OpUpdate {
+			buf = binary.AppendUvarint(buf, uint64(op.Row))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(op.Tuple)))
+		for _, v := range op.Tuple {
+			buf = relation.AppendValue(buf, v)
+		}
+	case OpAppendStrings, OpUpdateStrings:
+		if op.Kind == OpUpdateStrings {
+			buf = binary.AppendUvarint(buf, uint64(op.Row))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(op.Cells)))
+		for _, c := range op.Cells {
+			buf = appendString(buf, c)
+		}
+	case OpDelete:
+		buf = binary.AppendUvarint(buf, uint64(len(op.Rows)))
+		for _, row := range op.Rows {
+			buf = binary.AppendUvarint(buf, uint64(row))
+		}
+	case OpDefine:
+		buf = appendString(buf, op.Label)
+		buf = appendString(buf, op.Spec)
+	case OpAccept:
+		buf = appendString(buf, op.Label)
+		buf = binary.AppendUvarint(buf, uint64(len(op.Names)))
+		for _, n := range op.Names {
+			buf = appendString(buf, n)
+		}
+	case OpDrop:
+		buf = appendString(buf, op.Label)
+	case OpCompact:
+	}
+	return buf
+}
+
+// DecodeOp decodes one record payload. It is strict: unknown kinds,
+// truncated fields, outsized counts and trailing garbage are all errors —
+// a record that passed its CRC but fails here is corruption the caller must
+// surface, not skip.
+func DecodeOp(payload []byte) (Op, error) {
+	r := &reader{data: payload}
+	op := Op{Kind: r.byte()}
+	switch op.Kind {
+	case OpAppend, OpUpdate:
+		if op.Kind == OpUpdate {
+			op.Row = r.count("row", 1<<40)
+		}
+		n := r.count("tuple length", uint64(len(payload)))
+		for i := 0; i < n && r.err == nil; i++ {
+			op.Tuple = append(op.Tuple, r.value())
+		}
+	case OpAppendStrings, OpUpdateStrings:
+		if op.Kind == OpUpdateStrings {
+			op.Row = r.count("row", 1<<40)
+		}
+		n := r.count("cell count", uint64(len(payload)))
+		for i := 0; i < n && r.err == nil; i++ {
+			op.Cells = append(op.Cells, r.str())
+		}
+	case OpDelete:
+		n := r.count("delete batch", uint64(len(payload)))
+		for i := 0; i < n && r.err == nil; i++ {
+			op.Rows = append(op.Rows, r.count("row", 1<<40))
+		}
+	case OpDefine:
+		op.Label = r.str()
+		op.Spec = r.str()
+	case OpAccept:
+		op.Label = r.str()
+		n := r.count("name count", uint64(len(payload)))
+		for i := 0; i < n && r.err == nil; i++ {
+			op.Names = append(op.Names, r.str())
+		}
+	case OpDrop:
+		op.Label = r.str()
+	case OpCompact:
+	default:
+		return Op{}, fmt.Errorf("wal: unknown op kind %d", op.Kind)
+	}
+	if r.err != nil {
+		return Op{}, r.err
+	}
+	if r.off != len(payload) {
+		return Op{}, fmt.Errorf("wal: %d trailing bytes after op %d", len(payload)-r.off, op.Kind)
+	}
+	return op, nil
+}
+
+// reader decodes the wal payload primitives with a sticky error, mirroring
+// the relation package's binary reader.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wal: "+format, args...)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail("truncated byte at offset %d", r.off)
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a non-negative integer bounded by limit — for element counts,
+// pass the remaining payload length so no count can demand more elements
+// than the bytes that are supposed to encode them.
+func (r *reader) count(what string, limit uint64) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > limit {
+		r.fail("%s %d exceeds bound %d", what, v, limit)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	l := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if l > uint64(len(r.data)-r.off) {
+		r.fail("string length %d exceeds remaining input", l)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(l)])
+	r.off += int(l)
+	return s
+}
+
+func (r *reader) value() relation.Value {
+	if r.err != nil {
+		return relation.Null
+	}
+	v, n, err := relation.DecodeValue(r.data[r.off:])
+	if err != nil {
+		r.err = err
+		return relation.Null
+	}
+	r.off += n
+	return v
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}

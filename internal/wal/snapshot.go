@@ -1,0 +1,341 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/evolvefd/evolvefd/internal/discovery"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// snapMagic opens every snapshot file; snapVersion names the layout.
+// Version 2 added the tracked-index dumps.
+const (
+	snapMagic   = "EVFDSNP1"
+	snapVersion = 2
+)
+
+// Snapshot is the full durable state of a session at one epoch boundary:
+// the compacted relation, the designer's defined FDs, and — when discovery
+// has been seeded — the maintained borders with the advisor's diff
+// baselines. Everything else a session holds (tracked cluster maps, cached
+// measures) is derived state that recovery rebuilds lazily.
+type Snapshot struct {
+	// Seq is the snapshot's sequence number; log Seq holds the records
+	// after it.
+	Seq uint64
+	// Generation is the counter generation at snapshot time, restored via
+	// pli.IncrementalCounter.RestoreGeneration so cached stamps stay
+	// truthful across the restart.
+	Generation uint64
+	// Compactions is the session's lifetime compaction count.
+	Compactions uint64
+	// Rel is the relation instance.
+	Rel *relation.Relation
+	// FDs are the defined dependencies in definition order, each as the
+	// label plus its Define-syntax text (re-parsed on restore).
+	FDs []DefinedFD
+	// Disc is the incremental-discovery state, nil when the session never
+	// seeded a discoverer.
+	Disc *DiscState
+	// Indexes are the counter's tracked cluster indexes, exported so
+	// recovery decodes its partition state in O(clusters) per set instead
+	// of refolding the whole instance per set. They are an optimization,
+	// not ground truth: a session restored without them is merely slower.
+	Indexes []pli.IndexDump
+}
+
+// DefinedFD is one defined dependency in durable form.
+type DefinedFD struct {
+	// Label is the FD's session-unique name; Spec its attribute-name text.
+	Label, Spec string
+}
+
+// DiscState is the durable form of a session's discovery layer.
+type DiscState struct {
+	// MaxLHS is the normalized antecedent bound the discoverer runs under.
+	MaxLHS int
+	// HasConsequents distinguishes a nil consequent restriction (discover
+	// everywhere) from an explicit list; Consequents holds the sorted column
+	// indexes when HasConsequents.
+	HasConsequents bool
+	Consequents    []int
+	// Borders is the exported positive/negative border state.
+	Borders discovery.BorderSnapshot
+	// LastCover holds the advisor baseline: the opaque keys of the cover FDs
+	// already reported, sorted for determinism.
+	LastCover []string
+	// LastExact holds the advisor's per-label exactness baseline, in
+	// definition order.
+	LastExact []LabelExact
+}
+
+// LabelExact is one advisor exactness baseline entry.
+type LabelExact struct {
+	// Label names the defined FD; Exact is whether it held at the baseline.
+	Label string
+	Exact bool
+}
+
+// EncodeSnapshot serializes snap: a magic+version header, the fields in
+// declaration order, and a trailing CRC32 over everything before it. The
+// rename-based writer makes torn snapshots impossible; the checksum catches
+// the remaining failure mode — bit rot or an overwritten file — so recovery
+// can fall back to the previous generation instead of loading garbage.
+func EncodeSnapshot(snap *Snapshot) []byte {
+	buf := []byte(snapMagic)
+	buf = append(buf, snapVersion)
+	buf = binary.AppendUvarint(buf, snap.Seq)
+	buf = binary.AppendUvarint(buf, snap.Generation)
+	buf = binary.AppendUvarint(buf, snap.Compactions)
+	buf = snap.Rel.AppendBinary(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.FDs)))
+	for _, fd := range snap.FDs {
+		buf = appendString(buf, fd.Label)
+		buf = appendString(buf, fd.Spec)
+	}
+	if snap.Disc == nil {
+		buf = append(buf, 0)
+	} else {
+		d := snap.Disc
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(d.MaxLHS))
+		if d.HasConsequents {
+			buf = append(buf, 1)
+			buf = appendInts(buf, d.Consequents)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendInts(buf, d.Borders.Eligible)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Borders.States)))
+		for _, st := range d.Borders.States {
+			buf = binary.AppendUvarint(buf, uint64(st.Y))
+			buf = binary.AppendUvarint(buf, uint64(len(st.Valid)))
+			for _, attrs := range st.Valid {
+				buf = appendInts(buf, attrs)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(st.Invalid)))
+			for _, w := range st.Invalid {
+				buf = appendInts(buf, w.X)
+				buf = binary.AppendUvarint(buf, uint64(w.W1))
+				buf = binary.AppendUvarint(buf, uint64(w.W2))
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(d.LastCover)))
+		for _, key := range d.LastCover {
+			buf = appendString(buf, key)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(d.LastExact)))
+		for _, le := range d.LastExact {
+			buf = appendString(buf, le.Label)
+			if le.Exact {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	// Cluster members are fixed-width little-endian int32s, not varints:
+	// the dumps hold one entry per live row per index, and decoding them is
+	// on recovery's critical path — a fixed-width loop decodes several
+	// times faster than per-row varint parsing, for ~2 bytes more per row.
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Indexes)))
+	for _, d := range snap.Indexes {
+		buf = appendInts(buf, d.Attrs)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Clusters)))
+		// The member total is redundant with the per-cluster sizes, but
+		// carrying it lets the decoder size one arena up front and fill it
+		// in a single pass.
+		total := 0
+		for _, cls := range d.Clusters {
+			total += len(cls)
+		}
+		buf = binary.AppendUvarint(buf, uint64(total))
+		for _, cls := range d.Clusters {
+			buf = binary.AppendUvarint(buf, uint64(len(cls)))
+			for _, row := range cls {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(row))
+			}
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func appendInts(buf []byte, vals []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeSnapshot decodes an EncodeSnapshot blob, verifying the checksum
+// first and every structural bound after it. Like the relation decoder it
+// returns errors, never panics: recovery probes snapshots newest-first and a
+// bad one must fail cleanly so the previous generation gets its turn.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+1+4 {
+		return nil, fmt.Errorf("wal: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: bad snapshot magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	r := &reader{data: body, off: len(snapMagic)}
+	if v := r.byte(); r.err == nil && v != snapVersion {
+		return nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	snap := &Snapshot{}
+	snap.Seq = r.uvarint()
+	snap.Generation = r.uvarint()
+	snap.Compactions = r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	rel, n, err := relation.DecodeBinary(body[r.off:])
+	if err != nil {
+		return nil, err
+	}
+	snap.Rel = rel
+	r.off += n
+	nfds := r.count("FD count", uint64(len(body)))
+	for i := 0; i < nfds && r.err == nil; i++ {
+		snap.FDs = append(snap.FDs, DefinedFD{Label: r.str(), Spec: r.str()})
+	}
+	switch hasDisc := r.byte(); {
+	case r.err != nil:
+	case hasDisc == 0:
+	case hasDisc != 1:
+		r.fail("discovery flag byte %d", hasDisc)
+	default:
+		d := &DiscState{}
+		d.MaxLHS = r.count("MaxLHS", 1<<20)
+		switch hasCons := r.byte(); {
+		case r.err != nil:
+		case hasCons == 1:
+			d.HasConsequents = true
+			d.Consequents = r.ints("consequent")
+		case hasCons != 0:
+			r.fail("consequent flag byte %d", hasCons)
+		}
+		d.Borders.MaxLHS = d.MaxLHS
+		d.Borders.Eligible = r.ints("eligible column")
+		nstates := r.count("state count", uint64(len(body)))
+		for i := 0; i < nstates && r.err == nil; i++ {
+			st := discovery.ConsequentSnapshot{Y: r.count("consequent", 1<<20)}
+			nvalid := r.count("cover size", uint64(len(body)))
+			for j := 0; j < nvalid && r.err == nil; j++ {
+				st.Valid = append(st.Valid, r.ints("cover attribute"))
+			}
+			ninvalid := r.count("border size", uint64(len(body)))
+			for j := 0; j < ninvalid && r.err == nil; j++ {
+				w := discovery.WitnessSnapshot{X: r.ints("border attribute")}
+				w.W1 = r.count("witness row", 1<<40)
+				w.W2 = r.count("witness row", 1<<40)
+				st.Invalid = append(st.Invalid, w)
+			}
+			d.Borders.States = append(d.Borders.States, st)
+		}
+		ncover := r.count("baseline cover size", uint64(len(body)))
+		for i := 0; i < ncover && r.err == nil; i++ {
+			d.LastCover = append(d.LastCover, r.str())
+		}
+		nexact := r.count("baseline label count", uint64(len(body)))
+		for i := 0; i < nexact && r.err == nil; i++ {
+			le := LabelExact{Label: r.str()}
+			switch b := r.byte(); {
+			case r.err != nil:
+			case b == 1:
+				le.Exact = true
+			case b != 0:
+				r.fail("exactness byte %d", b)
+			}
+			d.LastExact = append(d.LastExact, le)
+		}
+		snap.Disc = d
+	}
+	nidx := r.count("index count", uint64(len(body)))
+	for i := 0; i < nidx && r.err == nil; i++ {
+		d := pli.IndexDump{Attrs: r.ints("index attribute")}
+		nclusters := r.count("cluster count", uint64(len(body)))
+		total := r.count("cluster member total", uint64(len(body)/4+1))
+		if r.err != nil {
+			break
+		}
+		// The persisted member total sizes one arena for the whole index,
+		// so every cluster is sliced out of a single allocation in one
+		// pass over the interleaved size/member encoding.
+		arena := make([]int32, total)
+		d.Clusters = make([][]int32, 0, nclusters)
+		for j := 0; j < nclusters && r.err == nil; j++ {
+			n := r.count("cluster size", uint64(len(arena)))
+			if r.err == nil && len(body)-r.off < 4*n {
+				r.fail("cluster of %d rows overruns the snapshot", n)
+			}
+			if r.err != nil {
+				break
+			}
+			cls := arena[:n:n]
+			arena = arena[n:]
+			off := r.off
+			for k := range cls {
+				cls[k] = int32(binary.LittleEndian.Uint32(body[off+4*k:]))
+			}
+			r.off += 4 * n
+			d.Clusters = append(d.Clusters, cls)
+		}
+		if r.err == nil && len(arena) != 0 {
+			r.fail("index member total overshoots its clusters by %d", len(arena))
+		}
+		snap.Indexes = append(snap.Indexes, d)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("wal: %d trailing bytes in snapshot", len(body)-r.off)
+	}
+	return snap, nil
+}
+
+// ints reads a count-prefixed int list, bounding the count by the remaining
+// input.
+func (r *reader) ints(what string) []int {
+	n := r.count(what+" count", uint64(len(r.data)-r.off))
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.count(what, 1<<40))
+	}
+	return out
+}
+
+// WriteSnapshot encodes snap and writes it to its sequence-numbered path
+// under dir, atomically and (unless noFsync) durably.
+func WriteSnapshot(dir string, snap *Snapshot, noFsync bool) error {
+	return WriteFileAtomic(SnapshotPath(dir, snap.Seq), EncodeSnapshot(snap), !noFsync)
+}
+
+// ReadSnapshot loads and decodes snapshot seq from dir.
+func ReadSnapshot(dir string, seq uint64) (*Snapshot, error) {
+	data, err := os.ReadFile(SnapshotPath(dir, seq))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Seq != seq {
+		return nil, fmt.Errorf("wal: snapshot file %d holds seq %d", seq, snap.Seq)
+	}
+	return snap, nil
+}

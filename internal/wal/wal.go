@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Log is an append-only record log with group commit: records accumulate in
+// an in-process buffer and are written and fsynced together every
+// groupCommit records (or on an explicit Flush). A crash loses at most the
+// unflushed suffix; it never exposes a half-written record to recovery,
+// because recovery stops at the first record whose checksum fails.
+//
+// A Log is not safe for concurrent use; the owning session serialises
+// mutations already.
+type Log struct {
+	f       *os.File
+	path    string
+	buf     []byte
+	pending int
+	group   int
+	noFsync bool
+}
+
+// Create creates a fresh log file at path (which must not exist — log
+// sequence numbers are never reused). groupCommit ≤ 1 means every record is
+// flushed synchronously; noFsync skips the fsync for tests and benchmarks
+// that measure everything but the disk.
+func Create(path string, groupCommit int, noFsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return newLog(f, path, groupCommit, noFsync), nil
+}
+
+// OpenAppend opens an existing log file (creating it if absent, for the
+// crash-between-snapshot-and-rotation window) for appending. The caller must
+// have truncated any torn tail first (TruncateTorn), or the appended records
+// would hide behind it forever.
+func OpenAppend(path string, groupCommit int, noFsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return newLog(f, path, groupCommit, noFsync), nil
+}
+
+func newLog(f *os.File, path string, groupCommit int, noFsync bool) *Log {
+	if groupCommit < 1 {
+		groupCommit = 1
+	}
+	return &Log{f: f, path: path, group: groupCommit, noFsync: noFsync}
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames payload as one record and buffers it, flushing when the
+// group-commit quota is reached. An error means the record's durability is
+// unknown; the owning session must stop logging (a gap would corrupt replay)
+// and surface the error.
+func (l *Log) Append(payload []byte) error {
+	l.buf = AppendRecord(l.buf, payload)
+	l.pending++
+	if l.pending >= l.group {
+		return l.Flush()
+	}
+	return nil
+}
+
+// Flush writes and fsyncs every buffered record. A no-op when nothing is
+// pending.
+func (l *Log) Flush() error {
+	if l.pending == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: write %s: %w", l.path, err)
+	}
+	l.buf = l.buf[:0]
+	l.pending = 0
+	if l.noFsync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Close flushes pending records and closes the file.
+func (l *Log) Close() error {
+	flushErr := l.Flush()
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// ReadLog reads a log file and splits it into its valid record prefix,
+// returning the payloads and the byte length of that prefix. A torn or
+// corrupt tail is not an error — valid simply stops short of the file size;
+// only I/O failures are.
+func ReadLog(path string) (payloads [][]byte, valid int64, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	p, v := ScanRecords(data)
+	return p, int64(v), int64(len(data)), nil
+}
+
+// TruncateTorn truncates the log file at path to valid bytes, discarding a
+// torn tail so appended records follow the last complete one.
+func TruncateTorn(path string, valid int64) error {
+	return os.Truncate(path, valid)
+}
