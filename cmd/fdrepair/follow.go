@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// runFollow drives the read-only replica loop (-follow): the follower tails
+// another fdrepair session's data directory and serves the same validation
+// queries the leader would, without ever mutating its state. Every command
+// is preceded by a catch-up pass, so answers reflect the leader's durable
+// head at the moment of asking; 'sync' runs a catch-up by itself and reports
+// replication progress.
+func runFollow(stdin io.Reader, w io.Writer, f *evolvefd.Follower, opts evolvefd.Options, maxLHS int) error {
+	fmt.Fprintf(w, "follow mode: read-only replica of %s ('help' for commands)\n", f.DataDir())
+	scanner := bufio.NewScanner(stdin)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for {
+		fmt.Fprint(w, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(w)
+			if err := scanner.Err(); err != nil {
+				f.Close()
+				return err
+			}
+			return followClose(w, f)
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit", "q":
+			return followClose(w, f)
+		case "help", "?":
+			followHelp(w)
+		case "sync":
+			followSync(w, f, true)
+		case "check", "c":
+			followSync(w, f, false)
+			watchCheck(w, f)
+		case "measures", "m":
+			followSync(w, f, false)
+			watchMeasures(w, f)
+		case "disc", "discover":
+			followSync(w, f, false)
+			if err := watchDiscover(w, f, maxLHS); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "repair", "r":
+			followSync(w, f, false)
+			if err := watchRepair(w, f, rest, opts, map[string][]evolvefd.Suggestion{}); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			}
+		case "status", "s":
+			followSync(w, f, false)
+			watchStatus(w, f)
+			followStatus(w, f)
+		case "mem":
+			followSync(w, f, false)
+			watchMem(w, f)
+		case "append", "add", "a", "del", "delete", "set", "update", "define", "drop", "accept", "compact":
+			fmt.Fprintf(w, "error: %q mutates the session; this is a read-only replica — run it on the leader\n", cmd)
+		default:
+			fmt.Fprintf(w, "unknown command %q ('help' for commands)\n", cmd)
+		}
+	}
+}
+
+// followSync catches the replica up to the leader's durable head. A failed
+// catch-up is a warning, not an exit: the follower keeps serving the state
+// it has, and the next command tries again.
+func followSync(w io.Writer, f *evolvefd.Follower, report bool) {
+	applied, err := f.CatchUp()
+	if err != nil {
+		fmt.Fprintln(w, "warning: catch-up failed, serving last replicated state:", err)
+	}
+	st := f.Stats()
+	if report {
+		fmt.Fprintf(w, "replayed %d ops · generation %d · lag %d segments / %d bytes\n",
+			applied, st.Seq, st.SegmentLag, st.ByteLag)
+	}
+	if st.Degraded {
+		fmt.Fprintln(w, "warning: serving stale state — a log segment is quarantined as corrupt and no newer leader checkpoint exists yet")
+	}
+}
+
+// followStatus appends the replication counters to the regular status line.
+func followStatus(w io.Writer, f *evolvefd.Follower) {
+	st := f.Stats()
+	fmt.Fprintf(w, "replica: generation %d · %d records / %d bytes replayed · %d retries · %d resyncs · %d quarantined\n",
+		st.Seq, st.Records, st.Bytes, st.Retries, st.Resyncs, st.Quarantines)
+}
+
+func followClose(w io.Writer, f *evolvefd.Follower) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing follower: %w", err)
+	}
+	fmt.Fprintln(w, "follower closed (the leader session is untouched)")
+	return nil
+}
+
+func followHelp(w io.Writer) {
+	fmt.Fprint(w, `commands (read-only; every command first catches up with the leader):
+  check                violated FDs of the replicated instance, in repair order
+  measures             confidence/goodness of every defined FD
+  repair <label>       ranked antecedent extensions for one violated FD
+  disc                 incrementally discovered minimal exact FDs
+  status               rows, generation, plus replication lag and health
+  mem                  storage footprint of the replica
+  sync                 catch up with the leader and report progress
+  quit
+`)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedLeaderState runs a short-lived durable -watch session so a follower
+// has state to replicate, and returns its data directory.
+func seedLeaderState(t *testing.T, lines ...string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "state")
+	script := strings.Join(append(lines, "quit"), "\n") + "\n"
+	var out bytes.Buffer
+	err := run([]string{"-csv", placesCSV(t), "-fd", "District,Region -> AreaCode",
+		"-watch", "-data-dir", dir}, strings.NewReader(script), &out)
+	if err != nil {
+		t.Fatalf("leader session: %v\n%s", err, out.String())
+	}
+	return dir
+}
+
+func runFollowScript(t *testing.T, dir string, lines ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	err := run([]string{"-follow", dir},
+		strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	if err != nil {
+		t.Fatalf("follow session: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// TestFollowReplicatesLeaderState: the follower answers the same validation
+// queries over the replicated instance and reports replication progress.
+func TestFollowReplicatesLeaderState(t *testing.T) {
+	dir := seedLeaderState(t,
+		"append Brookside,Granville,Glendale,613,974-2345,Boxwood,10211,NY,NY")
+	out := runFollowScript(t, dir,
+		"status",
+		"check",
+		"sync",
+		"quit",
+	)
+	for _, want := range []string{
+		"following " + dir,
+		"follow mode: read-only replica",
+		"12 live tuples",
+		"violated FDs (repair order)",
+		"replica: generation",
+		"lag 0 segments / 0 bytes",
+		"follower closed (the leader session is untouched)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("follow transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFollowRejectsMutation: every DML and definition command is refused —
+// the replica never writes the leader's state.
+func TestFollowRejectsMutation(t *testing.T) {
+	dir := seedLeaderState(t)
+	out := runFollowScript(t, dir,
+		"append Brookside,Granville,Glendale,613,974-2345,Boxwood,10211,NY,NY",
+		"define F9 Zip -> City",
+		"compact",
+		"quit",
+	)
+	if got := strings.Count(out, "read-only replica — run it on the leader"); got != 3 {
+		t.Errorf("want 3 mutation refusals, got %d:\n%s", got, out)
+	}
+}
+
+// TestFollowRepair: repair proposals are computed on the replica without
+// touching the leader.
+func TestFollowRepair(t *testing.T) {
+	dir := seedLeaderState(t)
+	out := runFollowScript(t, dir, "repair F1", "quit")
+	for _, want := range []string{"repairs for F1", "+{Municipal}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("follow repair transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFollowFlagValidation: -follow composes with no other mode.
+func TestFollowFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-follow", t.TempDir(), "-csv", placesCSV(t)},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("-follow with -csv: %v", err)
+	}
+	if err := run([]string{"-follow", t.TempDir()}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("-follow on an empty directory succeeded")
+	}
+}

@@ -15,6 +15,7 @@
 //	fdrepair -csv data.csv -fd "a -> b" -watch         # streaming append/re-check REPL
 //	fdrepair -csv data.csv -fd "a -> b" -watch -data-dir state/   # durable REPL
 //	fdrepair -watch -data-dir state/                   # recover after a restart
+//	fdrepair -follow state/                            # read-only replica of a -watch session
 package main
 
 import (
@@ -68,6 +69,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxLHS      = fs.Int("max-lhs", 2, "antecedent size bound for -discover and the -watch 'disc' command")
 		watch       = fs.Bool("watch", false, "streaming REPL: append tuples and re-check incrementally (-strategy is ignored)")
 		dataDir     = fs.String("data-dir", "", "persist the -watch session (write-ahead log + snapshots) in this directory; rerun with the same directory to recover after a restart")
+		follow      = fs.String("follow", "", "tail another fdrepair session's -data-dir as a read-only replica (REPL; no other flags apply)")
 		parallelism = fs.Int("parallelism", 0, "repair search workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	fs.Var(&fds, "fd", "functional dependency \"X1,X2 -> Y\" (repeatable)")
@@ -76,6 +78,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *dataDir != "" && !*watch {
 		return fmt.Errorf("-data-dir only applies to -watch sessions")
+	}
+	if *follow != "" {
+		if *watch || *csvPath != "" || len(fds) > 0 || *discover || *interactive {
+			return fmt.Errorf("-follow is a read-only replica of an existing session; it takes no -csv, -fd, -watch, -discover or -interactive")
+		}
+		f, err := evolvefd.OpenFollower(*follow, evolvefd.FollowerOptions{})
+		if err != nil {
+			return err
+		}
+		if _, err := f.CatchUp(); err != nil {
+			fmt.Fprintln(stdout, "warning: initial catch-up failed, serving last checkpoint:", err)
+		}
+		fmt.Fprintf(stdout, "following %s: %d live tuples, %d FDs at generation %d\n",
+			*follow, f.LiveRows(), len(f.Labels()), f.Stats().Seq)
+		defer trapSignals(f, stdout)()
+		return runFollow(stdin, stdout, f, evolvefd.Options{FirstOnly: !*all, MaxAdded: *maxAdded,
+			MinimalOnly: *minimal, Balanced: *balanced, Parallelism: *parallelism}, *maxLHS)
 	}
 	// A -watch restart recovers relation AND dependencies from the data
 	// directory, so neither -csv nor -fd is needed then.
@@ -149,6 +168,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if *maxGoodness >= 0 {
 			watchOpts.MaxGoodness = evolvefd.GoodnessLimit(*maxGoodness)
 		}
+		defer trapSignals(session, stdout)()
 		return runWatch(stdin, stdout, session, watchOpts, *maxLHS)
 	}
 

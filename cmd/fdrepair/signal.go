@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// trapSignals installs a SIGINT/SIGTERM handler that closes c — flushing
+// the write-ahead log for a -watch session, dropping the retention pin for
+// a -follow replica — before exiting, so an interrupted REPL never loses a
+// flushed suffix or leaks a pin that would stall the leader's retention.
+// The returned stop function uninstalls the handler for the clean quit path.
+func trapSignals(c io.Closer, w io.Writer) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		shutdownOnSignal(ch, c, w, os.Exit)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+		<-done
+	}
+}
+
+// shutdownOnSignal waits for one signal, closes c and exits: 0 when the
+// close flushed cleanly, 1 when state may not have reached disk. A closed
+// channel (the REPL quit normally) just returns. Factored out of
+// trapSignals so tests can drive it with a fake channel and exit.
+func shutdownOnSignal(ch <-chan os.Signal, c io.Closer, w io.Writer, exit func(int)) {
+	sig, ok := <-ch
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, "\nreceived %v: closing session state\n", sig)
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(w, "error:", err)
+		exit(1)
+		return
+	}
+	exit(0)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+type fakeCloser struct {
+	closed int
+	err    error
+}
+
+func (c *fakeCloser) Close() error {
+	c.closed++
+	return c.err
+}
+
+// TestShutdownOnSignal: a delivered signal closes the session state and
+// exits 0; the close failure path exits 1 so the designer hears that a
+// suffix may not have reached disk.
+func TestShutdownOnSignal(t *testing.T) {
+	ch := make(chan os.Signal, 1)
+	ch <- syscall.SIGINT
+	c := &fakeCloser{}
+	var out bytes.Buffer
+	code := -1
+	shutdownOnSignal(ch, c, &out, func(n int) { code = n })
+	if c.closed != 1 || code != 0 {
+		t.Fatalf("closed %d times, exit %d; want 1, 0", c.closed, code)
+	}
+	if !strings.Contains(out.String(), "received interrupt: closing session state") {
+		t.Fatalf("no shutdown notice:\n%s", out.String())
+	}
+
+	ch2 := make(chan os.Signal, 1)
+	ch2 <- syscall.SIGTERM
+	broken := &fakeCloser{err: errors.New("wal: fsync failed")}
+	out.Reset()
+	code = -1
+	shutdownOnSignal(ch2, broken, &out, func(n int) { code = n })
+	if code != 1 || !strings.Contains(out.String(), "fsync failed") {
+		t.Fatalf("failed close: exit %d, output:\n%s", code, out.String())
+	}
+}
+
+// TestShutdownOnSignalCleanQuit: the REPL quitting normally closes the
+// channel; the handler must return without closing anything again.
+func TestShutdownOnSignalCleanQuit(t *testing.T) {
+	c := &fakeCloser{}
+	stop := trapSignals(c, &bytes.Buffer{})
+	stop()
+	if c.closed != 0 {
+		t.Fatalf("clean quit closed the session %d times from the signal path", c.closed)
+	}
+}

@@ -11,6 +11,26 @@ import (
 	"github.com/evolvefd/evolvefd/internal/texttable"
 )
 
+// fdView is the read-only surface the REPL render helpers need. Both the
+// leader session (-watch) and a replica follower (-follow) satisfy it, so
+// the two loops print violations, measures, discovery and footprint through
+// the same code.
+type fdView interface {
+	Check() []evolvefd.Violation
+	Measures(label string) (evolvefd.Measures, error)
+	FDText(label string) (string, error)
+	Labels() []string
+	Repair(label string, opts evolvefd.Options) ([]evolvefd.Suggestion, error)
+	DiscoverIncremental(opts evolvefd.DiscoveryOptions) ([]evolvefd.DiscoveredFD, error)
+	Suggestions() ([]evolvefd.AdvisorSuggestion, error)
+	DiscoveryStats() evolvefd.DiscoveryStats
+	MemStats() evolvefd.MemStats
+	Relation() *evolvefd.Relation
+	Generation() uint64
+	LiveRows() int
+	CacheStats() (reused, recomputed uint64)
+}
+
 // runWatch drives the streaming designer loop (-watch): the relation stays
 // open, tuples are appended, deleted and corrected as they arrive, and
 // re-validation after each batch is incremental — the session folds the
@@ -191,7 +211,7 @@ func watchSet(w io.Writer, s *evolvefd.Session, rest string) error {
 	return nil
 }
 
-func watchCheck(w io.Writer, s *evolvefd.Session) {
+func watchCheck(w io.Writer, s fdView) {
 	reused0, recomputed0 := s.CacheStats()
 	violations := s.Check()
 	reused1, recomputed1 := s.CacheStats()
@@ -212,7 +232,7 @@ func watchCheck(w io.Writer, s *evolvefd.Session) {
 		reused1-reused0, recomputed1-recomputed0)
 }
 
-func watchMeasures(w io.Writer, s *evolvefd.Session) {
+func watchMeasures(w io.Writer, s fdView) {
 	tab := texttable.New("measures", "FD", "confidence", "goodness", "status").AlignRight(1, 2)
 	for _, label := range s.Labels() {
 		m, err := s.Measures(label)
@@ -231,7 +251,7 @@ func watchMeasures(w io.Writer, s *evolvefd.Session) {
 	io.WriteString(w, tab.Render())
 }
 
-func watchRepair(w io.Writer, s *evolvefd.Session, label string, opts evolvefd.Options,
+func watchRepair(w io.Writer, s fdView, label string, opts evolvefd.Options,
 	lastRepairs map[string][]evolvefd.Suggestion) error {
 	if label == "" {
 		return fmt.Errorf("usage: repair <label>")
@@ -287,7 +307,7 @@ func watchAccept(w io.Writer, s *evolvefd.Session, rest string,
 // the DML since the previous one into the cover and reports what changed —
 // newly-valid FDs the designer may adopt, newly-broken defined FDs to
 // repair — before printing the current cover and the maintenance effort.
-func watchDiscover(w io.Writer, s *evolvefd.Session, maxLHS int) error {
+func watchDiscover(w io.Writer, s fdView, maxLHS int) error {
 	cover, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
 	if err != nil {
 		return err
@@ -320,7 +340,7 @@ func watchDiscover(w io.Writer, s *evolvefd.Session, maxLHS int) error {
 // watchMem prints the storage footprint: how much of the column store is
 // dead weight and what a compact would reclaim, plus the incremental state
 // riding on top of it.
-func watchMem(w io.Writer, s *evolvefd.Session) {
+func watchMem(w io.Writer, s fdView) {
 	st := s.MemStats()
 	fmt.Fprintf(w, "storage: %d physical rows (%d live, %d tombstones, ratio %.2f) · %d segments (%d dirty, %d rows each) · epoch %d\n",
 		st.PhysicalRows, st.LiveRows, st.Tombstones, st.TombstoneRatio,
@@ -344,7 +364,7 @@ func watchCompact(w io.Writer, s *evolvefd.Session) {
 		st.Reclaimed, st.OldRows, st.NewRows, st.Moved, st.Epoch)
 }
 
-func watchStatus(w io.Writer, s *evolvefd.Session) {
+func watchStatus(w io.Writer, s fdView) {
 	reused, recomputed := s.CacheStats()
 	fmt.Fprintf(w, "%s · generation %d · %d FDs · measures reused/recomputed %d/%d\n",
 		s.Relation().String(), s.Generation(), len(s.Labels()), reused, recomputed)

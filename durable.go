@@ -3,7 +3,6 @@ package evolvefd
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 
 	"github.com/evolvefd/evolvefd/internal/core"
@@ -29,6 +28,16 @@ type DurabilityOptions struct {
 	// NoFsync skips fsync entirely (records are still written in order), for
 	// tests and benchmarks where the OS page cache is durability enough.
 	NoFsync bool
+	// MaxLogBytes bounds a log generation's size: once the live log grows past
+	// it, the session seals the generation with a checkpoint record and rolls
+	// a fresh snapshot+log pair, so the log no longer grows without bound
+	// between compactions. ≤ 0 disables size-based rotation (compactions still
+	// rotate).
+	MaxLogBytes int64
+	// FS overrides the filesystem every durable operation (log appends,
+	// fsyncs, snapshot writes, retention, recovery reads) runs over; nil means
+	// the real one. Fault-injection tests pass a wal.ErrFS here.
+	FS wal.FS
 }
 
 // durability is the Session's WAL attachment: the data directory, the live
@@ -53,10 +62,10 @@ type durability struct {
 // state is captured as snapshot 1 immediately, so the directory is
 // recoverable from the first mutation on.
 func NewDurableSession(rel *Relation, dir string, opts DurabilityOptions) (*Session, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := wal.OrOS(opts.FS).MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	snaps, logs, err := wal.ListStates(dir)
+	snaps, logs, err := wal.ListStatesFS(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +74,10 @@ func NewDurableSession(rel *Relation, dir string, opts DurabilityOptions) (*Sess
 	}
 	s := NewSession(rel)
 	s.dur = &durability{dir: dir, opts: opts, seq: 1}
-	if err := wal.WriteSnapshot(dir, s.snapshotLocked(1), opts.NoFsync); err != nil {
+	if err := wal.WriteSnapshotFS(opts.FS, dir, s.snapshotLocked(1), opts.NoFsync); err != nil {
 		return nil, err
 	}
-	log, err := wal.Create(wal.LogPath(dir, 1), opts.GroupCommit, opts.NoFsync)
+	log, err := wal.CreateFS(opts.FS, wal.LogPath(dir, 1), opts.GroupCommit, opts.NoFsync)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +106,7 @@ func OpenSession(dir string) (*Session, error) {
 // OpenSessionOptions is OpenSession with explicit durability tuning for the
 // recovered session's future mutations.
 func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
-	snaps, logs, err := wal.ListStates(dir)
+	snaps, logs, err := wal.ListStatesFS(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +121,7 @@ func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
 	var firstErr error
 	fellBack := false
 	for i := len(snaps) - 1; i >= 0 && s == nil; i-- {
-		snap, err := wal.ReadSnapshot(dir, snaps[i])
+		snap, err := wal.ReadSnapshotFS(opts.FS, dir, snaps[i])
 		var cand *Session
 		if err == nil {
 			cand, err = restoreSnapshot(snap)
@@ -136,8 +145,8 @@ func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
 	s.dur = &durability{dir: dir, opts: opts, seq: maxSeq, replaying: true}
 	for seq := chosen; seq <= maxSeq; seq++ {
 		path := wal.LogPath(dir, seq)
-		payloads, valid, size, err := wal.ReadLog(path)
-		if errors.Is(err, os.ErrNotExist) {
+		payloads, valid, size, err := wal.ReadLogFS(opts.FS, path)
+		if wal.IsNotExist(err) {
 			if seq == maxSeq {
 				// The crash hit between writing snapshot maxSeq and creating
 				// its log: nothing happened after the snapshot.
@@ -155,7 +164,7 @@ func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
 			if seq != maxSeq {
 				return nil, fmt.Errorf("evolvefd: log %d in %s is corrupt before the final log", seq, dir)
 			}
-			if err := wal.TruncateTorn(path, valid); err != nil {
+			if err := wal.TruncateTornFS(opts.FS, path, valid); err != nil {
 				return nil, err
 			}
 		}
@@ -170,7 +179,7 @@ func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
 		}
 	}
 	s.dur.replaying = false
-	log, err := wal.OpenAppend(wal.LogPath(dir, maxSeq), opts.GroupCommit, opts.NoFsync)
+	log, err := wal.OpenAppendFS(opts.FS, wal.LogPath(dir, maxSeq), opts.GroupCommit, opts.NoFsync)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +187,10 @@ func OpenSessionOptions(dir string, opts DurabilityOptions) (*Session, error) {
 	if fellBack {
 		// A newer-but-corrupt snapshot is still on disk and would be probed
 		// first by the next recovery; supersede it with a fresh checkpoint.
+		// The marker is OpCheckpoint, not OpCompact: no compaction ran, and a
+		// replay of this log from an older generation must not invent one.
 		s.mu.Lock()
-		s.checkpointLocked()
+		s.checkpointLocked(wal.OpCheckpoint)
 		err := s.dur.err
 		s.mu.Unlock()
 		if err != nil {
@@ -268,6 +279,10 @@ func (s *Session) applyOp(op wal.Op) error {
 	case wal.OpCompact:
 		s.Compact()
 		return nil
+	case wal.OpCheckpoint:
+		// A size-based rotation marker: the state did not change, the log
+		// generation just rolled. Nothing to replay.
+		return nil
 	default:
 		return fmt.Errorf("evolvefd: unknown op kind %d", op.Kind)
 	}
@@ -349,35 +364,47 @@ func (s *Session) logOp(op wal.Op) {
 	}
 	if err := d.log.Append(wal.EncodeOp(nil, op)); err != nil {
 		d.err = err
+		return
+	}
+	if max := d.opts.MaxLogBytes; max > 0 && d.log.Written() >= max {
+		s.checkpointLocked(wal.OpCheckpoint)
 	}
 }
 
 // checkpointLocked seals the current log generation and establishes the
-// next one: the Compact record is flushed to the old log (recovery from the
-// previous snapshot replays it), the full state is written as snapshot
-// seq+1 via temp-file-and-rename, the log rotates, and generations older
-// than the previous snapshot are pruned — recovery keeps a one-generation
-// fallback if the newest snapshot proves unreadable.
-func (s *Session) checkpointLocked() {
+// next one: the marker record (OpCompact when a compaction just ran,
+// OpCheckpoint for a pure size-based rotation) is flushed to the old log,
+// the full state is written as snapshot seq+1 via temp-file-and-rename, the
+// log rotates, and old generations are pruned. Retention keeps a
+// one-generation fallback (the newest snapshot could prove unreadable), it
+// never prunes past what a registered follower pin still needs, and it does
+// not advance at all unless the snapshot it would trust reads back clean.
+func (s *Session) checkpointLocked(marker byte) {
 	d := s.dur
 	if d == nil || d.replaying || d.closed {
 		return
 	}
+	if s.disc != nil {
+		// A compaction-driven checkpoint synced the discoverer already; a
+		// size-based or superseding one must fold pending DML into the borders
+		// itself before they are exported.
+		s.disc.Sync()
+	}
 	if d.err == nil {
-		if err := d.log.Append(wal.EncodeOp(nil, wal.Op{Kind: wal.OpCompact})); err != nil {
+		if err := d.log.Append(wal.EncodeOp(nil, wal.Op{Kind: marker})); err != nil {
 			d.err = err
 		} else if err := d.log.Flush(); err != nil {
 			d.err = err
 		}
 	}
 	seq := d.seq + 1
-	if err := wal.WriteSnapshot(d.dir, s.snapshotLocked(seq), d.opts.NoFsync); err != nil {
+	if err := wal.WriteSnapshotFS(d.opts.FS, d.dir, s.snapshotLocked(seq), d.opts.NoFsync); err != nil {
 		if d.err == nil {
 			d.err = err
 		}
 		return
 	}
-	next, err := wal.Create(wal.LogPath(d.dir, seq), d.opts.GroupCommit, d.opts.NoFsync)
+	next, err := wal.CreateFS(d.opts.FS, wal.LogPath(d.dir, seq), d.opts.GroupCommit, d.opts.NoFsync)
 	if err != nil {
 		if d.err == nil {
 			d.err = err
@@ -390,7 +417,13 @@ func (s *Session) checkpointLocked() {
 	// The snapshot captures the full state, so even if this generation's log
 	// tail was broken, durability is whole again.
 	d.err = nil
-	wal.Prune(d.dir, seq-1)
+	floor := seq - 1
+	if pin, ok := wal.MinPinned(d.opts.FS, d.dir); ok && pin < floor {
+		floor = pin
+	}
+	if wal.VerifySnapshot(d.opts.FS, d.dir, seq) {
+		wal.PruneFS(d.opts.FS, d.dir, floor)
+	}
 }
 
 // snapshotLocked captures the session's durable state under the held write

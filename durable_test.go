@@ -641,3 +641,126 @@ func TestDurableRecoveryProperty(t *testing.T) {
 		})
 	}
 }
+
+// TestDurableCrashMatrixSnapshotBitFlip extends the crash matrix to the
+// snapshot file: a single bit flipped anywhere in the newest snapshot must
+// never corrupt recovery — the checksum rejects the file, the previous
+// generation takes over, and replay across the boundary lands on the exact
+// pre-crash state.
+func TestDurableCrashMatrixSnapshotBitFlip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "data")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), base, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	if err := s.Delete(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact() // snapshot 2, log 2
+	if err := s.AppendStrings(placesRow(4)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateStrings(4, placesRow(11)...); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(wal.SnapshotPath(base, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample bit positions across the whole file — header, body and trailing
+	// checksum included — plus the exact first and last bytes.
+	stride := len(snapBytes)/48 + 1
+	offsets := []int{0, len(snapBytes) - 1}
+	for off := stride; off < len(snapBytes)-1; off += stride {
+		offsets = append(offsets, off)
+	}
+	for _, off := range offsets {
+		dir := copyDir(t, base)
+		p := wal.SnapshotPath(dir, 2)
+		mut := append([]byte{}, snapBytes...)
+		mut[off] ^= 1 << uint(off%8)
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := evolvefd.OpenSessionOptions(dir, noFsync)
+		if err != nil {
+			t.Fatalf("flip at %d: recovery failed: %v", off, err)
+		}
+		if got := captureState(r); !reflect.DeepEqual(got, want) {
+			t.Fatalf("flip at %d: fallback recovery diverged", off)
+		}
+		r.Close()
+		// The fallback must have written a superseding checkpoint so the next
+		// recovery does not depend on the damaged file.
+		snaps, _, err := wal.ListStates(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snaps[len(snaps)-1] <= 2 {
+			t.Fatalf("flip at %d: no superseding checkpoint: %v", off, snaps)
+		}
+	}
+}
+
+// TestDurableSizeRotation: with MaxLogBytes set, the session seals the log
+// with a checkpoint marker whenever it grows past the bound — so log growth
+// between compactions stays bounded, retention discards settled generations,
+// the epoch is untouched (no compaction ran), and recovery across the
+// checkpoint-sealed generations is exact.
+func TestDurableSizeRotation(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "data")
+	opts := evolvefd.DurabilityOptions{GroupCommit: 1, NoFsync: true, MaxLogBytes: 1024}
+	s, err := evolvefd.NewDurableSession(datasets.Places(), base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	epochBefore := s.Epoch()
+	for i := 0; i < 60; i++ {
+		if err := s.AppendStrings(placesRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Epoch() != epochBefore {
+		t.Fatalf("size rotation moved the epoch %d -> %d; only compaction may", epochBefore, s.Epoch())
+	}
+	snaps, logs, err := wal.ListStates(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := snaps[len(snaps)-1]
+	if head < 4 {
+		t.Fatalf("60 appends under a 1KiB bound rotated only to generation %d", head)
+	}
+	// Retention keeps exactly the newest generation and its fallback.
+	if len(snaps) != 2 || len(logs) != 2 {
+		t.Fatalf("retention kept %d snapshots, %d logs; want 2 each", len(snaps), len(logs))
+	}
+	for _, seq := range logs {
+		fi, err := os.Stat(wal.LogPath(base, seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > opts.MaxLogBytes+256 {
+			t.Fatalf("log %d grew to %d bytes past the %d bound", seq, fi.Size(), opts.MaxLogBytes)
+		}
+	}
+	want := captureState(s)
+	r, err := evolvefd.OpenSessionOptions(copyDir(t, base), opts)
+	if err != nil {
+		t.Fatalf("recovery across size rotations: %v", err)
+	}
+	defer r.Close()
+	if got := captureState(r); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovery across size rotations diverged")
+	}
+	if r.Epoch() != epochBefore {
+		t.Fatalf("replayed checkpoint seals moved the epoch to %d", r.Epoch())
+	}
+}

@@ -396,14 +396,14 @@ func (s *Session) compactLocked() CompactionStats {
 	}
 	m := s.counter.Compact()
 	if m == nil {
-		s.checkpointLocked()
+		s.checkpointLocked(wal.OpCompact)
 		return CompactionStats{OldRows: s.rel.NumRows(), NewRows: s.rel.NumRows(), Epoch: s.rel.Epoch()}
 	}
 	if s.disc != nil {
 		s.disc.OnCompact(m)
 	}
 	s.compactions++
-	s.checkpointLocked()
+	s.checkpointLocked(wal.OpCompact)
 	return CompactionStats{
 		Reclaimed: m.Reclaimed(),
 		OldRows:   m.OldRows,

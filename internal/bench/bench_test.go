@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"theorem1", "cb-vs-eb", "discover-vs-repair",
 		"ablation-count", "ablation-parallel", "ablation-queue",
 		"ablation-objective", "incremental", "repairscale", "churn",
-		"discoverchurn", "compaction", "recovery",
+		"discoverchurn", "compaction", "recovery", "replication",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

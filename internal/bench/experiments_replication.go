@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/relation"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+	"github.com/evolvefd/evolvefd/internal/wal"
+
+	"github.com/evolvefd/evolvefd/internal/datasets"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "replication",
+		Title: "WAL replication: fresh-follower catch-up vs CSV rebuild, steady-state lag under DML",
+		Run:   runReplication,
+		RunJSON: func(cfg Config) (any, error) {
+			rows, tail, stream := replicationParams(cfg)
+			return RunReplication(cfg, rows, tail, stream)
+		},
+		Render: func(v any, w io.Writer) error {
+			res, ok := v.(ReplicationResult)
+			if !ok {
+				return fmt.Errorf("bench: replication render got %T", v)
+			}
+			return renderReplication(res, w)
+		},
+	})
+}
+
+// ReplicationResult measures one replication run in two phases. Phase 1
+// races a fresh follower (bootstrap from the leader's newest snapshot,
+// replay the log tail, re-validate the imported discovery borders) against
+// rebuilding the same advisor-ready state from the raw tuples. Phase 2
+// streams DML through the leader — including a mid-stream compaction, so
+// the follower crosses an epoch switchover — and measures the follower's
+// steady-state catch-up latency and byte lag, with a differential asserting
+// the follower answers every advisor query identically to the live leader.
+type ReplicationResult struct {
+	Dataset string
+	// Rows is the instance size at the leader's checkpoint; TailOps the
+	// logged mutations a fresh follower must replay; StreamOps the DML
+	// applied during the steady-state phase; LiveRows the final live count.
+	Rows, TailOps, StreamOps, LiveRows int
+	// NumFDs counts the defined dependencies; CoverSize the discovered
+	// minimal cover all three routes must agree on.
+	NumFDs, CoverSize int
+	// SnapshotBytes and LogBytes are the on-disk footprint the fresh
+	// follower reads.
+	SnapshotBytes, LogBytes int64
+	// CatchUp times OpenFollower + CatchUp + cover refresh + serving every
+	// defined FD's measures; Rebuild times reaching the same state from the
+	// source CSV alone. Speedup is Rebuild / CatchUp.
+	CatchUp, Rebuild time.Duration
+	Speedup          float64
+	// SteadyBatches counts the steady-state catch-up rounds; MaxLagBytes the
+	// largest unconsumed log backlog observed before a round; AvgCatchUp the
+	// mean catch-up latency per round.
+	SteadyBatches int
+	MaxLagBytes   int64
+	AvgCatchUp    time.Duration
+	// Resyncs and Quarantines surface follower health; both must be zero on
+	// a healthy run (the leader compacts mid-stream, but the seal marker
+	// walks the follower across without a resync).
+	Resyncs, Quarantines int
+	// Mismatches lists any divergence between follower, leader and rebuilt
+	// state — measures, minimal cover, or ranked repairs; must stay empty.
+	Mismatches []string
+}
+
+// replicationParams scales the experiment: 50k rows at default scale with a
+// 2% log tail for the fresh-follower race and an equal-sized steady-state
+// DML stream.
+func replicationParams(cfg Config) (rows, tail, stream int) {
+	rows = int(50000 * cfg.scale() / DefaultScale)
+	if rows < 1500 {
+		rows = 1500
+	}
+	return rows, rows / 50, rows / 50
+}
+
+// RunReplication builds a durable leader over a rows-row synthetic instance
+// with the incremental experiment's planted FDs, checkpoints, logs tailOps
+// mutations, then measures a fresh follower's catch-up against a CSV
+// rebuild, and the follower's steady-state lag under streamOps further DML
+// with a compaction in the middle.
+func RunReplication(cfg Config, rows, tailOps, streamOps int) (ReplicationResult, error) {
+	const maxLHS = 2
+	res := ReplicationResult{Dataset: "synthetic", Rows: rows, TailOps: tailOps, StreamOps: streamOps}
+	dir, err := os.MkdirTemp("", "evolvefd-replication-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+
+	pool := datasets.Synthesize("replication", rows+tailOps+streamOps, cfg.seed(), incrementalSpecs())
+	fdSpecs := incrementalFDSpecs()
+	res.NumFDs = len(fdSpecs)
+	opts := evolvefd.DurabilityOptions{GroupCommit: 256, NoFsync: true}
+	s, err := evolvefd.NewDurableSession(
+		datasets.Synthesize("replication", rows, cfg.seed(), incrementalSpecs()), dataDir, opts)
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+	labels := make([]string, len(fdSpecs))
+	for i, spec := range fdSpecs {
+		labels[i] = fmt.Sprintf("F%d", i+1)
+		if err := s.Define(labels[i], spec); err != nil {
+			return res, err
+		}
+	}
+	if _, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS}); err != nil {
+		return res, err
+	}
+	s.Compact()
+	rng := rand.New(rand.NewSource(cfg.seed() + 3))
+	next := rows
+	mutate := func() error {
+		switch roll := rng.Intn(100); {
+		case roll < 50 && next < pool.NumRows():
+			next++
+			return s.AppendStrings(recoveryRowCells(pool, next-1)...)
+		case roll < 75:
+			return s.Delete(recoveryLiveRow(rng, s.Relation()))
+		default:
+			return s.UpdateStrings(recoveryLiveRow(rng, s.Relation()),
+				recoveryRowCells(pool, rows+rng.Intn(tailOps))...)
+		}
+	}
+	for i := 0; i < tailOps; i++ {
+		if err := mutate(); err != nil {
+			return res, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return res, err
+	}
+	snaps, logs, err := wal.ListStates(dataDir)
+	if err != nil {
+		return res, err
+	}
+	for _, seq := range snaps {
+		if st, err := os.Stat(wal.SnapshotPath(dataDir, seq)); err == nil {
+			res.SnapshotBytes += st.Size()
+		}
+	}
+	for _, seq := range logs {
+		if st, err := os.Stat(wal.LogPath(dataDir, seq)); err == nil {
+			res.LogBytes += st.Size()
+		}
+	}
+
+	followerMeasures := func(f *evolvefd.Follower) ([]evolvefd.Measures, error) {
+		ms := make([]evolvefd.Measures, len(labels))
+		for i, label := range labels {
+			var err error
+			if ms[i], err = f.Measures(label); err != nil {
+				return nil, err
+			}
+		}
+		return ms, nil
+	}
+	sessionMeasures := func(s *evolvefd.Session) ([]evolvefd.Measures, error) {
+		ms := make([]evolvefd.Measures, len(labels))
+		for i, label := range labels {
+			var err error
+			if ms[i], err = s.Measures(label); err != nil {
+				return nil, err
+			}
+		}
+		return ms, nil
+	}
+
+	// Phase 1a — fresh follower: bootstrap from the newest snapshot, replay
+	// the log tail, refresh the imported discovery cover, serve every
+	// defined FD's measures. The leader keeps running; nothing is rebuilt.
+	runtime.GC()
+	start := time.Now()
+	f, err := evolvefd.OpenFollower(dataDir, evolvefd.FollowerOptions{ID: "bench"})
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	if _, err := f.CatchUp(); err != nil {
+		return res, err
+	}
+	fCover, err := f.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	if err != nil {
+		return res, err
+	}
+	fMeasures, err := followerMeasures(f)
+	if err != nil {
+		return res, err
+	}
+	res.CatchUp = time.Since(start)
+	res.CoverSize = len(fCover)
+
+	// Phase 1b — CSV rebuild: the same advisor-ready state with no durable
+	// state and no leader, re-interning every value and re-searching the
+	// lattice. Writing the source file is untimed: it stands in for the
+	// original data file a real deployment already has.
+	csvPath := filepath.Join(dir, "source.csv")
+	if err := writeRecoveryCSV(csvPath, s.Relation()); err != nil {
+		return res, err
+	}
+	runtime.GC()
+	start = time.Now()
+	reb, err := relation.ReadCSVFile(csvPath, relation.CSVOptions{})
+	if err != nil {
+		return res, err
+	}
+	rb := evolvefd.NewSession(reb)
+	for i, spec := range fdSpecs {
+		if err := rb.Define(labels[i], spec); err != nil {
+			return res, err
+		}
+	}
+	rbCover, err := rb.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	if err != nil {
+		return res, err
+	}
+	rbMeasures, err := sessionMeasures(rb)
+	if err != nil {
+		return res, err
+	}
+	res.Rebuild = time.Since(start)
+	if res.CatchUp > 0 {
+		res.Speedup = float64(res.Rebuild) / float64(res.CatchUp)
+	}
+
+	// Phase 1 differential (untimed): follower vs rebuild vs live leader.
+	lCover, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	if err != nil {
+		return res, err
+	}
+	lMeasures, err := sessionMeasures(s)
+	if err != nil {
+		return res, err
+	}
+	for i, label := range labels {
+		if fMeasures[i] != lMeasures[i] || fMeasures[i] != rbMeasures[i] {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"%s: measures %+v follower, %+v leader, %+v rebuilt",
+				label, fMeasures[i], lMeasures[i], rbMeasures[i]))
+		}
+	}
+	if !reflect.DeepEqual(fCover, lCover) || !reflect.DeepEqual(fCover, rbCover) {
+		res.Mismatches = append(res.Mismatches,
+			"minimal cover diverged between follower, leader and rebuild")
+	}
+
+	// Phase 2 — steady state: stream DML through the leader in batches with
+	// a compaction in the middle (epoch switchover mid-tail), catching the
+	// follower up after each batch.
+	const batches = 10
+	var totalCatchUp time.Duration
+	for b := 0; b < batches; b++ {
+		if b == batches/2 {
+			s.Compact()
+		}
+		for i := 0; i < streamOps/batches; i++ {
+			if err := mutate(); err != nil {
+				return res, err
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return res, err
+		}
+		if lag := f.Stats().ByteLag; lag > res.MaxLagBytes {
+			res.MaxLagBytes = lag
+		}
+		start = time.Now()
+		if _, err := f.CatchUp(); err != nil {
+			return res, err
+		}
+		totalCatchUp += time.Since(start)
+		res.SteadyBatches++
+	}
+	res.AvgCatchUp = totalCatchUp / batches
+	res.LiveRows = s.LiveRows()
+
+	// Final differential: after the stream (and the epoch switchover) the
+	// follower still answers identically to the leader — measures, cover,
+	// and the ranked repairs of the violated FD.
+	fMeasures, err = followerMeasures(f)
+	if err != nil {
+		return res, err
+	}
+	lMeasures, err = sessionMeasures(s)
+	if err != nil {
+		return res, err
+	}
+	for i, label := range labels {
+		if fMeasures[i] != lMeasures[i] {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"steady state %s: measures %+v follower, %+v leader", label, fMeasures[i], lMeasures[i]))
+		}
+	}
+	fCover, err1 := f.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	lCover, err2 := s.DiscoverIncremental(evolvefd.DiscoveryOptions{MaxLHS: maxLHS})
+	if err1 != nil || err2 != nil {
+		return res, fmt.Errorf("steady-state discover: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(fCover, lCover) {
+		res.Mismatches = append(res.Mismatches, "steady state: minimal cover diverged")
+	}
+	fRepair, err1 := f.Repair(labels[1], evolvefd.DefaultOptions())
+	lRepair, err2 := s.Repair(labels[1], evolvefd.DefaultOptions())
+	if err1 != nil || err2 != nil {
+		return res, fmt.Errorf("repair differential: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(fRepair, lRepair) {
+		res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+			"steady state: repair of %s diverged", labels[1]))
+	}
+	st := f.Stats()
+	res.Resyncs, res.Quarantines = st.Resyncs, st.Quarantines
+	if f.Epoch() != s.Epoch() {
+		res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+			"epoch diverged: follower %d, leader %d", f.Epoch(), s.Epoch()))
+	}
+	return res, nil
+}
+
+// renderReplication writes the experiment's report table and shape notes.
+func renderReplication(res ReplicationResult, w io.Writer) error {
+	tab := texttable.New(
+		"fresh-follower catch-up vs CSV rebuild",
+		"dataset", "rows", "tail ops", "cover", "snapshot", "log",
+		"catch-up", "rebuild", "speedup",
+	).AlignRight(1, 2, 4, 5, 8)
+	tab.Add(res.Dataset,
+		fmt.Sprintf("%d", res.Rows),
+		fmt.Sprintf("%d", res.TailOps),
+		fmt.Sprintf("%d FDs", res.CoverSize),
+		fmt.Sprintf("%d B", res.SnapshotBytes),
+		fmt.Sprintf("%d B", res.LogBytes),
+		fmtDuration(res.CatchUp),
+		fmtDuration(res.Rebuild),
+		fmt.Sprintf("%.1f×", res.Speedup))
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	steady := texttable.New(
+		"steady-state tail under DML (leader compacts mid-stream)",
+		"stream ops", "batches", "max lag", "avg catch-up", "resyncs", "quarantines",
+	).AlignRight(0, 1, 2, 4, 5)
+	steady.Add(
+		fmt.Sprintf("%d", res.StreamOps),
+		fmt.Sprintf("%d", res.SteadyBatches),
+		fmt.Sprintf("%d B", res.MaxLagBytes),
+		fmtDuration(res.AvgCatchUp),
+		fmt.Sprintf("%d", res.Resyncs),
+		fmt.Sprintf("%d", res.Quarantines))
+	if _, err := io.WriteString(w, steady.Render()); err != nil {
+		return err
+	}
+	for _, m := range res.Mismatches {
+		fmt.Fprintln(w, "REPLICA MISMATCH:", m)
+	}
+	_, err := fmt.Fprintln(w, `shape check: the fresh follower decodes the leader's newest snapshot and
+replays only the post-checkpoint log tail, while the rebuild re-interns
+every value and re-searches the whole lattice; steady-state catch-up folds
+each DML batch incrementally, and the mid-stream compaction walks the
+follower across the epoch switchover without a resync. The differential
+lines must list no mismatches.`)
+	return err
+}
+
+// runReplication renders the experiment at the configured scale.
+func runReplication(cfg Config, w io.Writer) error {
+	rows, tail, stream := replicationParams(cfg)
+	res, err := RunReplication(cfg, rows, tail, stream)
+	if err != nil {
+		return err
+	}
+	return renderReplication(res, w)
+}

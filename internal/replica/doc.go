@@ -1,0 +1,33 @@
+// Package replica is the read-replication substrate of evolvefd: the
+// machinery a follower session uses to consume a leader's write-ahead log
+// directory and stay convergent with it.
+//
+// The leader's directory (see internal/wal) is a chain of generations: each
+// snapshot seq pairs with log seq holding the records after it, and every
+// finished log ends in a seal marker (OpCompact when a compaction rotated
+// the generation, OpCheckpoint when the log merely grew past its size
+// bound). The Tailer walks that chain — decode records in order, cross a
+// generation boundary only after consuming its seal marker — which is what
+// makes replay deterministic: the follower applies exactly the op sequence
+// the leader applied, including the logical compactions, so row ids, epochs
+// and discovery borders line up bit for bit.
+//
+// The tailer's contract with its owner is a three-way classification of why
+// progress can stall, because a follower must react differently to each:
+//
+//   - a short record at the tail with no newer state on disk is an append
+//     still in flight — wait and poll again;
+//   - a complete-but-invalid record (impossible length, failed checksum,
+//     undecodable payload) is corruption — it will never heal, so the owner
+//     quarantines the segment and resyncs from a snapshot past it;
+//   - a missing or abandoned segment with newer state on disk means the
+//     follower fell behind retention — resync from the newest valid
+//     snapshot.
+//
+// Everything here is read-only with respect to the leader's files; the only
+// thing a follower writes into the leader's directory is its pin file (see
+// wal.WritePin), which retention honours so a live follower's tail is not
+// pruned from under it. The facade that owns a Tailer — OpenFollower in the
+// root package — adds bootstrap-from-snapshot, bounded retry with backoff
+// for transient read errors, and the quarantine/resync/degrade policy.
+package replica

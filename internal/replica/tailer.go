@@ -1,0 +1,203 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/evolvefd/evolvefd/internal/wal"
+)
+
+// ErrFellBehind means the segment the tailer needs is gone or abandoned:
+// retention pruned it, or the leader moved to a newer generation without the
+// tailed segment's seal marker ever completing. Either way the op stream has
+// a hole the tailer cannot cross — the caller must resync from the newest
+// valid snapshot instead of waiting.
+var ErrFellBehind = errors.New("replica: fell behind the leader's retained log")
+
+// CorruptError means the tailed segment holds a complete record that cannot
+// be right: an impossible length, a failed checksum over fully-present
+// bytes, or a checksum-valid payload that does not decode. Unlike a short
+// tail it will never heal by waiting; the caller should quarantine the
+// segment and resync past it.
+type CorruptError struct {
+	// Seq is the corrupt segment; Offset the byte where the damage starts.
+	Seq    uint64
+	Offset int64
+	// Err carries the decode failure when the record's checksum passed but
+	// its payload did not parse; nil for framing-level corruption.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("replica: corrupt record in segment %d at offset %d: %v", e.Seq, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("replica: corrupt record in segment %d at offset %d", e.Seq, e.Offset)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Tailer consumes a leader's write-ahead log segments in order, decoding
+// each record exactly once and advancing across generation boundaries only
+// when it has consumed the seal marker (OpCompact or OpCheckpoint) that
+// finishes a segment. It distinguishes the three ways a segment can refuse
+// to yield a record — still being written (wait), corrupt (quarantine),
+// pruned or abandoned (resync) — because a follower must react differently
+// to each.
+//
+// A Tailer never writes to the leader's directory. It is not safe for
+// concurrent use; the owning follower serialises access.
+type Tailer struct {
+	fs  wal.FS
+	dir string
+	// seq is the segment being tailed; off the bytes of it consumed so far
+	// (always a record boundary).
+	seq uint64
+	off int64
+
+	records uint64
+	bytes   int64
+}
+
+// NewTailer positions a tailer at the start of segment seq under the
+// leader's dir. fsys nil means the real filesystem.
+func NewTailer(fsys wal.FS, dir string, seq uint64) *Tailer {
+	return &Tailer{fs: wal.OrOS(fsys), dir: dir, seq: seq}
+}
+
+// Pos returns the segment being tailed and the bytes of it consumed.
+func (t *Tailer) Pos() (seq uint64, off int64) { return t.seq, t.off }
+
+// Consumed returns the lifetime records and bytes this tailer has decoded,
+// across resyncs.
+func (t *Tailer) Consumed() (records uint64, bytes int64) { return t.records, t.bytes }
+
+// Reset repositions the tailer at the start of segment seq — the resync
+// entry point after ErrFellBehind or a quarantine. Lifetime counters keep
+// counting.
+func (t *Tailer) Reset(seq uint64) {
+	t.seq, t.off = seq, 0
+}
+
+// Poll consumes up to max decoded ops (max ≤ 0 means no limit) from the
+// tail position. A short return with a nil error means the tailer is caught
+// up to the leader's flushed head, or stopped at a generation boundary —
+// call Poll again to continue. Errors classify the ways forward progress
+// can stall: ErrFellBehind and *CorruptError demand a resync, anything else
+// is an I/O error worth retrying.
+func (t *Tailer) Poll(max int) ([]wal.Op, error) {
+	data, err := t.fs.ReadFile(wal.LogPath(t.dir, t.seq))
+	if err != nil {
+		if !wal.IsNotExist(err) {
+			return nil, err
+		}
+		// No such segment. If newer state exists the segment was pruned from
+		// under us (or we resynced onto a snapshot whose log is gone);
+		// otherwise the leader crashed between snapshot and log creation and
+		// the segment will appear — wait.
+		newer, lerr := t.newerState()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if newer {
+			return nil, ErrFellBehind
+		}
+		return nil, nil
+	}
+	if int64(len(data)) < t.off {
+		// The segment shrank below a boundary we already consumed: it was
+		// rewritten under us, and what we replayed from it may be fiction.
+		return nil, ErrFellBehind
+	}
+	var ops []wal.Op
+	for max <= 0 || len(ops) < max {
+		rest := data[t.off:]
+		payload, n, ok := wal.NextRecord(rest)
+		if !ok {
+			if len(rest) == 0 {
+				return ops, nil // caught up, segment still open
+			}
+			if wal.CorruptTail(rest) {
+				return ops, &CorruptError{Seq: t.seq, Offset: t.off}
+			}
+			// A short record: an append still in flight, unless the leader
+			// already moved on — then this segment's seal marker never made it
+			// and the tail will never complete.
+			newer, lerr := t.newerState()
+			if lerr != nil {
+				return ops, lerr
+			}
+			if newer {
+				return ops, ErrFellBehind
+			}
+			return ops, nil
+		}
+		op, derr := wal.DecodeOp(payload)
+		if derr != nil {
+			// The checksum passed but the payload is not a valid op: the
+			// record was corrupt before it was framed. Same remedy as framing
+			// corruption.
+			return ops, &CorruptError{Seq: t.seq, Offset: t.off, Err: derr}
+		}
+		t.off += int64(n)
+		t.records++
+		t.bytes += int64(n)
+		ops = append(ops, op)
+		if op.Kind == wal.OpCompact || op.Kind == wal.OpCheckpoint {
+			// Seal marker: the generation is finished and the next segment
+			// carries on. Stop here so the caller replays the marker (a
+			// logical compaction) before any ops from the next generation.
+			t.seq++
+			t.off = 0
+			return ops, nil
+		}
+	}
+	return ops, nil
+}
+
+// Lag measures the distance to the leader's durable head: how many
+// generations ahead the newest on-disk state is, and roughly how many log
+// bytes remain unconsumed. It is a read of leader-owned files, so it can
+// race a rotation; the numbers are telemetry, not invariants.
+func (t *Tailer) Lag() (segments uint64, bytes int64, err error) {
+	snaps, logs, err := wal.ListStatesFS(t.fs, t.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	head := t.seq
+	if n := len(snaps); n > 0 && snaps[n-1] > head {
+		head = snaps[n-1]
+	}
+	if n := len(logs); n > 0 && logs[n-1] > head {
+		head = logs[n-1]
+	}
+	for seq := t.seq; seq <= head; seq++ {
+		size, serr := t.fs.Size(wal.LogPath(t.dir, seq))
+		if serr != nil {
+			continue
+		}
+		if seq == t.seq {
+			size -= t.off
+		}
+		if size > 0 {
+			bytes += size
+		}
+	}
+	return head - t.seq, bytes, nil
+}
+
+// newerState reports whether any snapshot or log newer than the tailed
+// segment exists on disk.
+func (t *Tailer) newerState() (bool, error) {
+	snaps, logs, err := wal.ListStatesFS(t.fs, t.dir)
+	if err != nil {
+		return false, err
+	}
+	if n := len(snaps); n > 0 && snaps[n-1] > t.seq {
+		return true, nil
+	}
+	if n := len(logs); n > 0 && logs[n-1] > t.seq {
+		return true, nil
+	}
+	return false, nil
+}

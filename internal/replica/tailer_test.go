@@ -1,0 +1,261 @@
+package replica
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/wal"
+)
+
+// writeLog materialises one log segment from framed ops, optionally sealed
+// with an OpCompact marker.
+func writeLog(t *testing.T, dir string, seq uint64, seal bool, ops ...wal.Op) {
+	t.Helper()
+	var buf []byte
+	for _, op := range ops {
+		buf = wal.AppendRecord(buf, wal.EncodeOp(nil, op))
+	}
+	if seal {
+		buf = wal.AppendRecord(buf, wal.EncodeOp(nil, wal.Op{Kind: wal.OpCompact}))
+	}
+	if err := os.WriteFile(wal.LogPath(dir, seq), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dropOp(label string) wal.Op { return wal.Op{Kind: wal.OpDrop, Label: label} }
+
+func collect(t *testing.T, tl *Tailer) []wal.Op {
+	t.Helper()
+	var all []wal.Op
+	for {
+		ops, err := tl.Poll(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) == 0 {
+			return all
+		}
+		all = append(all, ops...)
+	}
+}
+
+// TestTailerCrossesSealedSegments: the tailer consumes two sealed
+// generations and the open head in order, advancing only through seal
+// markers.
+func TestTailerCrossesSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, true, dropOp("a"), dropOp("b"))
+	writeLog(t, dir, 2, true, dropOp("c"))
+	writeLog(t, dir, 3, false, dropOp("d"))
+	tl := NewTailer(nil, dir, 1)
+	ops := collect(t, tl)
+	var labels []string
+	seals := 0
+	for _, op := range ops {
+		if op.Kind == wal.OpCompact {
+			seals++
+			continue
+		}
+		labels = append(labels, op.Label)
+	}
+	if seals != 2 || len(labels) != 4 {
+		t.Fatalf("consumed %d seals, %d ops; want 2 seals, 4 ops", seals, len(labels))
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if labels[i] != want {
+			t.Fatalf("op %d = %q, want %q (order broken)", i, labels[i], want)
+		}
+	}
+	if seq, off := tl.Pos(); seq != 3 || off == 0 {
+		t.Fatalf("pos %d/%d, want inside segment 3", seq, off)
+	}
+	records, bytes := tl.Consumed()
+	if records != 6 || bytes == 0 {
+		t.Fatalf("consumed %d records / %d bytes", records, bytes)
+	}
+}
+
+// TestTailerWaitsOnShortTail: a half-written record at the head is an
+// append in flight — no ops, no error; once the bytes complete, the record
+// flows.
+func TestTailerWaitsOnShortTail(t *testing.T) {
+	dir := t.TempDir()
+	full := wal.AppendRecord(nil, wal.EncodeOp(nil, dropOp("a")))
+	rec2 := wal.AppendRecord(nil, wal.EncodeOp(nil, dropOp("b")))
+	path := wal.LogPath(dir, 1)
+	if err := os.WriteFile(path, append(append([]byte{}, full...), rec2[:len(rec2)-3]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(nil, dir, 1)
+	ops, err := tl.Poll(0)
+	if err != nil || len(ops) != 1 {
+		t.Fatalf("first poll: %d ops, %v; want 1, nil", len(ops), err)
+	}
+	if ops, err := tl.Poll(0); err != nil || len(ops) != 0 {
+		t.Fatalf("short tail: %d ops, %v; want wait", len(ops), err)
+	}
+	// The in-flight append completes.
+	if err := os.WriteFile(path, append(append([]byte{}, full...), rec2...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops, err = tl.Poll(0)
+	if err != nil || len(ops) != 1 || ops[0].Label != "b" {
+		t.Fatalf("after completion: %+v, %v", ops, err)
+	}
+}
+
+// TestTailerMissingSegment: a missing segment with nothing newer means the
+// leader hasn't created it yet (wait); with newer state on disk it was
+// pruned (resync).
+func TestTailerMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	tl := NewTailer(nil, dir, 1)
+	if ops, err := tl.Poll(0); err != nil || len(ops) != 0 {
+		t.Fatalf("empty dir: %d ops, %v; want wait", len(ops), err)
+	}
+	// Newer state appears without our segment: we fell behind retention.
+	writeLog(t, dir, 5, false, dropOp("z"))
+	if _, err := tl.Poll(0); !errors.Is(err, ErrFellBehind) {
+		t.Fatalf("pruned segment: %v, want ErrFellBehind", err)
+	}
+}
+
+// TestTailerAbandonedSegment: a segment whose seal marker never completed,
+// with the leader already on a newer generation, can never be finished —
+// the complete records flow, then ErrFellBehind.
+func TestTailerAbandonedSegment(t *testing.T) {
+	dir := t.TempDir()
+	rec := wal.AppendRecord(nil, wal.EncodeOp(nil, dropOp("a")))
+	torn := wal.AppendRecord(nil, wal.EncodeOp(nil, wal.Op{Kind: wal.OpCompact}))
+	if err := os.WriteFile(wal.LogPath(dir, 1), append(append([]byte{}, rec...), torn[:len(torn)-2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal.SnapshotPath(dir, 2), []byte("placeholder"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(nil, dir, 1)
+	ops, err := tl.Poll(0)
+	if !errors.Is(err, ErrFellBehind) {
+		t.Fatalf("abandoned segment: %v, want ErrFellBehind", err)
+	}
+	if len(ops) != 1 || ops[0].Label != "a" {
+		t.Fatalf("complete prefix not delivered: %+v", ops)
+	}
+}
+
+// TestTailerCorruption: framing damage and undecodable payloads both
+// surface as *CorruptError with the damage position.
+func TestTailerCorruption(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, false, dropOp("a"), dropOp("b"))
+	data, err := os.ReadFile(wal.LogPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := len(data) / 2
+	data[boundary+9] ^= 0x40 // payload bit of the second record
+	if err := os.WriteFile(wal.LogPath(dir, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(nil, dir, 1)
+	ops, err := tl.Poll(0)
+	var cerr *CorruptError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("bit flip: %v, want *CorruptError", err)
+	}
+	if cerr.Seq != 1 || cerr.Offset != int64(boundary) {
+		t.Fatalf("damage located at %d/%d, want 1/%d", cerr.Seq, cerr.Offset, boundary)
+	}
+	if len(ops) != 1 || ops[0].Label != "a" {
+		t.Fatalf("prefix before damage: %+v", ops)
+	}
+
+	// A checksum-valid record whose payload is garbage is equally corrupt.
+	dir2 := t.TempDir()
+	buf := wal.AppendRecord(nil, wal.EncodeOp(nil, dropOp("a")))
+	buf = wal.AppendRecord(buf, []byte{0xEE, 0x01, 0x02}) // unknown op kind, valid CRC
+	if err := os.WriteFile(wal.LogPath(dir2, 1), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl2 := NewTailer(nil, dir2, 1)
+	_, err = tl2.Poll(0)
+	if !errors.As(err, &cerr) || cerr.Err == nil {
+		t.Fatalf("undecodable payload: %v, want *CorruptError carrying the decode failure", err)
+	}
+}
+
+// TestTailerShrunkSegment: a segment that shrank below a consumed boundary
+// was rewritten under us — resync, don't guess.
+func TestTailerShrunkSegment(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, false, dropOp("a"), dropOp("b"))
+	tl := NewTailer(nil, dir, 1)
+	if ops, err := tl.Poll(0); err != nil || len(ops) != 2 {
+		t.Fatalf("initial consume: %d ops, %v", len(ops), err)
+	}
+	writeLog(t, dir, 1, false, dropOp("a"))
+	if _, err := tl.Poll(0); !errors.Is(err, ErrFellBehind) {
+		t.Fatalf("shrunk segment: %v, want ErrFellBehind", err)
+	}
+}
+
+// TestTailerMaxOps: the batch bound caps one poll without losing position.
+func TestTailerMaxOps(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, false, dropOp("a"), dropOp("b"), dropOp("c"))
+	tl := NewTailer(nil, dir, 1)
+	ops, err := tl.Poll(2)
+	if err != nil || len(ops) != 2 {
+		t.Fatalf("bounded poll: %d ops, %v", len(ops), err)
+	}
+	ops, err = tl.Poll(2)
+	if err != nil || len(ops) != 1 || ops[0].Label != "c" {
+		t.Fatalf("continuation: %+v, %v", ops, err)
+	}
+}
+
+// TestTailerLagAndReset: lag counts the generations and bytes between the
+// tail position and the leader's head; Reset repositions for a resync.
+func TestTailerLagAndReset(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, true, dropOp("a"))
+	writeLog(t, dir, 2, true, dropOp("b"))
+	writeLog(t, dir, 3, false, dropOp("c"))
+	tl := NewTailer(nil, dir, 1)
+	segs, bytes, err := tl.Lag()
+	if err != nil || segs != 2 || bytes == 0 {
+		t.Fatalf("cold lag: %d segments, %d bytes, %v", segs, bytes, err)
+	}
+	collect(t, tl)
+	segs, bytes, err = tl.Lag()
+	if err != nil || segs != 0 || bytes != 0 {
+		t.Fatalf("caught-up lag: %d segments, %d bytes, %v", segs, bytes, err)
+	}
+	tl.Reset(3)
+	if seq, off := tl.Pos(); seq != 3 || off != 0 {
+		t.Fatalf("reset landed at %d/%d", seq, off)
+	}
+	if ops, err := tl.Poll(0); err != nil || len(ops) != 1 {
+		t.Fatalf("poll after reset: %d ops, %v", len(ops), err)
+	}
+}
+
+// TestTailerRetryableReadError: plain I/O errors pass through unclassified,
+// and the same poll succeeds once the fault clears.
+func TestTailerRetryableReadError(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 1, false, dropOp("a"))
+	efs := wal.NewErrFS(nil)
+	flaky := errors.New("simulated transient read error")
+	efs.FailReads(filepath.Base(wal.LogPath(dir, 1)), 1, flaky)
+	tl := NewTailer(efs, dir, 1)
+	if _, err := tl.Poll(0); !errors.Is(err, flaky) {
+		t.Fatalf("transient error: %v, want %v", err, flaky)
+	}
+	if ops, err := tl.Poll(0); err != nil || len(ops) != 1 {
+		t.Fatalf("after fault cleared: %d ops, %v", len(ops), err)
+	}
+}

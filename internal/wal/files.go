@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -11,12 +10,15 @@ import (
 
 // File naming: snapshot seq S lives in snap-<S>.snap, and the records after
 // it in wal-<S>.log. Sequence numbers are zero-padded so lexical order is
-// numeric order.
+// numeric order. Followers register the oldest sequence they still need in
+// pin-<id>.pin files, which retention honours and ListStates ignores.
 const (
 	snapPrefix = "snap-"
 	snapSuffix = ".snap"
 	logPrefix  = "wal-"
 	logSuffix  = ".log"
+	pinPrefix  = "pin-"
+	pinSuffix  = ".pin"
 )
 
 // SnapshotPath returns the path of snapshot seq under dir.
@@ -29,20 +31,28 @@ func LogPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", logPrefix, seq, logSuffix))
 }
 
+// PinPath returns the path of follower id's pin file under dir.
+func PinPath(dir, id string) string {
+	return filepath.Join(dir, pinPrefix+id+pinSuffix)
+}
+
 // ListStates scans dir and returns the snapshot and log sequence numbers
-// present, each sorted ascending. Unrelated files are ignored.
+// present, each sorted ascending. Unrelated files (pins included) are
+// ignored.
 func ListStates(dir string) (snaps, logs []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+	return ListStatesFS(nil, dir)
+}
+
+// ListStatesFS is ListStates over an injectable filesystem.
+func ListStatesFS(fsys FS, dir string) (snaps, logs []uint64, err error) {
+	names, err := orFS(fsys).ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok {
+	for _, name := range names {
+		if seq, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
 			snaps = append(snaps, seq)
-		} else if seq, ok := parseSeq(e.Name(), logPrefix, logSuffix); ok {
+		} else if seq, ok := parseSeq(name, logPrefix, logSuffix); ok {
 			logs = append(logs, seq)
 		}
 	}
@@ -62,39 +72,95 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return seq, true
 }
 
+// WritePin records that follower id still needs snapshot/log sequences ≥ seq,
+// lowering the leader's retention floor until the pin moves or disappears. A
+// pin is advisory liveness state, not durable state — it is rewritten on
+// every follower sync — so it skips the fsync a snapshot would pay.
+func WritePin(fsys FS, dir, id string, seq uint64) error {
+	return WriteFileAtomicFS(fsys, PinPath(dir, id), []byte(strconv.FormatUint(seq, 10)), false)
+}
+
+// RemovePin drops follower id's pin. Missing pins are not an error.
+func RemovePin(fsys FS, dir, id string) error {
+	if err := orFS(fsys).Remove(PinPath(dir, id)); err != nil && !IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// MinPinned returns the lowest sequence any pin file in dir still needs, and
+// whether one exists. Unparsable pins are ignored rather than wedging
+// retention forever.
+func MinPinned(fsys FS, dir string) (uint64, bool) {
+	f := orFS(fsys)
+	names, err := f.ReadDir(dir)
+	if err != nil {
+		return 0, false
+	}
+	min, found := uint64(0), false
+	for _, name := range names {
+		if !strings.HasPrefix(name, pinPrefix) || !strings.HasSuffix(name, pinSuffix) {
+			continue
+		}
+		data, err := f.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+		if err != nil {
+			continue
+		}
+		if !found || seq < min {
+			min, found = seq, true
+		}
+	}
+	return min, found
+}
+
 // Prune removes every snapshot and log file whose sequence is below keep.
 // Removal failures are ignored — stale generations are garbage, not state.
 func Prune(dir string, keep uint64) {
-	snaps, logs, err := ListStates(dir)
+	PruneFS(nil, dir, keep)
+}
+
+// PruneFS is Prune over an injectable filesystem.
+func PruneFS(fsys FS, dir string, keep uint64) {
+	f := orFS(fsys)
+	snaps, logs, err := ListStatesFS(f, dir)
 	if err != nil {
 		return
 	}
 	for _, seq := range snaps {
 		if seq < keep {
-			os.Remove(SnapshotPath(dir, seq))
+			f.Remove(SnapshotPath(dir, seq))
 		}
 	}
 	for _, seq := range logs {
 		if seq < keep {
-			os.Remove(LogPath(dir, seq))
+			f.Remove(LogPath(dir, seq))
 		}
 	}
 }
 
 // WriteFileAtomic writes data to path via a temp file in the same directory
-// and an os.Rename, so path either holds the old content or all of the new
-// one — never a prefix. With fsync, the file is synced before the rename and
-// the directory after it, making the swap durable, not just atomic.
+// and a rename, so path either holds the old content or all of the new one —
+// never a prefix. With fsync, the file is synced before the rename and the
+// directory after it, making the swap durable, not just atomic.
 func WriteFileAtomic(path string, data []byte, fsync bool) error {
+	return WriteFileAtomicFS(nil, path, data, fsync)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an injectable filesystem.
+func WriteFileAtomicFS(fsys FS, path string, data []byte, fsync bool) error {
+	f := orFS(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, tmpName, err := f.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	tmpName := tmp.Name()
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		f.Remove(tmpName)
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -108,15 +174,12 @@ func WriteFileAtomic(path string, data []byte, fsync bool) error {
 	if err := tmp.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := f.Rename(tmpName, path); err != nil {
+		f.Remove(tmpName)
 		return err
 	}
 	if fsync {
-		if d, err := os.Open(dir); err == nil {
-			d.Sync()
-			d.Close()
-		}
+		f.SyncDir(dir)
 	}
 	return nil
 }

@@ -81,7 +81,37 @@ const (
 	// re-runs the compaction — which is what keeps replay continuous across
 	// snapshot generations.
 	OpCompact byte = 9
+	// OpCheckpoint seals a log generation without a compaction: the session
+	// rotated because the log grew past its size bound, not because storage
+	// changed. Replay treats it as a no-op; a tailing follower treats it (like
+	// OpCompact) as the seal marker that licenses advancing to the next
+	// segment.
+	OpCheckpoint byte = 10
 )
+
+// SealOp reports whether payload encodes a segment seal marker (OpCompact or
+// OpCheckpoint) — the last record of every finished log generation. Callers
+// peek this without a full decode while deciding whether a segment is sealed.
+func SealOp(payload []byte) bool {
+	return len(payload) > 0 && (payload[0] == OpCompact || payload[0] == OpCheckpoint)
+}
+
+// CorruptTail classifies the invalid bytes that end a record scan: true
+// means a complete-but-invalid record is present (an impossible length or a
+// failed checksum over fully-present payload bytes — bit corruption), false
+// means the record is merely short (a torn tail, or a write still in
+// flight). Recovery treats both the same — the log ends — but a live tailer
+// must not: a short tail may still complete, a corrupt one never will.
+func CorruptTail(data []byte) bool {
+	if len(data) < recordHeader {
+		return false
+	}
+	l := binary.LittleEndian.Uint32(data)
+	if l > maxRecordLen {
+		return true
+	}
+	return int(l) <= len(data)-recordHeader
+}
 
 // Op is one logged session mutation. Kind selects which of the remaining
 // fields carry the operation's arguments.
@@ -140,7 +170,7 @@ func EncodeOp(buf []byte, op Op) []byte {
 		}
 	case OpDrop:
 		buf = appendString(buf, op.Label)
-	case OpCompact:
+	case OpCompact, OpCheckpoint:
 	}
 	return buf
 }
@@ -185,7 +215,7 @@ func DecodeOp(payload []byte) (Op, error) {
 		}
 	case OpDrop:
 		op.Label = r.str()
-	case OpCompact:
+	case OpCompact, OpCheckpoint:
 	default:
 		return Op{}, fmt.Errorf("wal: unknown op kind %d", op.Kind)
 	}

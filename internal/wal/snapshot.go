@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 
 	"github.com/evolvefd/evolvefd/internal/discovery"
 	"github.com/evolvefd/evolvefd/internal/pli"
@@ -321,12 +320,22 @@ func (r *reader) ints(what string) []int {
 // WriteSnapshot encodes snap and writes it to its sequence-numbered path
 // under dir, atomically and (unless noFsync) durably.
 func WriteSnapshot(dir string, snap *Snapshot, noFsync bool) error {
-	return WriteFileAtomic(SnapshotPath(dir, snap.Seq), EncodeSnapshot(snap), !noFsync)
+	return WriteSnapshotFS(nil, dir, snap, noFsync)
+}
+
+// WriteSnapshotFS is WriteSnapshot over an injectable filesystem.
+func WriteSnapshotFS(fsys FS, dir string, snap *Snapshot, noFsync bool) error {
+	return WriteFileAtomicFS(fsys, SnapshotPath(dir, snap.Seq), EncodeSnapshot(snap), !noFsync)
 }
 
 // ReadSnapshot loads and decodes snapshot seq from dir.
 func ReadSnapshot(dir string, seq uint64) (*Snapshot, error) {
-	data, err := os.ReadFile(SnapshotPath(dir, seq))
+	return ReadSnapshotFS(nil, dir, seq)
+}
+
+// ReadSnapshotFS is ReadSnapshot over an injectable filesystem.
+func ReadSnapshotFS(fsys FS, dir string, seq uint64) (*Snapshot, error) {
+	data, err := orFS(fsys).ReadFile(SnapshotPath(dir, seq))
 	if err != nil {
 		return nil, err
 	}
@@ -338,4 +347,20 @@ func ReadSnapshot(dir string, seq uint64) (*Snapshot, error) {
 		return nil, fmt.Errorf("wal: snapshot file %d holds seq %d", seq, snap.Seq)
 	}
 	return snap, nil
+}
+
+// VerifySnapshot is the cheap integrity check — magic plus trailing CRC,
+// no structural decode — that gates retention: a snapshot the leader cannot
+// read back clean must not become the newest generation older state is
+// pruned against.
+func VerifySnapshot(fsys FS, dir string, seq uint64) bool {
+	data, err := orFS(fsys).ReadFile(SnapshotPath(dir, seq))
+	if err != nil || len(data) < len(snapMagic)+1+4 {
+		return false
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return false
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	return crc32.ChecksumIEEE(body) == binary.LittleEndian.Uint32(tail)
 }

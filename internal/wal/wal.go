@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 )
 
 // Log is an append-only record log with group commit: records accumulate in
@@ -11,15 +10,23 @@ import (
 // unflushed suffix; it never exposes a half-written record to recovery,
 // because recovery stops at the first record whose checksum fails.
 //
+// A failed write or fsync makes the log sticky-failed: the pages the kernel
+// dropped (or never accepted) are unknowable, so retrying over them could
+// silently reorder or lose records. Every later Append and Flush returns the
+// original error; the owning session rotates to a fresh log generation (via
+// a checkpoint) to make durability whole again.
+//
 // A Log is not safe for concurrent use; the owning session serialises
 // mutations already.
 type Log struct {
-	f       *os.File
+	f       File
 	path    string
 	buf     []byte
 	pending int
 	group   int
 	noFsync bool
+	written int64
+	err     error
 }
 
 // Create creates a fresh log file at path (which must not exist — log
@@ -27,7 +34,12 @@ type Log struct {
 // flushed synchronously; noFsync skips the fsync for tests and benchmarks
 // that measure everything but the disk.
 func Create(path string, groupCommit int, noFsync bool) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	return CreateFS(nil, path, groupCommit, noFsync)
+}
+
+// CreateFS is Create over an injectable filesystem (nil means the real one).
+func CreateFS(fsys FS, path string, groupCommit int, noFsync bool) (*Log, error) {
+	f, err := orFS(fsys).Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -39,14 +51,19 @@ func Create(path string, groupCommit int, noFsync bool) (*Log, error) {
 // have truncated any torn tail first (TruncateTorn), or the appended records
 // would hide behind it forever.
 func OpenAppend(path string, groupCommit int, noFsync bool) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenAppendFS(nil, path, groupCommit, noFsync)
+}
+
+// OpenAppendFS is OpenAppend over an injectable filesystem.
+func OpenAppendFS(fsys FS, path string, groupCommit int, noFsync bool) (*Log, error) {
+	f, err := orFS(fsys).OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}
 	return newLog(f, path, groupCommit, noFsync), nil
 }
 
-func newLog(f *os.File, path string, groupCommit int, noFsync bool) *Log {
+func newLog(f File, path string, groupCommit int, noFsync bool) *Log {
 	if groupCommit < 1 {
 		groupCommit = 1
 	}
@@ -56,12 +73,24 @@ func newLog(f *os.File, path string, groupCommit int, noFsync bool) *Log {
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
+// Written returns the bytes appended to this log generation, buffered
+// records included — the size the file will have once flushed, used by the
+// owning session's size-based rotation policy.
+func (l *Log) Written() int64 { return l.written }
+
+// Err returns the sticky failure, if any.
+func (l *Log) Err() error { return l.err }
+
 // Append frames payload as one record and buffers it, flushing when the
 // group-commit quota is reached. An error means the record's durability is
-// unknown; the owning session must stop logging (a gap would corrupt replay)
-// and surface the error.
+// unknown and the log is sticky-failed from here on.
 func (l *Log) Append(payload []byte) error {
+	if l.err != nil {
+		return l.err
+	}
+	before := len(l.buf)
 	l.buf = AppendRecord(l.buf, payload)
+	l.written += int64(len(l.buf) - before)
 	l.pending++
 	if l.pending >= l.group {
 		return l.Flush()
@@ -70,13 +99,18 @@ func (l *Log) Append(payload []byte) error {
 }
 
 // Flush writes and fsyncs every buffered record. A no-op when nothing is
-// pending.
+// pending; returns the sticky failure once one occurred, so a crash-window
+// Close after a failed group commit cannot masquerade as success.
 func (l *Log) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
 	if l.pending == 0 {
 		return nil
 	}
 	if _, err := l.f.Write(l.buf); err != nil {
-		return fmt.Errorf("wal: write %s: %w", l.path, err)
+		l.err = fmt.Errorf("wal: write %s: %w", l.path, err)
+		return l.err
 	}
 	l.buf = l.buf[:0]
 	l.pending = 0
@@ -84,7 +118,10 @@ func (l *Log) Flush() error {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+		// The kernel may have dropped the dirty pages it failed to sync; a
+		// silent retry would report durability the disk never provided.
+		l.err = fmt.Errorf("wal: fsync %s: %w", l.path, err)
+		return l.err
 	}
 	return nil
 }
@@ -104,7 +141,12 @@ func (l *Log) Close() error {
 // corrupt tail is not an error — valid simply stops short of the file size;
 // only I/O failures are.
 func ReadLog(path string) (payloads [][]byte, valid int64, size int64, err error) {
-	data, err := os.ReadFile(path)
+	return ReadLogFS(nil, path)
+}
+
+// ReadLogFS is ReadLog over an injectable filesystem.
+func ReadLogFS(fsys FS, path string) (payloads [][]byte, valid int64, size int64, err error) {
+	data, err := orFS(fsys).ReadFile(path)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -115,5 +157,10 @@ func ReadLog(path string) (payloads [][]byte, valid int64, size int64, err error
 // TruncateTorn truncates the log file at path to valid bytes, discarding a
 // torn tail so appended records follow the last complete one.
 func TruncateTorn(path string, valid int64) error {
-	return os.Truncate(path, valid)
+	return TruncateTornFS(nil, path, valid)
+}
+
+// TruncateTornFS is TruncateTorn over an injectable filesystem.
+func TruncateTornFS(fsys FS, path string, valid int64) error {
+	return orFS(fsys).Truncate(path, valid)
 }

@@ -1,0 +1,525 @@
+package evolvefd_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/datasets"
+	"github.com/evolvefd/evolvefd/internal/wal"
+)
+
+// noSleep makes follower retry backoff instantaneous in tests that don't
+// inspect it.
+func noSleep(time.Duration) {}
+
+// assertReplicaDifferential compares a caught-up follower against its leader
+// on every surface the paper's designer reads: the instance, the violation
+// report, per-FD measures and repair suggestions, the discovered minimal
+// cover, and the advisor feed (called in lockstep, so the emerged/broken
+// baselines advance identically on both sides).
+func assertReplicaDifferential(t *testing.T, ctx string, f *evolvefd.Follower, leader *evolvefd.Session) {
+	t.Helper()
+	if !bytes.Equal(f.Relation().AppendBinary(nil), leader.Relation().AppendBinary(nil)) {
+		t.Fatalf("%s: follower relation is not bit-identical to the leader", ctx)
+	}
+	if f.Epoch() != leader.Epoch() || f.Generation() != leader.Generation() {
+		t.Fatalf("%s: epoch/generation %d/%d vs %d/%d", ctx, f.Epoch(), f.Generation(), leader.Epoch(), leader.Generation())
+	}
+	if !reflect.DeepEqual(f.Labels(), leader.Labels()) {
+		t.Fatalf("%s: labels %v vs %v", ctx, f.Labels(), leader.Labels())
+	}
+	if vf, vl := f.Check(), leader.Check(); !reflect.DeepEqual(vf, vl) {
+		t.Fatalf("%s: Check diverged:\nfollower %+v\n  leader %+v", ctx, vf, vl)
+	}
+	for _, label := range leader.Labels() {
+		mf, err1 := f.Measures(label)
+		ml, err2 := leader.Measures(label)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: measures %s: %v / %v", ctx, label, err1, err2)
+		}
+		if mf != ml {
+			t.Fatalf("%s: measures %s: %+v vs %+v", ctx, label, mf, ml)
+		}
+		sf, err1 := f.Repair(label, evolvefd.DefaultOptions())
+		sl, err2 := leader.Repair(label, evolvefd.DefaultOptions())
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: repair %s: %v / %v", ctx, label, err1, err2)
+		}
+		if !reflect.DeepEqual(sf, sl) {
+			t.Fatalf("%s: repair %s diverged", ctx, label)
+		}
+	}
+	cf, err1 := f.DiscoverIncremental(evolvefd.DiscoveryOptions{})
+	cl, err2 := leader.DiscoverIncremental(evolvefd.DiscoveryOptions{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s: discover: %v / %v", ctx, err1, err2)
+	}
+	if !reflect.DeepEqual(cf, cl) {
+		t.Fatalf("%s: minimal cover diverged:\nfollower %+v\n  leader %+v", ctx, cf, cl)
+	}
+	gl, err1 := leader.Suggestions()
+	gf, err2 := f.Suggestions()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s: suggestions: %v / %v", ctx, err1, err2)
+	}
+	if !reflect.DeepEqual(gf, gl) {
+		t.Fatalf("%s: suggestions diverged:\nfollower %+v\n  leader %+v", ctx, gf, gl)
+	}
+}
+
+// newKillLeader builds a durable leader over the synthetic differential
+// dataset with both FDs defined, discovery seeded, and one checkpoint taken
+// so the first snapshot already carries borders and advisor baselines.
+func newKillLeader(t *testing.T, seed int64, rows int, opts evolvefd.DurabilityOptions) (*evolvefd.Session, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Synthesize("kill", rows, seed, killSpecs), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"FA", "FB"} {
+		s.MustDefine(label, killFDs[label])
+	}
+	if _, err := s.DiscoverIncremental(evolvefd.DiscoveryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact()
+	return s, dir
+}
+
+// TestFollowerLiveDifferential is the acceptance differential: a follower
+// tails a live leader through a mixed DML stream with compactions (and
+// size-based rotations) mid-stream, and at every checkpoint answers Check,
+// Discover and Suggestions queries identically to the leader.
+func TestFollowerLiveDifferential(t *testing.T) {
+	const loaded, total, nsteps = 300, 400, 120
+	seed := int64(5)
+	rng := rand.New(rand.NewSource(seed))
+	pool := datasets.Synthesize("kill", total, seed, killSpecs)
+	// A small MaxLogBytes forces OpCheckpoint seals between the stream's own
+	// OpCompact seals, so the follower crosses both marker kinds.
+	opts := evolvefd.DurabilityOptions{GroupCommit: 1, NoFsync: true, MaxLogBytes: 2048}
+	s, dir := newKillLeader(t, seed, loaded, opts)
+	defer s.Close()
+
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	checkpoints := 0
+	checkpoint := func(i int) {
+		if i%30 != 0 || i == 0 {
+			return
+		}
+		if i == 60 {
+			s.Compact() // guarantee at least one mid-stream epoch switchover
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatalf("step %d: leader flush: %v", i, err)
+		}
+		if _, err := f.CatchUp(); err != nil {
+			t.Fatalf("step %d: catch-up: %v", i, err)
+		}
+		assertReplicaDifferential(t, fmt.Sprintf("checkpoint@%d", i), f, s)
+		checkpoints++
+	}
+	makeKillStream(t, s, rng, pool, loaded, nsteps, checkpoint)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaDifferential(t, "final", f, s)
+	if checkpoints < 3 {
+		t.Fatalf("only %d mid-stream checkpoints ran", checkpoints)
+	}
+
+	st := f.Stats()
+	if st.Records == 0 || st.Bytes == 0 {
+		t.Fatalf("stats counted nothing: %+v", st)
+	}
+	if st.SegmentLag != 0 || st.ByteLag != 0 {
+		t.Fatalf("caught-up follower reports lag: %+v", st)
+	}
+	if st.Quarantines != 0 || st.Degraded {
+		t.Fatalf("healthy run surfaced faults: %+v", st)
+	}
+	// The follower wrote nothing into the leader's directory except its pin.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		n := e.Name()
+		if !strings.HasPrefix(n, "snap-") && !strings.HasPrefix(n, "wal-") && !strings.HasPrefix(n, "pin-") {
+			t.Fatalf("unexpected file %q in leader directory", n)
+		}
+	}
+}
+
+// TestFollowerKillPointDifferential kills the follower at random replay
+// offsets (a bounded catch-up budget stands in for the kill: the follower
+// stops mid-replay at op granularity), reopens a fresh one, and verifies
+// bit-equal measures and cover against the leader — both for the rebooted
+// follower and for the interrupted one once it drains.
+func TestFollowerKillPointDifferential(t *testing.T) {
+	const loaded, total, nsteps = 300, 400, 100
+	for _, seed := range []int64{2, 13} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pool := datasets.Synthesize("kill", total, seed, killSpecs)
+			s, dir := newKillLeader(t, seed, loaded, noFsync)
+			defer s.Close()
+
+			// The interrupted follower opens before the stream (its pin holds
+			// retention), then replays in bounded bursts, "dying" at every
+			// burst boundary; each reopen-from-scratch must converge too.
+			frag, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{
+				ID: "frag", MaxOpsPerCatchUp: 7, Sleep: noSleep,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer frag.Close()
+
+			makeKillStream(t, s, rng, pool, loaded, nsteps, nil)
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			bursts := 0
+			for {
+				n, err := frag.CatchUp()
+				if err != nil {
+					t.Fatalf("burst %d: %v", bursts, err)
+				}
+				bursts++
+				if n < 7 && frag.Stats().SegmentLag == 0 && frag.Stats().ByteLag == 0 {
+					break
+				}
+				if bursts%3 == 0 {
+					// Kill and reopen at this offset: a fresh follower must
+					// reach the same answers from a cold bootstrap.
+					reborn, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{
+						ID: fmt.Sprintf("reborn-%d", bursts), Sleep: noSleep,
+					})
+					if err != nil {
+						t.Fatalf("reopen at burst %d: %v", bursts, err)
+					}
+					if _, err := reborn.CatchUp(); err != nil {
+						t.Fatalf("reborn catch-up at burst %d: %v", bursts, err)
+					}
+					if !bytes.Equal(reborn.Relation().AppendBinary(nil), s.Relation().AppendBinary(nil)) {
+						t.Fatalf("reborn follower at burst %d: relation diverged", bursts)
+					}
+					cf, err1 := reborn.DiscoverIncremental(evolvefd.DiscoveryOptions{})
+					cl, err2 := s.DiscoverIncremental(evolvefd.DiscoveryOptions{})
+					if err1 != nil || err2 != nil || !reflect.DeepEqual(cf, cl) {
+						t.Fatalf("reborn cover at burst %d diverged: %v/%v", bursts, err1, err2)
+					}
+					for _, label := range s.Labels() {
+						mf, _ := reborn.Measures(label)
+						ml, _ := s.Measures(label)
+						if mf != ml {
+							t.Fatalf("reborn measures %s at burst %d: %+v vs %+v", label, bursts, mf, ml)
+						}
+					}
+					reborn.Close()
+				}
+			}
+			if bursts < 3 {
+				t.Fatalf("stream drained in %d bursts; too short to exercise kill points", bursts)
+			}
+			// The interrupted follower itself, fully drained, matches too.
+			assertReplicaDifferential(t, "drained", frag, s)
+		})
+	}
+}
+
+// TestFollowerQuarantineAndResync injects a persistent bit flip into the
+// segment a follower is tailing: the follower must quarantine the segment,
+// keep serving its stale-but-consistent state (surfacing Degraded while no
+// newer snapshot exists), and resync to exact convergence once the leader's
+// next checkpoint publishes one.
+func TestFollowerQuarantineAndResync(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), dir, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	for i := 0; i < 8; i++ {
+		if err := s.AppendStrings(placesRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Find the boundary of the 4th record so the flip lands cleanly inside
+	// the 5th record's payload.
+	logPath := wal.LogPath(dir, 1)
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int
+	for off := 0; off < len(logBytes); {
+		_, n, ok := wal.NextRecord(logBytes[off:])
+		if !ok {
+			break
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+	if len(bounds) < 6 {
+		t.Fatalf("log holds only %d records", len(bounds))
+	}
+	efs := wal.NewErrFS(nil)
+	efs.FlipBit(filepath.Base(logPath), int64(bounds[3]+9), 0x10)
+
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{FS: efs, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	applied, err := f.CatchUp()
+	if err != nil {
+		t.Fatalf("catch-up across corruption: %v", err)
+	}
+	st := f.Stats()
+	if st.Quarantines == 0 || !st.Degraded {
+		t.Fatalf("corruption not surfaced: %+v", st)
+	}
+	if applied != 4 {
+		t.Fatalf("applied %d ops before the damage, want 4", applied)
+	}
+	// Stale but consistent: the follower serves the pre-damage prefix.
+	if got := f.LiveRows(); got >= s.LiveRows() {
+		t.Fatalf("degraded follower claims %d rows, leader has %d", got, s.LiveRows())
+	}
+	if labels := f.Labels(); len(labels) != 1 || labels[0] != "F1" {
+		t.Fatalf("degraded follower stopped serving reads: labels %v", labels)
+	}
+
+	// The leader checkpoints: a clean snapshot past the damage now exists.
+	s.Compact()
+	if err := s.AppendStrings(placesRow(9)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatalf("resync catch-up: %v", err)
+	}
+	st = f.Stats()
+	if st.Resyncs == 0 || st.Degraded {
+		t.Fatalf("resync not recorded: %+v", st)
+	}
+	if !bytes.Equal(f.Relation().AppendBinary(nil), s.Relation().AppendBinary(nil)) {
+		t.Fatal("resynced follower diverged from leader")
+	}
+}
+
+// TestFollowerTransientReadRetry: transient read faults are retried with
+// exponential backoff and counted; a fault outliving the budget surfaces as
+// an error without wedging the follower.
+func TestFollowerTransientReadRetry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), dir, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendStrings(placesRow(0)...); err != nil {
+		t.Fatal(err)
+	}
+
+	efs := wal.NewErrFS(nil)
+	flaky := errors.New("simulated transient read error")
+	logName := filepath.Base(wal.LogPath(dir, 1))
+	var sleeps []time.Duration
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{
+		FS: efs, RetryBackoff: time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	efs.FailReads(logName, 2, flaky)
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatalf("catch-up through transient faults: %v", err)
+	}
+	if want := []time.Duration{time.Millisecond, 2 * time.Millisecond}; !reflect.DeepEqual(sleeps, want) {
+		t.Fatalf("backoff sleeps %v, want %v", sleeps, want)
+	}
+	if st := f.Stats(); st.Retries != 2 {
+		t.Fatalf("retries %d, want 2", st.Retries)
+	}
+	if f.LiveRows() != s.LiveRows() {
+		t.Fatal("follower did not converge after retries")
+	}
+
+	// A persistent fault exhausts the budget and surfaces — then clears.
+	if err := s.AppendStrings(placesRow(1)...); err != nil {
+		t.Fatal(err)
+	}
+	efs.FailReads(logName, 1000, flaky)
+	if _, err := f.CatchUp(); !errors.Is(err, flaky) {
+		t.Fatalf("exhausted retries: %v, want %v", err, flaky)
+	}
+	efs.ClearFaults()
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatalf("catch-up after fault cleared: %v", err)
+	}
+	if f.LiveRows() != s.LiveRows() {
+		t.Fatal("follower did not converge after the fault cleared")
+	}
+}
+
+// TestFollowerFellBehindResync: an unpinned follower whose segment was
+// pruned resyncs from the newest snapshot instead of dying.
+func TestFollowerFellBehindResync(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), dir, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{NoPin: true, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two checkpoints advance retention past the follower's position.
+	for i := 0; i < 2; i++ {
+		if err := s.AppendStrings(placesRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+		s.Compact()
+	}
+	if _, err := os.Stat(wal.LogPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatal("segment 1 survived retention; the fell-behind path is untested")
+	}
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatalf("fell-behind catch-up: %v", err)
+	}
+	if st := f.Stats(); st.Resyncs == 0 {
+		t.Fatalf("resync not recorded: %+v", st)
+	}
+	if !bytes.Equal(f.Relation().AppendBinary(nil), s.Relation().AppendBinary(nil)) {
+		t.Fatal("resynced follower diverged from leader")
+	}
+}
+
+// TestFollowerPinRetention: a pinned follower's segments survive leader
+// checkpoints until the follower advances, then retention catches up.
+func TestFollowerPinRetention(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), dir, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.AppendStrings(placesRow(i)...); err != nil {
+			t.Fatal(err)
+		}
+		s.Compact()
+	}
+	// Without the pin, segment 1 would be gone (see the fell-behind test).
+	if _, err := os.Stat(wal.LogPath(dir, 1)); err != nil {
+		t.Fatalf("pinned segment 1 was pruned: %v", err)
+	}
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact() // now the pin has advanced, retention may proceed
+	if _, err := os.Stat(wal.LogPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatal("segment 1 survived after the pin advanced")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(wal.PinPath(dir, "follower")); !os.IsNotExist(err) {
+		t.Fatal("Close left the pin behind")
+	}
+	if _, err := f.CatchUp(); !errors.Is(err, evolvefd.ErrSessionClosed) {
+		t.Fatalf("CatchUp on closed follower: %v", err)
+	}
+	if f.LiveRows() != s.LiveRows() {
+		t.Fatal("closed follower stopped serving reads")
+	}
+}
+
+// TestFollowerBootstrapSkipsCorruptSnapshot: a follower probing snapshots
+// newest-first falls back past a corrupt one and replays across the
+// generation boundary to the identical state.
+func TestFollowerBootstrapSkipsCorruptSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "leader")
+	s, err := evolvefd.NewDurableSession(datasets.Places(), dir, noFsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.MustDefine("F1", datasets.PlacesFDs()["F1"])
+	if err := s.AppendStrings(placesRow(0)...); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact() // snapshot 2
+	if err := s.AppendStrings(placesRow(1)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	efs := wal.NewErrFS(nil)
+	efs.FlipBit(filepath.Base(wal.SnapshotPath(dir, 2)), 30, 0x01)
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{FS: efs, Sleep: noSleep})
+	if err != nil {
+		t.Fatalf("bootstrap with corrupt newest snapshot: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Relation().AppendBinary(nil), s.Relation().AppendBinary(nil)) {
+		t.Fatal("fallback-bootstrapped follower diverged from leader")
+	}
+	if seq := f.Stats().Seq; seq != 2 {
+		t.Fatalf("follower tails generation %d, want 2", seq)
+	}
+}
+
+// TestFollowerOpenRejectsEmptyDir: a directory without session state is not
+// a leader.
+func TestFollowerOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := evolvefd.OpenFollower(t.TempDir(), evolvefd.FollowerOptions{}); err == nil {
+		t.Fatal("OpenFollower succeeded on an empty directory")
+	}
+}
