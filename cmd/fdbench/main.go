@@ -43,6 +43,7 @@ func run(args []string) error {
 		scale       = fs.Float64("scale", 0, "dataset scale in (0,1]; 0 = default")
 		sf          = fs.Float64("sf", 0, "TPC-H scale factor; 0 = default, 1 = paper's 1GB")
 		seed        = fs.Int64("seed", 0, "generator seed; 0 = default")
+		rows        = fs.Int("rows", 0, "row count for row-parameterised experiments (lineitemscale); 0 = scaled default")
 		maxAdded    = fs.Int("max-added", 0, "repair search depth bound; 0 = experiment default")
 		parallelism = fs.Int("parallelism", 0, "repair search workers; 0 = GOMAXPROCS")
 		jsonDir     = fs.String("json", "", "directory for machine-readable BENCH_<id>.json results; empty disables")
@@ -62,6 +63,7 @@ func run(args []string) error {
 		Scale:       *scale,
 		SF:          *sf,
 		Seed:        *seed,
+		Rows:        *rows,
 		MaxAdded:    *maxAdded,
 		Parallelism: *parallelism,
 	}

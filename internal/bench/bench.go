@@ -20,6 +20,9 @@ type Config struct {
 	// Seed drives every generator; runs are reproducible per (Scale, SF,
 	// Seed).
 	Seed int64
+	// Rows overrides the row count of row-parameterised experiments
+	// (lineitemscale); 0 keeps each experiment's scaled default.
+	Rows int
 	// MaxAdded bounds repair search depth where the experiment does not
 	// dictate it; 0 keeps each experiment's default.
 	MaxAdded int
@@ -45,6 +48,9 @@ func FromEnv() Config {
 	}
 	if v, err := strconv.ParseInt(os.Getenv("EVOLVEFD_SEED"), 10, 64); err == nil {
 		cfg.Seed = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("EVOLVEFD_ROWS")); err == nil {
+		cfg.Rows = v
 	}
 	return cfg
 }

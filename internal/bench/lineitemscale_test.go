@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestLineitemScaleDifferential runs the full experiment at a reduced row
+// count and checks its built-in correctness evidence: the flat arena+bitmap
+// partitions must induce exactly the clusterings the legacy per-class-slice
+// layout does, over every lineitem attribute and the Table 5 FD pair, and
+// the find-all repair must land on the keying extensions.
+func TestLineitemScaleDifferential(t *testing.T) {
+	res, err := RunLineitemScale(Config{Seed: 20160315}, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DifferentialOK {
+		t.Fatalf("flat/legacy clusterings diverged at %d rows", res.DifferentialRows)
+	}
+	if res.NumRepairs == 0 {
+		t.Fatal("find-all repair returned no repairs")
+	}
+	if res.Rows != 20_000 {
+		t.Fatalf("row override ignored: got %d rows", res.Rows)
+	}
+}
+
+// TestLineitemColumnarAcceptance is the PR's perf gate: on a 1M-row
+// lineitem, all-attribute partition builds on the columnar core must be ≥4×
+// faster than the legacy layout and retain ≥2× fewer bytes per row. The
+// speedup holds single-threaded (counting-sort layout vs append-per-group),
+// so the gate does not demand cores — only an uninstrumented build.
+func TestLineitemColumnarAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row ablation skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector; differential covers correctness")
+	}
+	const rows = 1_000_000
+	rel := lineitemFor(rows, 20160315)
+	var flatMs, legMs, flatBPR, legBPR float64
+	for attempt := 0; attempt < 3; attempt++ {
+		flatMs, legMs, flatBPR, legBPR = lineitemBuildAblation(rel)
+		if legMs >= 4*flatMs && legBPR >= 2*flatBPR {
+			t.Logf("1M-row lineitem: build %.0fms vs %.0fms legacy (%.1f×), %.1f vs %.1f B/row (%.1f×)",
+				flatMs, legMs, legMs/flatMs, flatBPR, legBPR, legBPR/flatBPR)
+			return
+		}
+	}
+	t.Fatalf("columnar ablation below gate: build %.0fms vs %.0fms legacy (%.1f×, want ≥4×), %.1f vs %.1f B/row (%.1f×, want ≥2×)",
+		flatMs, legMs, legMs/flatMs, flatBPR, legBPR, legBPR/flatBPR)
+}

@@ -65,6 +65,20 @@ func MinimalFDs(counter pli.Counter, opts Options) ([]core.FD, Stats) {
 		consequents = pool
 	}
 
+	// A counter that hands out partitions answers validity by the refinement
+	// probe — X → A holds iff π_X refines π_A — which exits at the first
+	// split instead of building and counting the full X∪A product. Counters
+	// without partition handles (hash, sort, SQL) keep the count equality.
+	partitions, _ := counter.(interface {
+		Partition(x bitset.Set) *pli.Partition
+	})
+	valid := func(x, ySet bitset.Set) bool {
+		if partitions != nil {
+			return partitions.Partition(x).RefinesOrEquals(partitions.Partition(ySet))
+		}
+		return counter.Count(x) == counter.Count(x.Union(ySet))
+	}
+
 	var out []core.FD
 	for _, y := range consequents {
 		if y < 0 || y >= r.NumCols() || r.HasNulls(y) {
@@ -90,7 +104,7 @@ func MinimalFDs(counter pli.Counter, opts Options) ([]core.FD, Stats) {
 					}
 				}
 				stats.Checked++
-				if counter.Count(x) == counter.Count(x.Union(ySet)) {
+				if valid(x, ySet) {
 					minimal = append(minimal, x)
 					out = append(out, core.MustFD("", x, ySet))
 				}

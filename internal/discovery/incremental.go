@@ -550,19 +550,26 @@ func (d *IncrementalDiscoverer) witnessIntact(st *consequentState, b *borderFD) 
 // mustWitness extracts a violating pair for an FD the caller just proved
 // invalid: two rows of one antecedent cluster with different consequent
 // codes. Singleton clusters cannot violate, so scanning the stripped
-// partition suffices.
+// partition suffices; ForEachClass streams arena views and decoded bitmap
+// classes without materialising a [][]int32.
 func (d *IncrementalDiscoverer) mustWitness(st *consequentState, x bitset.Set) (int, int) {
 	p := d.counter.Partition(x)
 	codes := d.counter.Relation().ColumnCodes(st.y)
-	for _, cls := range p.Classes() {
+	w1, w2 := -1, -1
+	p.ForEachClass(func(cls []int32) bool {
 		c0 := codes[cls[0]]
 		for _, row := range cls[1:] {
 			if codes[row] != c0 {
-				return int(cls[0]), int(row)
+				w1, w2 = int(cls[0]), int(row)
+				return false
 			}
 		}
+		return true
+	})
+	if w1 < 0 {
+		panic(fmt.Sprintf("discovery: no witness for invalid FD %v -> %d", x, st.y))
 	}
-	panic(fmt.Sprintf("discovery: no witness for invalid FD %v -> %d", x, st.y))
+	return w1, w2
 }
 
 // coverDominates reports whether some cover member is a subset of x, i.e.

@@ -170,9 +170,6 @@ type PLICounter struct {
 	pinnedMu sync.Mutex
 	pinned   map[string]*cacheEntry
 	shards   [numShards]cacheShard
-	// scratch pools product working tables per worker instead of allocating
-	// O(n) probe slices on every product.
-	scratch sync.Pool
 	// builds counts actual multi-column partition constructions — the
 	// observable that singleflight suppresses duplicate work.
 	builds atomic.Uint64
@@ -205,7 +202,6 @@ func NewPLICounterSize(r *relation.Relation, maxEntries int) *PLICounter {
 		c.shards[i].lru = list.New()
 		c.shards[i].max = perShard
 	}
-	c.scratch.New = func() any { return NewScratch(r.NumRows()) }
 	c.epoch.Store(r.Epoch())
 	return c
 }
@@ -257,8 +253,11 @@ func (c *PLICounter) shard(key string) *cacheShard {
 	return &c.shards[h%numShards]
 }
 
-func (c *PLICounter) getScratch() *productScratch  { return c.scratch.Get().(*productScratch) }
-func (c *PLICounter) putScratch(s *productScratch) { c.scratch.Put(s) }
+// getScratch borrows product working tables from the package-wide pool
+// (shared with FromSet and nil-scratch Products) instead of allocating O(n)
+// probe slices on every product.
+func (c *PLICounter) getScratch() *productScratch  { return getScratch(c.r.NumRows()) }
+func (c *PLICounter) putScratch(s *productScratch) { putScratch(s) }
 
 // Partition returns the (memoised) stripped partition for x. Concurrent
 // requests for the same uncached set build it exactly once.

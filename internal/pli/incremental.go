@@ -25,20 +25,32 @@ const defaultMaxTracked = 256
 // to its cluster, each deleted row is unlinked from the cluster its codes
 // name, and an updated row moves between the two clusters its old and new
 // codes name.
+//
+// Cluster membership is stored as intrusive doubly-linked lists over four
+// flat arrays instead of one Go slice per cluster: head/size are indexed by
+// cluster id, next/prev by row id. The layout is the arena counterpart of
+// the columnar Partition — a tracked set costs exactly two int32 arrays over
+// the extent plus two over the cluster ids, with zero per-cluster
+// allocations, and every DML operation is O(1) pointer surgery:
+//
+//   - link     = push-front: next[row] = head[id], head[id] = row
+//   - unlink   = splice: next[prev[row]] = next[row] (head[id] when first)
+//
+// Slots of dead rows are stale and never read (tombstoned rows are unlinked
+// when they die and row ids are never reused within an epoch), and a storage
+// compaction remaps all four arrays with pure array writes.
 type trackedIndex struct {
 	attrs bitset.Set
 	cols  []int
-	ids   map[string]int32 // encoded code tuple → position in rows
-	rows  [][]int32        // cluster id → member rows; may be empty after deletes
-	// pos records, for every live row id, the row's slot within its cluster
-	// slice, so unlinking a deleted/updated row is O(1) instead of a scan of
-	// the cluster — on a low-cardinality set a single cluster can hold most
-	// of the relation. It is a row-indexed array, not a map: O(extent)
-	// memory like the cluster slices themselves, no hashing on the DML hot
-	// path, and a storage compaction remaps it with pure array writes.
-	// Slots of dead rows are stale and never read (tombstoned rows are
-	// unlinked when they die and row ids are never reused within an epoch).
-	pos []int32
+	ids   map[string]int32 // encoded code tuple → cluster id
+	// head is the first member row of each cluster (−1 when emptied); size is
+	// its member count.
+	head []int32
+	size []int32
+	// next and prev are the row-indexed chain links (−1 terminates; prev of
+	// the head row is −1).
+	next []int32
+	prev []int32
 	// live is the number of non-empty clusters, i.e. |π_X| over live rows.
 	// It can shrink: deletes empty clusters, updates move rows between them.
 	live int
@@ -255,13 +267,41 @@ func (c *IncrementalCounter) TrackBatch(xs []bitset.Set) {
 }
 
 // IndexDump is the durable form of one tracked attribute-set index: the
-// sorted attribute columns and the live member rows of every non-empty
-// cluster. The cluster-key map, the position slots and the live count are
-// all derivable from the members plus the relation's column codes, so a
-// dump carries only what cannot be reconstructed in O(clusters).
+// sorted attribute columns plus the live clusters in flat columnar form —
+// Members holds every cluster's member rows back to back, and cluster j
+// spans Members[Offsets[j]:Offsets[j+1]] (Offsets carries one trailing
+// entry, so it has NumClusters+1 elements; with no clusters it is either
+// empty or the single entry 0). The cluster-key map, the chain links and
+// the live count are all derivable from the members plus the relation's
+// column codes, so a dump carries only what cannot be reconstructed in
+// O(clusters + rows). Snapshot format v3 writes this layout to disk
+// verbatim.
 type IndexDump struct {
-	Attrs    []int
-	Clusters [][]int32
+	Attrs   []int
+	Offsets []int32
+	Members []int32
+}
+
+// NumClusters returns how many clusters the dump describes.
+func (d *IndexDump) NumClusters() int {
+	if len(d.Offsets) == 0 {
+		return 0
+	}
+	return len(d.Offsets) - 1
+}
+
+// Cluster returns the member rows of cluster j as a view into Members.
+func (d *IndexDump) Cluster(j int) []int32 {
+	return d.Members[d.Offsets[j]:d.Offsets[j+1]]
+}
+
+// AddCluster appends one cluster's member rows to the dump.
+func (d *IndexDump) AddCluster(members ...int32) {
+	if d.Offsets == nil {
+		d.Offsets = append(d.Offsets, 0)
+	}
+	d.Members = append(d.Members, members...)
+	d.Offsets = append(d.Offsets, int32(len(d.Members)))
 }
 
 // ExportIndexes dumps every tracked index in recency order (least recently
@@ -275,11 +315,23 @@ func (c *IncrementalCounter) ExportIndexes() []IndexDump {
 	dumps := make([]IndexDump, 0, len(c.tracked))
 	for e := c.lru.Front(); e != nil; e = e.Next() {
 		idx := c.tracked[e.Value.(string)]
-		d := IndexDump{Attrs: append([]int(nil), idx.cols...)}
-		for _, rows := range idx.rows {
-			if len(rows) > 0 {
-				d.Clusters = append(d.Clusters, append([]int32(nil), rows...))
+		total := 0
+		for id := range idx.size {
+			total += int(idx.size[id])
+		}
+		d := IndexDump{
+			Attrs:   append([]int(nil), idx.cols...),
+			Offsets: make([]int32, 1, idx.live+1),
+			Members: make([]int32, 0, total),
+		}
+		for id, h := range idx.head {
+			if idx.size[id] == 0 {
+				continue
 			}
+			for row := h; row >= 0; row = idx.next[row] {
+				d.Members = append(d.Members, row)
+			}
+			d.Offsets = append(d.Offsets, int32(len(d.Members)))
 		}
 		dumps = append(dumps, d)
 	}
@@ -294,8 +346,9 @@ func (c *IncrementalCounter) ExportIndexes() []IndexDump {
 // and liveness-checked and every index must cover the live rows exactly,
 // so a dump from any other instance fails cleanly. Already-tracked sets are
 // skipped; the tracked-set bound rises to hold the full import, matching
-// the capacity the exporting counter had to have. The counter takes
-// ownership of the cluster slices — callers must not reuse them.
+// the capacity the exporting counter had to have. The dumps themselves are
+// not retained — the chain arrays are wired from them and the slices may be
+// reused afterwards.
 func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -318,11 +371,25 @@ func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
 		if _, ok := c.tracked[key]; ok {
 			continue
 		}
+		nclusters := d.NumClusters()
+		if len(d.Offsets) > 0 {
+			if d.Offsets[0] != 0 || int(d.Offsets[nclusters]) != len(d.Members) {
+				return fmt.Errorf("pli: import index %v has inconsistent offsets", d.Attrs)
+			}
+			for j := 1; j <= nclusters; j++ {
+				if d.Offsets[j] < d.Offsets[j-1] {
+					return fmt.Errorf("pli: import index %v has inconsistent offsets", d.Attrs)
+				}
+			}
+		} else if len(d.Members) > 0 {
+			return fmt.Errorf("pli: import index %v has members but no offsets", d.Attrs)
+		}
 		idx := &trackedIndex{
 			attrs: x,
 			cols:  cols,
-			ids:   make(map[string]int32, len(d.Clusters)),
-			rows:  make([][]int32, 0, len(d.Clusters)),
+			ids:   make(map[string]int32, nclusters),
+			head:  make([]int32, 0, nclusters),
+			size:  make([]int32, 0, nclusters),
 		}
 		nrows := c.r.NumRows()
 		// Checkpoints follow a Compact, so the instance usually has no
@@ -330,7 +397,7 @@ func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
 		// members-vs-live total below still catches a dump whose row count
 		// does not match the instance.
 		noDead := c.r.LiveRows() == nrows
-		idx.pos = growPos(idx.pos, nrows)
+		idx.next, idx.prev = growChain(idx.next, idx.prev, nrows)
 		codes := make([][]int32, len(cols))
 		for i, col := range cols {
 			codes[i] = c.r.ColumnCodes(col)
@@ -339,24 +406,44 @@ func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
 		// shared string sliced per cluster below — one allocation for the
 		// whole map's keys instead of one per cluster.
 		keyLen := 4 * len(cols)
-		arena := make([]byte, 0, keyLen*len(d.Clusters))
+		arena := make([]byte, 0, keyLen*nclusters)
+		// seen guards against a row appearing in two clusters, which would
+		// cross-link the chains being wired below (the coverage total alone
+		// cannot catch a duplicate paired with an omission).
+		seen := make([]uint64, (nrows+63)/64)
 		members := 0
-		for _, cls := range d.Clusters {
+		for j := 0; j < nclusters; j++ {
+			cls := d.Cluster(j)
 			if len(cls) == 0 {
 				return fmt.Errorf("pli: import index %v has an empty cluster", d.Attrs)
 			}
-			for p, row := range cls {
+			for i, row := range cls {
 				if uint(row) >= uint(nrows) {
 					return fmt.Errorf("pli: import index %v cluster row %d out of range", d.Attrs, row)
 				}
 				if !noDead && c.r.IsDeleted(int(row)) {
 					return fmt.Errorf("pli: import index %v cluster holds deleted row %d", d.Attrs, row)
 				}
-				idx.pos[row] = int32(p)
+				if seen[row>>6]>>(uint(row)&63)&1 == 1 {
+					return fmt.Errorf("pli: import index %v lists row %d twice", d.Attrs, row)
+				}
+				seen[row>>6] |= 1 << (uint(row) & 63)
+				// Wire the chain in dump order.
+				if i+1 < len(cls) {
+					idx.next[row] = cls[i+1]
+				} else {
+					idx.next[row] = -1
+				}
+				if i > 0 {
+					idx.prev[row] = cls[i-1]
+				} else {
+					idx.prev[row] = -1
+				}
 			}
 			members += len(cls)
 			arena = appendCodeKey(arena, codes, int(cls[0]))
-			idx.rows = append(idx.rows, cls)
+			idx.head = append(idx.head, cls[0])
+			idx.size = append(idx.size, int32(len(cls)))
 			idx.live++
 		}
 		if members != c.r.LiveRows() {
@@ -364,7 +451,7 @@ func (c *IncrementalCounter) ImportIndexes(dumps []IndexDump) error {
 				d.Attrs, members, c.r.LiveRows())
 		}
 		keys := string(arena)
-		for j := range d.Clusters {
+		for j := 0; j < nclusters; j++ {
 			k := keys[j*keyLen : (j+1)*keyLen]
 			if _, dup := idx.ids[k]; dup {
 				return fmt.Errorf("pli: import index %v has two clusters with one key", d.Attrs)
@@ -470,12 +557,17 @@ func (c *IncrementalCounter) Partition(x bitset.Set) *Partition {
 	}
 	c.lru.MoveToBack(idx.elem)
 	p := &Partition{numRows: c.r.LiveRows(), extent: c.r.NumRows()}
-	for _, rows := range idx.rows {
-		if len(rows) >= 2 {
-			cls := make([]int32, len(rows))
-			copy(cls, rows)
-			p.classes = append(p.classes, cls)
+	var buf []int32
+	for id, h := range idx.head {
+		n := idx.size[id]
+		if n < 2 {
+			continue
 		}
+		buf = buf[:0]
+		for row := h; row >= 0; row = idx.next[row] {
+			buf = append(buf, row)
+		}
+		p.addClass(buf)
 	}
 	c.mu.Unlock()
 	return p
@@ -605,28 +697,64 @@ func (c *IncrementalCounter) Compact() *relation.Remap {
 }
 
 // remapIndex rewrites the row ids of one tracked index through the remap
-// table: every cluster member at or above the identity prefix is translated
-// in place, and its slot is re-recorded under the new id. Cluster identity,
-// the key map, live/dead counts and every generation stamp are untouched —
-// compaction changes no count. Pure array reads and writes, no hashing:
-// O(live rows) with a one-compare fast path for the unmoved prefix, and the
-// pos table shrinks to the new extent. Callers must hold c.mu.
+// table: cluster heads are translated in place, and every chain slot at or
+// above the identity prefix moves to the row's new id with its link values
+// translated. Cluster identity, the key map, live/dead counts and every
+// generation stamp are untouched — compaction changes no count. Pure array
+// reads and writes, no hashing: O(moved rows + clusters), and the chain
+// arrays shrink to the new extent. The in-place slot moves are safe because
+// sources are consumed in ascending order and NewID(old) ≤ old, so a write
+// never lands on an unread source. Callers must hold c.mu.
 func (c *IncrementalCounter) remapIndex(idx *trackedIndex, m *relation.Remap) {
-	for _, members := range idx.rows {
-		for slot, old := range members {
-			if int(old) < m.FirstMoved {
-				continue
-			}
-			n := int32(m.NewID(int(old)))
-			if n < 0 {
-				panic(fmt.Sprintf("pli: tracked index for %v holds tombstoned row %d at compaction", idx.cols, old))
-			}
-			members[slot] = n
-			idx.pos[n] = int32(slot)
+	translate := func(v int32) int32 {
+		if v < 0 || int(v) < m.FirstMoved {
+			return v
 		}
+		return int32(m.NewID(int(v)))
 	}
-	if m.NewRows < len(idx.pos) {
-		idx.pos = idx.pos[:m.NewRows]
+	for id, h := range idx.head {
+		if idx.size[id] == 0 {
+			continue
+		}
+		nh := translate(h)
+		if nh < 0 {
+			panic(fmt.Sprintf("pli: tracked index for %v holds tombstoned row %d at compaction", idx.cols, h))
+		}
+		idx.head[id] = nh
+	}
+	// Chains cross the FirstMoved boundary freely, so a slot inside the
+	// identity prefix can still hold a pointer at a moved row. Every such
+	// pointer's target is a moved row with at most two neighbors, so patching
+	// prefix slots from the moved side keeps the whole pass O(moved): a
+	// moved row's neighbor in the prefix gets its forward/back pointer
+	// rewritten to the new id, while neighbors in the moved region are
+	// translated in place (their own slots move in their own iteration).
+	for old := m.FirstMoved; old < m.OldRows && old < len(idx.next); old++ {
+		n := int32(m.NewID(old))
+		if n < 0 {
+			continue // tombstone: its links are stale and die with it
+		}
+		nx, pv := idx.next[old], idx.prev[old]
+		if nx >= 0 {
+			if int(nx) >= m.FirstMoved {
+				nx = int32(m.NewID(int(nx)))
+			} else {
+				idx.prev[nx] = n
+			}
+		}
+		if pv >= 0 {
+			if int(pv) >= m.FirstMoved {
+				pv = int32(m.NewID(int(pv)))
+			} else {
+				idx.next[pv] = n
+			}
+		}
+		idx.next[n] = nx
+		idx.prev[n] = pv
+	}
+	if m.NewRows < len(idx.next) {
+		idx.next = idx.next[:m.NewRows]
+		idx.prev = idx.prev[:m.NewRows]
 	}
 }
 
@@ -713,8 +841,10 @@ func (c *IncrementalCounter) track(x bitset.Set) *trackedIndex {
 // bumped the generation.
 func (c *IncrementalCounter) rebuild(idx *trackedIndex) {
 	idx.ids = make(map[string]int32)
-	idx.rows = idx.rows[:0]
-	idx.pos = idx.pos[:0]
+	idx.head = idx.head[:0]
+	idx.size = idx.size[:0]
+	idx.next = idx.next[:0]
+	idx.prev = idx.prev[:0]
 	idx.live = 0
 	idx.dead = 0
 	c.fold(idx, 0, c.r.NumRows())
@@ -741,7 +871,7 @@ func (c *IncrementalCounter) foldBuf(idx *trackedIndex, from, to int, keyBuf *[]
 		*keyBuf = make([]byte, 0, need)
 	}
 	buf := *keyBuf
-	idx.pos = growPos(idx.pos, to)
+	idx.next, idx.prev = growChain(idx.next, idx.prev, to)
 	changed := false
 	for row := from; row < to; row++ {
 		if c.r.IsDeleted(row) {
@@ -750,18 +880,26 @@ func (c *IncrementalCounter) foldBuf(idx *trackedIndex, from, to int, keyBuf *[]
 		k := appendCodeKey(buf[:0], cols, row)
 		id, ok := idx.ids[string(k)]
 		if !ok {
-			id = int32(len(idx.rows))
+			id = int32(len(idx.head))
 			idx.ids[string(k)] = id
-			idx.rows = append(idx.rows, nil)
+			idx.head = append(idx.head, -1)
+			idx.size = append(idx.size, 0)
 			idx.live++
 			changed = true
-		} else if len(idx.rows[id]) == 0 {
+		} else if idx.size[id] == 0 {
 			idx.live++
 			idx.dead--
 			changed = true
 		}
-		idx.rows[id] = append(idx.rows[id], int32(row))
-		idx.pos[int32(row)] = int32(len(idx.rows[id]) - 1)
+		r := int32(row)
+		h := idx.head[id]
+		idx.next[r] = h
+		idx.prev[r] = -1
+		if h >= 0 {
+			idx.prev[h] = r
+		}
+		idx.head[id] = r
+		idx.size[id]++
 	}
 	*keyBuf = buf[:0]
 	if changed {
@@ -819,25 +957,29 @@ func (c *IncrementalCounter) oldRowKey(idx *trackedIndex, oldCodes []int32) []by
 	return appendCodeKey(c.keyBuf[:0], cols, 0)
 }
 
-// growPos widens a slot array to cover row ids below n, doubling capacity so
-// per-row append folds amortise to O(1); fresh entries are zero and only
-// ever read after a fold or link wrote them.
-func growPos(pos []int32, n int) []int32 {
-	if len(pos) >= n {
-		return pos
+// growChain widens the row-indexed chain arrays to cover row ids below n,
+// doubling capacity so per-row append folds amortise to O(1); fresh slots
+// are only ever read after a fold or link wrote them.
+func growChain(next, prev []int32, n int) ([]int32, []int32) {
+	if len(next) >= n {
+		return next, prev
 	}
-	if cap(pos) >= n {
-		return pos[:n]
+	if cap(next) >= n && cap(prev) >= n {
+		return next[:n], prev[:n]
 	}
-	out := make([]int32, n, max(n, 2*cap(pos)))
-	copy(out, pos)
-	return out
+	c := max(n+n/8+64, 2*cap(next))
+	nn := make([]int32, n, c)
+	copy(nn, next)
+	np := make([]int32, n, c)
+	copy(np, prev)
+	return nn, np
 }
 
-// unlink removes row from the cluster key names in O(1) (swap-remove at the
-// slot the pos index records), decrementing live if the cluster empties. The
-// empty cluster keeps its id so a later row with the same codes revives it
-// in place; the dying row's pos slot goes stale and is never read again.
+// unlink removes row from the cluster key names in O(1) chain surgery,
+// decrementing live if the cluster empties (its head then reads −1, spliced
+// from the dying last member). The empty cluster keeps its id so a later row
+// with the same codes revives it in place; the dying row's chain slots go
+// stale and are never read again.
 func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
 	id, ok := idx.ids[key]
 	if !ok {
@@ -845,13 +987,17 @@ func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
 		// while mutations flow through the counter.
 		panic(fmt.Sprintf("pli: tracked index for %v lost cluster of row %d", idx.cols, row))
 	}
-	slot := idx.pos[row]
-	members := idx.rows[id]
-	last := members[len(members)-1]
-	members[slot] = last
-	idx.pos[last] = slot
-	idx.rows[id] = members[:len(members)-1]
-	if len(idx.rows[id]) == 0 {
+	nx, pv := idx.next[row], idx.prev[row]
+	if pv >= 0 {
+		idx.next[pv] = nx
+	} else {
+		idx.head[id] = nx
+	}
+	if nx >= 0 {
+		idx.prev[nx] = pv
+	}
+	idx.size[id]--
+	if idx.size[id] == 0 {
 		idx.live--
 		idx.dead++
 	}
@@ -859,21 +1005,24 @@ func (c *IncrementalCounter) unlink(idx *trackedIndex, key string, row int32) {
 
 // maybeCompact drops an index's emptied cluster slots once they outnumber
 // the live ones (beyond a floor that lets revival churn stay cheap). Counts,
-// slots within clusters and generation stamps are all unchanged — this is
-// pure storage reclamation, invisible to every query.
+// row-level chain links and generation stamps are all unchanged — cluster
+// ids just renumber; this is pure storage reclamation, invisible to every
+// query.
 func maybeCompact(idx *trackedIndex) {
 	if idx.dead <= 64 || idx.dead <= idx.live {
 		return
 	}
-	remap := make([]int32, len(idx.rows))
-	compacted := make([][]int32, 0, idx.live)
-	for id, members := range idx.rows {
-		if len(members) == 0 {
+	remap := make([]int32, len(idx.head))
+	w := int32(0)
+	for id, n := range idx.size {
+		if n == 0 {
 			remap[id] = -1
 			continue
 		}
-		remap[id] = int32(len(compacted))
-		compacted = append(compacted, members)
+		remap[id] = w
+		idx.head[w] = idx.head[id]
+		idx.size[w] = n
+		w++
 	}
 	for key, id := range idx.ids {
 		if remap[id] < 0 {
@@ -882,7 +1031,8 @@ func maybeCompact(idx *trackedIndex) {
 			idx.ids[key] = remap[id]
 		}
 	}
-	idx.rows = compacted
+	idx.head = idx.head[:w]
+	idx.size = idx.size[:w]
 	idx.dead = 0
 }
 
@@ -891,17 +1041,24 @@ func maybeCompact(idx *trackedIndex) {
 func (c *IncrementalCounter) link(idx *trackedIndex, key string, row int32) {
 	id, ok := idx.ids[key]
 	if !ok {
-		id = int32(len(idx.rows))
+		id = int32(len(idx.head))
 		idx.ids[key] = id
-		idx.rows = append(idx.rows, nil)
+		idx.head = append(idx.head, -1)
+		idx.size = append(idx.size, 0)
 		idx.live++
-	} else if len(idx.rows[id]) == 0 {
+	} else if idx.size[id] == 0 {
 		idx.live++
 		idx.dead--
 	}
-	idx.rows[id] = append(idx.rows[id], row)
-	idx.pos = growPos(idx.pos, int(row)+1)
-	idx.pos[row] = int32(len(idx.rows[id]) - 1)
+	idx.next, idx.prev = growChain(idx.next, idx.prev, int(row)+1)
+	h := idx.head[id]
+	idx.next[row] = h
+	idx.prev[row] = -1
+	if h >= 0 {
+		idx.prev[h] = row
+	}
+	idx.head[id] = row
+	idx.size[id]++
 }
 
 // ChildPartition returns the partition of x ∪ {attr}, delegating to the

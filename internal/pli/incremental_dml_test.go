@@ -259,9 +259,9 @@ func TestTrackedIndexCompaction(t *testing.T) {
 	if idx == nil {
 		t.Fatal("tracked index evicted")
 	}
-	if len(idx.ids) > 256 || len(idx.rows) > 256 {
+	if len(idx.ids) > 256 || len(idx.head) > 256 {
 		t.Fatalf("index grew to %d ids / %d cluster slots after 2000 distinct updates; compaction not working",
-			len(idx.ids), len(idx.rows))
+			len(idx.ids), len(idx.head))
 	}
 	if got, want := inc.Count(a), NewHashCounter(r).Count(a); got != want {
 		t.Fatalf("Count after churn = %d, want %d", got, want)

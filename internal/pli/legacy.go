@@ -1,0 +1,158 @@
+package pli
+
+import (
+	"sort"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/relation"
+)
+
+// LegacyPartition is the pre-columnar stripped-partition representation: one
+// independently allocated Go slice per class. It is kept solely as the
+// reference implementation — the differential/property tests prove the flat
+// arena+bitmap Partition induces identical clusterings, and the
+// lineitemscale benchmark uses it as the before side of the ablation. No
+// production path constructs one.
+type LegacyPartition struct {
+	classes [][]int32
+	numRows int
+	extent  int
+}
+
+// LegacyFromColumn is the historical append-per-group single-column build.
+func LegacyFromColumn(r *relation.Relation, col int) *LegacyPartition {
+	codes := r.ColumnCodes(col)
+	groups := make([][]int32, r.DictLen(col)+1)
+	live := 0
+	for row, code := range codes {
+		if r.IsDeleted(row) {
+			continue
+		}
+		live++
+		g := code + 1 // NULL (−1) lands at 0
+		groups[g] = append(groups[g], int32(row))
+	}
+	p := &LegacyPartition{numRows: live, extent: len(codes)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.classes = append(p.classes, g)
+		}
+	}
+	return p
+}
+
+// LegacyFromSet folds LegacyFromColumn partitions with LegacyProduct.
+func LegacyFromSet(r *relation.Relation, x bitset.Set) *LegacyPartition {
+	cols := x.Members()
+	if len(cols) == 0 {
+		live := r.LiveRows()
+		p := &LegacyPartition{numRows: live, extent: r.NumRows()}
+		if live >= 2 {
+			all := make([]int32, 0, live)
+			for row := 0; row < r.NumRows(); row++ {
+				if !r.IsDeleted(row) {
+					all = append(all, int32(row))
+				}
+			}
+			p.classes = [][]int32{all}
+		}
+		return p
+	}
+	p := LegacyFromColumn(r, cols[0])
+	for _, c := range cols[1:] {
+		p = p.Product(LegacyFromColumn(r, c))
+	}
+	return p
+}
+
+// Product is the historical stripped product: per-call probe allocation, one
+// fresh slice per output class.
+func (p *LegacyPartition) Product(q *LegacyPartition) *LegacyPartition {
+	n := p.extent
+	if p.numRows > n {
+		n = p.numRows
+	}
+	probe := make([]int32, n)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, c := range p.classes {
+		for _, row := range c {
+			probe[row] = int32(ci)
+		}
+	}
+	out := &LegacyPartition{numRows: p.numRows, extent: p.extent}
+	accum := make([][]int32, len(p.classes))
+	var touched []int32
+	for _, qc := range q.classes {
+		for _, row := range qc {
+			if ci := probe[row]; ci >= 0 {
+				if len(accum[ci]) == 0 {
+					touched = append(touched, ci)
+				}
+				accum[ci] = append(accum[ci], row)
+			}
+		}
+		for _, ci := range touched {
+			if len(accum[ci]) >= 2 {
+				out.classes = append(out.classes, append([]int32(nil), accum[ci]...))
+			}
+			accum[ci] = accum[ci][:0]
+		}
+		touched = touched[:0]
+	}
+	return out
+}
+
+// NumRows returns the number of live tuples the partition covers.
+func (p *LegacyPartition) NumRows() int { return p.numRows }
+
+// NumClasses returns |π_X| counting implied singletons.
+func (p *LegacyPartition) NumClasses() int {
+	merged := 0
+	for _, c := range p.classes {
+		merged += len(c) - 1
+	}
+	return p.numRows - merged
+}
+
+// Classes returns the stored (size ≥ 2) classes.
+func (p *LegacyPartition) Classes() [][]int32 { return p.classes }
+
+// MemBytes returns the retained storage of the legacy form: member data plus
+// the 24-byte slice header carried per class — the overhead the flat layout
+// eliminates.
+func (p *LegacyPartition) MemBytes() int64 {
+	total := int64(len(p.classes)) * 24
+	for _, c := range p.classes {
+		total += int64(len(c)) * 4
+	}
+	return total
+}
+
+// EqualsFlat reports whether the legacy partition induces exactly the same
+// clustering as the flat partition q.
+func (p *LegacyPartition) EqualsFlat(q *Partition) bool {
+	if p.numRows != q.NumRows() || len(p.classes) != q.NumStrippedClasses() {
+		return false
+	}
+	a := make([][]int32, 0, len(p.classes))
+	for _, c := range p.classes {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		a = append(a, cc)
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i][0] < a[j][0] })
+	b := q.sortedClasses()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -32,6 +32,22 @@ func (r *Relation) NumSegments() int {
 	return (r.rows + r.segRows - 1) / r.segRows
 }
 
+// SegmentDead returns the number of tombstoned rows inside segment seg.
+// Sharded scans (the parallel partition build) use it to skip the per-row
+// liveness probe wholesale on clean segments.
+func (r *Relation) SegmentDead(seg int) int {
+	if seg < 0 || seg >= len(r.segDead) {
+		return 0
+	}
+	return r.segDead[seg]
+}
+
+// Tombstones exposes the per-row tombstone flags, nil while no row has ever
+// been deleted. The returned slice is owned by the relation and must be
+// treated as read-only; it exists so row-range scans (partition builds) can
+// test liveness with one indexed load instead of a method call per row.
+func (r *Relation) Tombstones() []bool { return r.dead }
+
 // DirtySegments returns how many segments contain at least one tombstone —
 // the segments a Compact would rewrite.
 func (r *Relation) DirtySegments() int {

@@ -10,11 +10,16 @@ import (
 	"github.com/evolvefd/evolvefd/internal/relation"
 )
 
-// snapMagic opens every snapshot file; snapVersion names the layout.
-// Version 2 added the tracked-index dumps.
+// snapMagic opens every snapshot file; snapVersion names the layout written
+// today. Version 2 added the tracked-index dumps as interleaved
+// size/member cluster lists; version 3 stores each index columnar — a size
+// table followed by one flat member arena, matching pli.IndexDump's layout
+// so the encoder dumps the arenas directly and the decoder fills one
+// allocation with a single fixed-width sweep. Decoding accepts both.
 const (
-	snapMagic   = "EVFDSNP1"
-	snapVersion = 2
+	snapMagic     = "EVFDSNP1"
+	snapVersion   = 3
+	snapVersionV2 = 2
 )
 
 // Snapshot is the full durable state of a session at one epoch boundary:
@@ -141,23 +146,19 @@ func EncodeSnapshot(snap *Snapshot) []byte {
 	// the dumps hold one entry per live row per index, and decoding them is
 	// on recovery's critical path — a fixed-width loop decodes several
 	// times faster than per-row varint parsing, for ~2 bytes more per row.
+	// v3 layout per index: attrs, cluster count, member total, all cluster
+	// sizes as uvarints, then the flat member arena in one block.
 	buf = binary.AppendUvarint(buf, uint64(len(snap.Indexes)))
 	for _, d := range snap.Indexes {
 		buf = appendInts(buf, d.Attrs)
-		buf = binary.AppendUvarint(buf, uint64(len(d.Clusters)))
-		// The member total is redundant with the per-cluster sizes, but
-		// carrying it lets the decoder size one arena up front and fill it
-		// in a single pass.
-		total := 0
-		for _, cls := range d.Clusters {
-			total += len(cls)
+		nclusters := d.NumClusters()
+		buf = binary.AppendUvarint(buf, uint64(nclusters))
+		buf = binary.AppendUvarint(buf, uint64(len(d.Members)))
+		for j := 0; j < nclusters; j++ {
+			buf = binary.AppendUvarint(buf, uint64(d.Offsets[j+1]-d.Offsets[j]))
 		}
-		buf = binary.AppendUvarint(buf, uint64(total))
-		for _, cls := range d.Clusters {
-			buf = binary.AppendUvarint(buf, uint64(len(cls)))
-			for _, row := range cls {
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(row))
-			}
+		for _, row := range d.Members {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(row))
 		}
 	}
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
@@ -187,7 +188,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("wal: snapshot checksum mismatch")
 	}
 	r := &reader{data: body, off: len(snapMagic)}
-	if v := r.byte(); r.err == nil && v != snapVersion {
+	v := r.byte()
+	if r.err == nil && v != snapVersion && v != snapVersionV2 {
 		return nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
 	}
 	snap := &Snapshot{}
@@ -267,31 +269,55 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		if r.err != nil {
 			break
 		}
-		// The persisted member total sizes one arena for the whole index,
-		// so every cluster is sliced out of a single allocation in one
-		// pass over the interleaved size/member encoding.
-		arena := make([]int32, total)
-		d.Clusters = make([][]int32, 0, nclusters)
+		d.Offsets = make([]int32, 1, nclusters+1)
+		if v == snapVersionV2 {
+			// v2 interleaves each cluster's size with its members; reassemble
+			// the flat arena cluster by cluster.
+			d.Members = make([]int32, 0, total)
+			for j := 0; j < nclusters && r.err == nil; j++ {
+				n := r.count("cluster size", uint64(total-len(d.Members)))
+				if r.err == nil && len(body)-r.off < 4*n {
+					r.fail("cluster of %d rows overruns the snapshot", n)
+				}
+				if r.err != nil {
+					break
+				}
+				off := r.off
+				for k := 0; k < n; k++ {
+					d.Members = append(d.Members, int32(binary.LittleEndian.Uint32(body[off+4*k:])))
+				}
+				r.off += 4 * n
+				d.Offsets = append(d.Offsets, int32(len(d.Members)))
+			}
+			if r.err == nil && len(d.Members) != total {
+				r.fail("index member total overshoots its clusters by %d", total-len(d.Members))
+			}
+			snap.Indexes = append(snap.Indexes, d)
+			continue
+		}
+		// v3: the size table first, then the member arena in one block —
+		// decoded with a single fixed-width sweep into one allocation.
+		sum := 0
 		for j := 0; j < nclusters && r.err == nil; j++ {
-			n := r.count("cluster size", uint64(len(arena)))
-			if r.err == nil && len(body)-r.off < 4*n {
-				r.fail("cluster of %d rows overruns the snapshot", n)
-			}
-			if r.err != nil {
-				break
-			}
-			cls := arena[:n:n]
-			arena = arena[n:]
-			off := r.off
-			for k := range cls {
-				cls[k] = int32(binary.LittleEndian.Uint32(body[off+4*k:]))
-			}
-			r.off += 4 * n
-			d.Clusters = append(d.Clusters, cls)
+			n := r.count("cluster size", uint64(total-sum))
+			sum += n
+			d.Offsets = append(d.Offsets, int32(sum))
 		}
-		if r.err == nil && len(arena) != 0 {
-			r.fail("index member total overshoots its clusters by %d", len(arena))
+		if r.err == nil && sum != total {
+			r.fail("cluster sizes total %d of %d arena members", sum, total)
 		}
+		if r.err == nil && len(body)-r.off < 4*total {
+			r.fail("member arena of %d rows overruns the snapshot", total)
+		}
+		if r.err != nil {
+			break
+		}
+		d.Members = make([]int32, total)
+		off := r.off
+		for k := range d.Members {
+			d.Members[k] = int32(binary.LittleEndian.Uint32(body[off+4*k:]))
+		}
+		r.off += 4 * total
 		snap.Indexes = append(snap.Indexes, d)
 	}
 	if r.err != nil {
