@@ -1,0 +1,101 @@
+// Command fdserved hosts the evolvefd advisor as a multi-tenant HTTP/JSON
+// service: one durable session per tenant dataset, batched DML ingest,
+// concurrent check/measures/repair/discover handlers, and a Server-Sent
+// Events feed of emerged and broken FDs.
+//
+// Usage:
+//
+//	fdserved -addr :8080 -data-dir /var/lib/fdserved
+//
+// With -data-dir, every tenant is write-ahead logged under its own
+// subdirectory and recovered on restart; without it, tenants are ephemeral.
+// SIGINT/SIGTERM drains in-flight requests and flushes every session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+	"github.com/evolvefd/evolvefd/internal/serve"
+)
+
+func main() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, ch))
+}
+
+// run is the testable main: parse flags, recover tenants, serve until a
+// signal arrives, then drain and flush. It returns the process exit code.
+func run(args []string, stdout io.Writer, signals <-chan os.Signal) int {
+	fs := flag.NewFlagSet("fdserved", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	dataDir := fs.String("data-dir", "", "durable tenant state directory (empty: ephemeral tenants)")
+	groupCommit := fs.Int("group-commit", 0, "batch this many WAL records per fsync")
+	noFsync := fs.Bool("no-fsync", false, "skip fsync on WAL writes (page cache is durability enough)")
+	maxLogBytes := fs.Int64("max-log-bytes", 0, "rotate a tenant's WAL past this size (0: rotate only on compaction)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	reg := serve.NewRegistry(serve.RegistryOptions{
+		DataDir: *dataDir,
+		Durability: evolvefd.DurabilityOptions{
+			GroupCommit: *groupCommit,
+			NoFsync:     *noFsync,
+			MaxLogBytes: *maxLogBytes,
+		},
+	})
+	if recovered, err := reg.Recover(); err != nil {
+		fmt.Fprintln(stdout, "fdserved: recovery failed:", err)
+		return 1
+	} else if len(recovered) > 0 {
+		fmt.Fprintf(stdout, "fdserved: recovered %d tenant(s): %v\n", len(recovered), recovered)
+	}
+
+	srv := serve.New(reg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stdout, "fdserved:", err)
+		return 1
+	}
+	// The resolved address matters when -addr :0 picked the port: tests and
+	// scripts parse this line to find the server.
+	fmt.Fprintf(stdout, "fdserved: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case sig := <-signals:
+		fmt.Fprintf(stdout, "fdserved: received %v: draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(stdout, "fdserved:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx, hs); err != nil {
+		fmt.Fprintln(stdout, "fdserved: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "fdserved: all tenants flushed and closed")
+	return 0
+}

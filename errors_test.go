@@ -1,0 +1,130 @@
+package evolvefd_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// errorsCSV is a tiny typed instance for exercising every facade error path.
+const errorsCSV = "A,B:int,C\nx,1,p\ny,2,q\nz,3,p\n"
+
+func errorsSession(t *testing.T) *evolvefd.Session {
+	t.Helper()
+	rel, err := evolvefd.OpenCSVReader("errs", strings.NewReader(errorsCSV), evolvefd.CSVOptions{InferKinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := evolvefd.NewSession(rel)
+	s.MustDefine("F1", "A -> C")
+	return s
+}
+
+// TestSentinelErrors proves every facade rejection is classifiable with
+// errors.Is — the contract the HTTP service layer maps to status codes.
+func TestSentinelErrors(t *testing.T) {
+	s := errorsSession(t)
+
+	// Unknown FD labels: Measures, Repair, Accept, FDText.
+	if _, err := s.Measures("F9"); !errors.Is(err, evolvefd.ErrUnknownFD) {
+		t.Errorf("Measures(unknown) = %v, want ErrUnknownFD", err)
+	}
+	if _, err := s.Repair("F9", evolvefd.Options{}); !errors.Is(err, evolvefd.ErrUnknownFD) {
+		t.Errorf("Repair(unknown) = %v, want ErrUnknownFD", err)
+	}
+	if err := s.Accept("F9", evolvefd.Suggestion{Added: []string{"B"}}); !errors.Is(err, evolvefd.ErrUnknownFD) {
+		t.Errorf("Accept(unknown) = %v, want ErrUnknownFD", err)
+	}
+	if _, err := s.FDText("F9"); !errors.Is(err, evolvefd.ErrUnknownFD) {
+		t.Errorf("FDText(unknown) = %v, want ErrUnknownFD", err)
+	}
+
+	// Duplicate label.
+	if err := s.Define("F1", "B -> C"); !errors.Is(err, evolvefd.ErrDuplicateFD) {
+		t.Errorf("Define(dup) = %v, want ErrDuplicateFD", err)
+	}
+
+	// FD spec failures: no arrow, empty side, unknown attribute, overlap.
+	for _, spec := range []string{"A B C", "-> C", "A ->", "A -> Z", "A -> A"} {
+		if err := s.Define("F2", spec); !errors.Is(err, evolvefd.ErrBadFD) {
+			t.Errorf("Define(%q) = %v, want ErrBadFD", spec, err)
+		}
+	}
+	if err := s.Define("F2", "A -> Z"); !errors.Is(err, evolvefd.ErrUnknownAttribute) {
+		t.Errorf("Define(unknown attr) = %v, want ErrUnknownAttribute too", err)
+	}
+
+	// DML arity and value failures, typed and text.
+	if err := s.AppendStrings("only-one"); !errors.Is(err, evolvefd.ErrArity) {
+		t.Errorf("AppendStrings(arity) = %v, want ErrArity", err)
+	}
+	if err := s.Append(evolvefd.Value{}); !errors.Is(err, evolvefd.ErrArity) {
+		t.Errorf("Append(arity) = %v, want ErrArity", err)
+	}
+	if err := s.AppendStrings("w", "not-an-int", "r"); !errors.Is(err, evolvefd.ErrBadValue) {
+		t.Errorf("AppendStrings(bad int) = %v, want ErrBadValue", err)
+	}
+	if err := s.UpdateStrings(0, "w", "NaN-ish", "r"); !errors.Is(err, evolvefd.ErrBadValue) {
+		t.Errorf("UpdateStrings(bad int) = %v, want ErrBadValue", err)
+	}
+
+	// Row failures: out of range, double delete, update of deleted row.
+	if err := s.Delete(99); !errors.Is(err, evolvefd.ErrUnknownRow) {
+		t.Errorf("Delete(out of range) = %v, want ErrUnknownRow", err)
+	}
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(0); !errors.Is(err, evolvefd.ErrUnknownRow) {
+		t.Errorf("Delete(again) = %v, want ErrUnknownRow", err)
+	}
+	if err := s.UpdateStrings(0, "w", "4", "r"); !errors.Is(err, evolvefd.ErrUnknownRow) {
+		t.Errorf("Update(deleted) = %v, want ErrUnknownRow", err)
+	}
+
+	// Accept with an unknown attribute name.
+	if err := s.Accept("F1", evolvefd.Suggestion{Added: []string{"Nope"}}); !errors.Is(err, evolvefd.ErrUnknownAttribute) {
+		t.Errorf("Accept(unknown attr) = %v, want ErrUnknownAttribute", err)
+	}
+
+	// Discovery with an unknown consequent.
+	if _, err := s.Discover(evolvefd.DiscoveryOptions{Consequents: []string{"Nope"}}); !errors.Is(err, evolvefd.ErrUnknownAttribute) {
+		t.Errorf("Discover(unknown consequent) = %v, want ErrUnknownAttribute", err)
+	}
+}
+
+// TestSentinelErrClosed proves mutations on a closed durable session — and
+// catch-ups on a closed follower — classify as ErrSessionClosed.
+func TestSentinelErrClosed(t *testing.T) {
+	rel, err := evolvefd.OpenCSVReader("errs", strings.NewReader(errorsCSV), evolvefd.CSVOptions{InferKinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+	s, err := evolvefd.NewDurableSession(rel, dir, evolvefd.DurabilityOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := evolvefd.OpenFollower(dir, evolvefd.FollowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendStrings("w", "4", "r"); !errors.Is(err, evolvefd.ErrSessionClosed) {
+		t.Errorf("Append(closed) = %v, want ErrSessionClosed", err)
+	}
+	if err := s.Define("F1", "A -> B"); !errors.Is(err, evolvefd.ErrSessionClosed) {
+		t.Errorf("Define(closed) = %v, want ErrSessionClosed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CatchUp(); !errors.Is(err, evolvefd.ErrSessionClosed) {
+		t.Errorf("CatchUp(closed) = %v, want ErrSessionClosed", err)
+	}
+}

@@ -523,7 +523,7 @@ func (s *Session) Define(label, spec string) error {
 		return err
 	}
 	if _, dup := s.fds[label]; dup {
-		return fmt.Errorf("evolvefd: FD %q already defined", label)
+		return fmt.Errorf("%w: %q", ErrDuplicateFD, label)
 	}
 	fd, err := core.ParseFD(s.rel.Schema(), label, spec)
 	if err != nil {
@@ -583,7 +583,7 @@ func (s *Session) FDText(label string) (string, error) {
 	defer s.mu.RUnlock()
 	fd, ok := s.fds[label]
 	if !ok {
-		return "", fmt.Errorf("evolvefd: unknown FD %q", label)
+		return "", fmt.Errorf("%w %q", ErrUnknownFD, label)
 	}
 	return fd.FormatWith(s.rel.Schema()), nil
 }
@@ -599,7 +599,7 @@ func (s *Session) Measures(label string) (Measures, error) {
 func (s *Session) measuresLocked(label string) (Measures, error) {
 	fd, ok := s.fds[label]
 	if !ok {
-		return Measures{}, fmt.Errorf("evolvefd: unknown FD %q", label)
+		return Measures{}, fmt.Errorf("%w %q", ErrUnknownFD, label)
 	}
 	return toMeasures(s.cache.Compute(fd)), nil
 }
@@ -634,7 +634,7 @@ func (s *Session) Repair(label string, opts Options) ([]Suggestion, error) {
 	defer s.mu.RUnlock()
 	fd, ok := s.fds[label]
 	if !ok {
-		return nil, fmt.Errorf("evolvefd: unknown FD %q", label)
+		return nil, fmt.Errorf("%w %q", ErrUnknownFD, label)
 	}
 	res := core.FindRepairs(s.counter, fd, opts.repairOptions())
 	out := make([]Suggestion, 0, len(res.Repairs))
@@ -658,7 +658,7 @@ func (s *Session) Accept(label string, suggestion Suggestion) error {
 	}
 	fd, ok := s.fds[label]
 	if !ok {
-		return fmt.Errorf("evolvefd: unknown FD %q", label)
+		return fmt.Errorf("%w %q", ErrUnknownFD, label)
 	}
 	added, err := s.rel.Schema().IndexSet(suggestion.Added...)
 	if err != nil {
@@ -901,7 +901,7 @@ func (s *Session) resolveDiscovery(opts DiscoveryOptions) (discovery.Options, er
 		for _, name := range opts.Consequents {
 			idx := s.rel.Schema().Index(name)
 			if idx < 0 {
-				return out, fmt.Errorf("evolvefd: unknown attribute %q", name)
+				return out, fmt.Errorf("evolvefd: %w %q", ErrUnknownAttribute, name)
 			}
 			out.Consequents = append(out.Consequents, idx)
 		}

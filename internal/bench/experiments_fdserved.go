@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/evolvefd/evolvefd/internal/serve"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fdserved",
+		Title: "fdserved loadgen: aggregate req/s at N concurrent tenants (70% check / 30% batched append)",
+		Run:   runFdserved,
+		RunJSON: func(cfg Config) (any, error) {
+			tenants, clients, ops := fdservedParams(cfg)
+			return RunFdservedLoad(cfg, tenants, clients, ops)
+		},
+		Render: func(v any, w io.Writer) error {
+			res, ok := v.(FdservedResult)
+			if !ok {
+				return fmt.Errorf("bench: fdserved render got %T", v)
+			}
+			return renderFdserved(res, w)
+		},
+	})
+}
+
+// FdservedResult measures one loadgen run against an in-process fdserved
+// stack over loopback HTTP: N tenants, each hammered by its own client
+// goroutines with the service's advisory read/ingest mix.
+type FdservedResult struct {
+	// Tenants is the hosted dataset count; Clients the total concurrent
+	// client goroutines (ClientsPerTenant each); Rows the initial instance
+	// size per tenant.
+	Tenants, ClientsPerTenant, Clients, Rows int
+	// Requests counts completed requests (Checks + Appends); every one must
+	// answer 200, so Errors must be zero on a healthy run.
+	Requests, Checks, Appends, Errors int
+	// AppendedRows counts ingested tuples across all append batches.
+	AppendedRows int
+	// Duration is the wall-clock of the loaded phase; Throughput the
+	// aggregate completed requests per second.
+	Duration   time.Duration
+	Throughput float64
+	// P50 and P99 are request-latency percentiles across every request.
+	P50, P99 time.Duration
+}
+
+// fdservedParams scales the loadgen: 8 tenants with 2 clients each is the
+// acceptance shape; Scale stretches the per-client op count.
+func fdservedParams(cfg Config) (tenants, clientsPerTenant, opsPerClient int) {
+	ops := int(4000 * cfg.scale())
+	if ops < 50 {
+		ops = 50
+	}
+	return 8, 2, ops
+}
+
+// loadCSV builds a tenant's initial instance over A,B:int,C,D with small
+// domains, the same shape the serve tests use.
+func loadCSV(rng *rand.Rand, rows int) string {
+	var sb strings.Builder
+	sb.WriteString("A,B:int,C,D\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%s,%d,%s,%s\n", loadCell(rng, "a", 6), rng.Intn(4), loadCell(rng, "c", 3), loadCell(rng, "d", 5))
+	}
+	return sb.String()
+}
+
+func loadCell(rng *rand.Rand, prefix string, n int) string {
+	return fmt.Sprintf("%s%d", prefix, rng.Intn(n))
+}
+
+// RunFdservedLoad hosts `tenants` ephemeral datasets behind one server on a
+// loopback listener and drives clientsPerTenant goroutines per tenant, each
+// issuing opsPerClient requests: 70% GET check, 30% POST append with a
+// 16-row batch. Returns aggregate throughput and latency percentiles.
+func RunFdservedLoad(cfg Config, tenants, clientsPerTenant, opsPerClient int) (FdservedResult, error) {
+	const (
+		initialRows = 500
+		batchRows   = 16
+	)
+	reg := serve.NewRegistry(serve.RegistryOptions{})
+	ts := httptest.NewServer(serve.New(reg))
+	defer func() {
+		ts.Close()
+		reg.CloseAll()
+	}()
+
+	seed := cfg.seed()
+	for i := 0; i < tenants; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		create := serve.CreateRequest{
+			CSV: loadCSV(rng, initialRows),
+			FDs: []serve.FDDef{{Label: "F1", Spec: "A -> C"}, {Label: "F2", Spec: "A, B -> D"}},
+		}
+		body, err := json.Marshal(create)
+		if err != nil {
+			return FdservedResult{}, err
+		}
+		resp, err := http.Post(fmt.Sprintf("%s/v1/load%d", ts.URL, i), "application/json", bytes.NewReader(body))
+		if err != nil {
+			return FdservedResult{}, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return FdservedResult{}, fmt.Errorf("create load%d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	type clientStats struct {
+		checks, appends, errors, appended int
+		latencies                         []time.Duration
+	}
+	clients := tenants * clientsPerTenant
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.latencies = make([]time.Duration, 0, opsPerClient)
+			rng := rand.New(rand.NewSource(seed + 1000 + int64(c)))
+			tenant := c % tenants
+			checkURL := fmt.Sprintf("%s/v1/load%d/check", ts.URL, tenant)
+			appendURL := fmt.Sprintf("%s/v1/load%d/append", ts.URL, tenant)
+			client := ts.Client()
+			for op := 0; op < opsPerClient; op++ {
+				var (
+					resp *http.Response
+					err  error
+				)
+				reqStart := time.Now()
+				if rng.Intn(100) < 70 {
+					st.checks++
+					resp, err = client.Get(checkURL)
+				} else {
+					st.appends++
+					rows := make([][]string, batchRows)
+					for i := range rows {
+						rows[i] = []string{loadCell(rng, "a", 6), fmt.Sprintf("%d", rng.Intn(4)), loadCell(rng, "c", 3), loadCell(rng, "d", 5)}
+					}
+					var body []byte
+					if body, err = json.Marshal(serve.AppendRequest{Rows: rows}); err == nil {
+						resp, err = client.Post(appendURL, "application/json", bytes.NewReader(body))
+						st.appended += batchRows
+					}
+				}
+				if err != nil {
+					st.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					st.errors++
+				}
+				st.latencies = append(st.latencies, time.Since(reqStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := FdservedResult{
+		Tenants:          tenants,
+		ClientsPerTenant: clientsPerTenant,
+		Clients:          clients,
+		Rows:             initialRows,
+		Duration:         elapsed,
+	}
+	var latencies []time.Duration
+	for i := range stats {
+		res.Checks += stats[i].checks
+		res.Appends += stats[i].appends
+		res.Errors += stats[i].errors
+		res.AppendedRows += stats[i].appended
+		latencies = append(latencies, stats[i].latencies...)
+	}
+	res.Requests = res.Checks + res.Appends - res.Errors
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = latencies[len(latencies)*50/100]
+		res.P99 = latencies[len(latencies)*99/100]
+	}
+	return res, nil
+}
+
+func runFdserved(cfg Config, w io.Writer) error {
+	tenants, clients, ops := fdservedParams(cfg)
+	res, err := RunFdservedLoad(cfg, tenants, clients, ops)
+	if err != nil {
+		return err
+	}
+	return renderFdserved(res, w)
+}
+
+func renderFdserved(res FdservedResult, w io.Writer) error {
+	fmt.Fprintf(w, "tenants %d × %d clients, %d initial rows each (70%% check / 30%% append×16)\n",
+		res.Tenants, res.ClientsPerTenant, res.Rows)
+	fmt.Fprintf(w, "requests  %d (%d checks, %d appends, %d errors), %d rows ingested\n",
+		res.Requests, res.Checks, res.Appends, res.Errors, res.AppendedRows)
+	fmt.Fprintf(w, "duration  %s\n", fmtDuration(res.Duration))
+	fmt.Fprintf(w, "throughput %.0f req/s aggregate, p50 %s, p99 %s\n",
+		res.Throughput, fmtDuration(res.P50), fmtDuration(res.P99))
+	return nil
+}

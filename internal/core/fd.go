@@ -39,17 +39,23 @@ type FD struct {
 	Y bitset.Set
 }
 
+// ErrBadFD is wrapped (with %w) by every FD validation and parse failure —
+// a missing arrow, an empty or overlapping attribute list, an unknown
+// attribute name — so callers can classify designer input errors with
+// errors.Is instead of string matching.
+var ErrBadFD = errors.New("invalid FD")
+
 // NewFD validates and builds an FD. X and Y must be non-empty and disjoint:
 // a trivial FD (Y ⊆ X) always holds and can never need repair.
 func NewFD(label string, x, y bitset.Set) (FD, error) {
 	if x.IsEmpty() {
-		return FD{}, errors.New("core: FD antecedent must not be empty")
+		return FD{}, fmt.Errorf("core: %w: antecedent must not be empty", ErrBadFD)
 	}
 	if y.IsEmpty() {
-		return FD{}, errors.New("core: FD consequent must not be empty")
+		return FD{}, fmt.Errorf("core: %w: consequent must not be empty", ErrBadFD)
 	}
 	if x.Intersects(y) {
-		return FD{}, errors.New("core: FD antecedent and consequent must be disjoint")
+		return FD{}, fmt.Errorf("core: %w: antecedent and consequent must be disjoint", ErrBadFD)
 	}
 	return FD{Label: label, X: x.Clone(), Y: y.Clone()}, nil
 }
@@ -69,15 +75,15 @@ func ParseFD(schema *relation.Schema, label, text string) (FD, error) {
 	normalized := strings.ReplaceAll(text, "→", "->")
 	lhs, rhs, ok := strings.Cut(normalized, "->")
 	if !ok {
-		return FD{}, fmt.Errorf("core: FD %q must contain '->'", text)
+		return FD{}, fmt.Errorf("core: %w: FD %q must contain '->'", ErrBadFD, text)
 	}
 	x, err := parseAttrList(schema, lhs)
 	if err != nil {
-		return FD{}, fmt.Errorf("core: FD %q antecedent: %w", text, err)
+		return FD{}, fmt.Errorf("core: %w: FD %q antecedent: %w", ErrBadFD, text, err)
 	}
 	y, err := parseAttrList(schema, rhs)
 	if err != nil {
-		return FD{}, fmt.Errorf("core: FD %q consequent: %w", text, err)
+		return FD{}, fmt.Errorf("core: %w: FD %q consequent: %w", ErrBadFD, text, err)
 	}
 	return NewFD(label, x, y)
 }

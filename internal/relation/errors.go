@@ -1,0 +1,21 @@
+package relation
+
+import "errors"
+
+// Sentinel errors for the relation's input-validation failures. Every
+// rejection of caller-supplied data wraps one of these with %w, so callers —
+// in particular the HTTP service layer — can classify failures with
+// errors.Is instead of string matching: arity and value errors are bad
+// requests, row errors name state the caller does not have.
+var (
+	// ErrArity flags a tuple whose cell count does not match the schema.
+	ErrArity = errors.New("arity mismatch")
+	// ErrBadValue flags a cell that cannot be parsed into, or does not fit,
+	// its column's kind.
+	ErrBadValue = errors.New("bad value")
+	// ErrUnknownRow flags a row id that is out of range, already deleted, or
+	// otherwise not live.
+	ErrUnknownRow = errors.New("unknown row")
+	// ErrUnknownAttribute flags an attribute name the schema does not have.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+)

@@ -130,8 +130,8 @@ func (r *Relation) NumCols() int { return r.schema.Len() }
 // float columns in place — the shared typed front end of Append and Update.
 func (r *Relation) validateTuple(tuple []Value) error {
 	if len(tuple) != r.schema.Len() {
-		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d",
-			r.name, len(tuple), r.schema.Len())
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d: %w",
+			r.name, len(tuple), r.schema.Len(), ErrArity)
 	}
 	for i, v := range tuple {
 		if v.IsNull() {
@@ -145,8 +145,8 @@ func (r *Relation) validateTuple(tuple []Value) error {
 			tuple[i] = Float(v.AsFloat())
 			continue
 		}
-		return fmt.Errorf("relation %s: column %s expects %v, got %v (%q)",
-			r.name, r.schema.Column(i).Name, want, v.Kind(), v.String())
+		return fmt.Errorf("relation %s: column %s expects %v, got %v (%q): %w",
+			r.name, r.schema.Column(i).Name, want, v.Kind(), v.String(), ErrBadValue)
 	}
 	return nil
 }
@@ -188,11 +188,11 @@ func (r *Relation) Delete(rows ...int) error {
 	for i, row := range rows {
 		if row < 0 || row >= r.rows {
 			r.undelete(rows[:i])
-			return fmt.Errorf("relation %s: delete of row %d out of range [0,%d)", r.name, row, r.rows)
+			return fmt.Errorf("relation %s: delete of row %d out of range [0,%d): %w", r.name, row, r.rows, ErrUnknownRow)
 		}
 		if r.dead[row] {
 			r.undelete(rows[:i])
-			return fmt.Errorf("relation %s: row %d already deleted", r.name, row)
+			return fmt.Errorf("relation %s: row %d already deleted: %w", r.name, row, ErrUnknownRow)
 		}
 		r.dead[row] = true
 	}
@@ -225,10 +225,10 @@ func (r *Relation) undelete(rows []int) {
 // Mutated). Updating a deleted or out-of-range row is an error.
 func (r *Relation) Update(row int, tuple ...Value) error {
 	if row < 0 || row >= r.rows {
-		return fmt.Errorf("relation %s: update of row %d out of range [0,%d)", r.name, row, r.rows)
+		return fmt.Errorf("relation %s: update of row %d out of range [0,%d): %w", r.name, row, r.rows, ErrUnknownRow)
 	}
 	if r.IsDeleted(row) {
-		return fmt.Errorf("relation %s: update of deleted row %d", r.name, row)
+		return fmt.Errorf("relation %s: update of deleted row %d: %w", r.name, row, ErrUnknownRow)
 	}
 	if err := r.validateTuple(tuple); err != nil {
 		return err
@@ -280,8 +280,8 @@ func (r *Relation) AppendStrings(cells ...string) error {
 // to the empty string or "NULL" become NULL.
 func (r *Relation) ParseTuple(cells ...string) ([]Value, error) {
 	if len(cells) != r.schema.Len() {
-		return nil, fmt.Errorf("relation %s: row arity %d != schema arity %d",
-			r.name, len(cells), r.schema.Len())
+		return nil, fmt.Errorf("relation %s: row arity %d != schema arity %d: %w",
+			r.name, len(cells), r.schema.Len(), ErrArity)
 	}
 	tuple := make([]Value, len(cells))
 	for i, c := range cells {

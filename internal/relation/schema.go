@@ -104,8 +104,8 @@ func (s *Schema) IndexSet(names ...string) (bitset.Set, error) {
 	for _, n := range names {
 		i := s.Index(n)
 		if i < 0 {
-			return bitset.Set{}, fmt.Errorf("relation: unknown attribute %q (have %s)",
-				n, strings.Join(s.Names(), ", "))
+			return bitset.Set{}, fmt.Errorf("relation: %w %q (have %s)",
+				ErrUnknownAttribute, n, strings.Join(s.Names(), ", "))
 		}
 		set.Add(i)
 	}

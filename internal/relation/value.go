@@ -197,23 +197,23 @@ func ParseValue(text string, kind Kind) (Value, error) {
 	case KindInt:
 		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
 		if err != nil {
-			return Null, fmt.Errorf("relation: %q is not an int: %w", text, err)
+			return Null, fmt.Errorf("relation: %q is not an int (%w): %w", text, ErrBadValue, err)
 		}
 		return Int(i), nil
 	case KindFloat:
 		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
 		if err != nil {
-			return Null, fmt.Errorf("relation: %q is not a float: %w", text, err)
+			return Null, fmt.Errorf("relation: %q is not a float (%w): %w", text, ErrBadValue, err)
 		}
 		return Float(f), nil
 	case KindBool:
 		b, err := strconv.ParseBool(strings.TrimSpace(text))
 		if err != nil {
-			return Null, fmt.Errorf("relation: %q is not a bool: %w", text, err)
+			return Null, fmt.Errorf("relation: %q is not a bool (%w): %w", text, ErrBadValue, err)
 		}
 		return Bool(b), nil
 	default:
-		return Null, fmt.Errorf("relation: cannot parse into kind %v", kind)
+		return Null, fmt.Errorf("relation: cannot parse into kind %v: %w", kind, ErrBadValue)
 	}
 }
 

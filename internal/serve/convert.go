@@ -1,0 +1,97 @@
+package serve
+
+import (
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// Builders from facade results to wire bodies. The handlers and the
+// HTTP-vs-library differential suite share these, so a comparison failure
+// always means the two sessions' states diverged — never that the test
+// re-implemented the conversion differently.
+
+func toMeasuresBody(m evolvefd.Measures) MeasuresBody {
+	return MeasuresBody{
+		Confidence:      m.Confidence,
+		ConfidenceRatio: m.ConfidenceRatio,
+		Goodness:        m.Goodness,
+		Exact:           m.Exact,
+	}
+}
+
+func buildCheck(violations []evolvefd.Violation) CheckResponse {
+	resp := CheckResponse{Consistent: len(violations) == 0, Violations: []ViolationBody{}}
+	for _, v := range violations {
+		resp.Violations = append(resp.Violations, ViolationBody{
+			Label: v.Label, FD: v.FD, Measures: toMeasuresBody(v.Measures), Rank: v.Rank,
+		})
+	}
+	return resp
+}
+
+func buildRepair(label string, suggestions []evolvefd.Suggestion) RepairResponse {
+	resp := RepairResponse{Label: label, Suggestions: []SuggestionBody{}}
+	for _, g := range suggestions {
+		resp.Suggestions = append(resp.Suggestions, SuggestionBody{
+			Added: g.Added, FD: g.FD, Measures: toMeasuresBody(g.Measures),
+		})
+	}
+	return resp
+}
+
+func buildDiscover(found []evolvefd.DiscoveredFD) DiscoverResponse {
+	resp := DiscoverResponse{Cover: []DiscoveredBody{}}
+	for _, d := range found {
+		resp.Cover = append(resp.Cover, DiscoveredBody{
+			FD: d.FD, Spec: d.Spec, Antecedent: d.Antecedent, Consequent: d.Consequent,
+		})
+	}
+	return resp
+}
+
+func buildSuggestions(suggestions []evolvefd.AdvisorSuggestion) SuggestionsResponse {
+	resp := SuggestionsResponse{Suggestions: []AdvisorBody{}}
+	for _, g := range suggestions {
+		resp.Suggestions = append(resp.Suggestions, AdvisorBody{
+			Kind: string(g.Kind), Label: g.Label, FD: g.FD, Spec: g.Spec,
+		})
+	}
+	return resp
+}
+
+func buildStats(name string, durable bool, s *evolvefd.Session) StatsResponse {
+	m := s.MemStats()
+	return StatsResponse{
+		Tenant:     name,
+		Durable:    durable,
+		Generation: s.Generation(),
+		Epoch:      m.Epoch,
+		LiveRows:   m.LiveRows,
+		FDs:        s.Labels(),
+		Mem: MemBody{
+			PhysicalRows:     m.PhysicalRows,
+			LiveRows:         m.LiveRows,
+			Tombstones:       m.Tombstones,
+			TombstoneRatio:   m.TombstoneRatio,
+			Segments:         m.Segments,
+			DirtySegments:    m.DirtySegments,
+			SegmentRows:      m.SegmentRows,
+			Epoch:            m.Epoch,
+			Compactions:      m.Compactions,
+			StorageBytes:     m.StorageBytes,
+			ReclaimableBytes: m.ReclaimableBytes,
+			DictEntries:      m.DictEntries,
+			TrackedSets:      m.TrackedSets,
+			CachedMeasures:   m.CachedMeasures,
+		},
+	}
+}
+
+func buildCompact(st evolvefd.CompactionStats) CompactResponse {
+	return CompactResponse{
+		Reclaimed: st.Reclaimed,
+		OldRows:   st.OldRows,
+		NewRows:   st.NewRows,
+		Moved:     st.Moved,
+		Epoch:     st.Epoch,
+	}
+}

@@ -1,0 +1,26 @@
+// Package serve is the network face of the FD advisor: a multi-tenant
+// HTTP/JSON service (fdserved) that hosts one Session per tenant dataset
+// and makes the paper's human-in-the-loop workflow callable — and
+// streamable — over the wire.
+//
+// A Registry owns the tenants. Each tenant is one evolvefd.Session —
+// durable (write-ahead logged under <data-dir>/<tenant>) when the registry
+// has a data directory, ephemeral otherwise — created by uploading a CSV
+// instance plus the FDs the designer believes in, and recovered from its
+// WAL+snapshot state when the server restarts. The Server mounts the
+// advisor surface under /v1/{tenant}: batched DML ingest (append, delete,
+// update), measure and violation queries (check, measures), the repair
+// search (repair, accept), incremental discovery (discover, suggestions),
+// session lifecycle (create, compact, flush, close) and a Server-Sent
+// Events feed (feed) that pushes emerged/broken FD suggestions to
+// subscribed designers in checkpoint order.
+//
+// Handlers ride the Session's own concurrency discipline: reads (check,
+// measures, repair, discover) run in parallel with each other across and
+// within tenants, mutations serialise per tenant behind the session's
+// RWMutex, and nothing in this package adds locking around the hot paths —
+// only tenant lookup and the SSE fan-out carry their own small mutexes.
+// Every Session error is classified with errors.Is against the facade's
+// sentinel errors and mapped to a typed JSON error body with a stable
+// status code; no handler matches error strings.
+package serve

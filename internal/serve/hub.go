@@ -1,0 +1,104 @@
+package serve
+
+import "sync"
+
+// subBuffer bounds each SSE subscriber's in-flight event queue. A
+// subscriber that falls this far behind the publish stream is dropped
+// (its channel closed) rather than allowed to stall every other designer's
+// feed — the client reconnects and resumes from live state.
+const subBuffer = 256
+
+// hub fans advisor events out to one tenant's SSE subscribers. Checkpoint
+// numbers are assigned under the hub lock in broadcast order, and events
+// are enqueued to every subscriber under the same lock, so each subscriber
+// observes checkpoints monotonically and events within a checkpoint in
+// Suggestions order.
+type hub struct {
+	mu         sync.Mutex
+	subs       map[chan FeedEvent]struct{}
+	checkpoint uint64
+	closed     bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan FeedEvent]struct{})}
+}
+
+// subscribe registers a listener. The returned cancel is idempotent and
+// safe to call after the hub dropped or closed the subscription.
+func (h *hub) subscribe() (<-chan FeedEvent, func()) {
+	ch := make(chan FeedEvent, subBuffer)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribers counts live listeners; publishers skip the Suggestions
+// computation entirely when it is zero.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// broadcast stamps the events with the next checkpoint number and enqueues
+// them to every subscriber. A subscriber whose buffer is full is dropped.
+func (h *hub) broadcast(events []FeedEvent) {
+	if len(events) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.checkpoint++
+	for i := range events {
+		events[i].Checkpoint = h.checkpoint
+	}
+	for ch := range h.subs {
+		ok := true
+		for _, ev := range events {
+			select {
+			case ch <- ev:
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close drops every subscriber; later subscribes get an already-closed
+// channel. Part of tenant close and server shutdown.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// Registry-level sentinel errors, mapped to status codes by the handlers.
+var (
+	// ErrUnknownTenant flags a request against a tenant the registry does
+	// not host.
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrTenantExists flags a create under a name already in use.
+	ErrTenantExists = errors.New("serve: tenant already exists")
+	// ErrRegistryClosed flags any operation after shutdown began.
+	ErrRegistryClosed = errors.New("serve: registry is closed")
+	// ErrBadTenantName flags a tenant name outside [A-Za-z0-9_-]{1,64} —
+	// names double as data subdirectory names, so they must be path-safe.
+	ErrBadTenantName = errors.New("serve: bad tenant name")
+)
+
+// tenantName is the path-safe tenant grammar.
+var tenantName = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// RegistryOptions configures tenant hosting.
+type RegistryOptions struct {
+	// DataDir, when non-empty, makes every tenant durable: its session is
+	// write-ahead logged under DataDir/<tenant> and recovered from there on
+	// restart. Empty hosts ephemeral in-memory tenants.
+	DataDir string
+	// Durability tunes the write-ahead logging of durable tenants (group
+	// commit, fsync, log rotation); ignored when DataDir is empty.
+	Durability evolvefd.DurabilityOptions
+}
+
+// Registry multiplexes tenant sessions behind one server: each tenant
+// dataset is one evolvefd.Session, created by CSV/FD upload or recovered
+// from its durable directory, and looked up per request. The registry
+// serialises only membership changes; per-tenant request concurrency is the
+// session's own.
+type Registry struct {
+	opts    RegistryOptions
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool
+}
+
+// Tenant is one hosted dataset: the session plus the tenant's SSE hub.
+type Tenant struct {
+	name    string
+	s       *evolvefd.Session
+	durable bool
+	hub     *hub
+	// pubMu serialises advisor-feed publishes, so checkpoint numbers are
+	// assigned in the order the Suggestions diffs were computed.
+	pubMu sync.Mutex
+}
+
+// Name returns the tenant's registry name.
+func (t *Tenant) Name() string { return t.name }
+
+// Session exposes the tenant's session (tests and the differential harness
+// reach the library twin surface through it).
+func (t *Tenant) Session() *evolvefd.Session { return t.s }
+
+// publish computes the advisor diff and broadcasts it to the tenant's SSE
+// subscribers — called after every successful mutation batch, skipped
+// entirely (no Suggestions call, so the one-shot endpoint's baseline is
+// untouched) while nobody subscribes.
+func (t *Tenant) publish() {
+	if t.hub.subscribers() == 0 {
+		return
+	}
+	t.pubMu.Lock()
+	defer t.pubMu.Unlock()
+	suggestions, err := t.s.Suggestions()
+	if err != nil || len(suggestions) == 0 {
+		return
+	}
+	events := make([]FeedEvent, 0, len(suggestions))
+	for _, g := range suggestions {
+		events = append(events, FeedEvent{
+			Kind: string(g.Kind), Label: g.Label, FD: g.FD, Spec: g.Spec,
+		})
+	}
+	t.hub.broadcast(events)
+}
+
+// NewRegistry builds an empty registry. With a DataDir, call Recover to
+// reopen the tenants a previous process left on disk.
+func NewRegistry(opts RegistryOptions) *Registry {
+	return &Registry{opts: opts, tenants: make(map[string]*Tenant)}
+}
+
+// Durable reports whether tenants are write-ahead logged.
+func (r *Registry) Durable() bool { return r.opts.DataDir != "" }
+
+// Recover scans the data directory and reopens every tenant with durable
+// session state, returning the recovered names. A subdirectory without
+// session state is skipped (it may be mid-create debris); a corrupt tenant
+// fails recovery loudly rather than serving a partial fleet.
+func (r *Registry) Recover() ([]string, error) {
+	if r.opts.DataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(r.opts.DataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() || !tenantName.MatchString(e.Name()) {
+			continue
+		}
+		dir := filepath.Join(r.opts.DataDir, e.Name())
+		if !evolvefd.HasSessionState(dir) {
+			continue
+		}
+		s, err := evolvefd.OpenSessionOptions(dir, r.opts.Durability)
+		if err != nil {
+			return names, fmt.Errorf("serve: recover tenant %q: %w", e.Name(), err)
+		}
+		r.mu.Lock()
+		r.tenants[e.Name()] = &Tenant{name: e.Name(), s: s, durable: true, hub: newHub()}
+		r.mu.Unlock()
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Create hosts a new tenant over an uploaded instance: parse the CSV,
+// define the FDs in order, and — under a data directory — open the durable
+// session (snapshot 1 is written before Create returns, so the tenant is
+// recoverable from its first mutation on).
+func (r *Registry) Create(name string, req CreateRequest) (*Tenant, error) {
+	if !tenantName.MatchString(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenantName, name)
+	}
+	rel, err := evolvefd.OpenCSVReader(name, strings.NewReader(req.CSV), evolvefd.CSVOptions{InferKinds: true})
+	if err != nil {
+		return nil, fmt.Errorf("%w: csv: %w", errBadRequest, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	if _, dup := r.tenants[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	var s *evolvefd.Session
+	if r.opts.DataDir != "" {
+		dir := filepath.Join(r.opts.DataDir, name)
+		if evolvefd.HasSessionState(dir) {
+			return nil, fmt.Errorf("%w: %q has durable state on disk (restart the server to recover it)", ErrTenantExists, name)
+		}
+		s, err = evolvefd.NewDurableSession(rel, dir, r.opts.Durability)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = evolvefd.NewSession(rel)
+	}
+	for _, fd := range req.FDs {
+		if err := s.Define(fd.Label, fd.Spec); err != nil {
+			s.Close()
+			if r.opts.DataDir != "" {
+				os.RemoveAll(filepath.Join(r.opts.DataDir, name))
+			}
+			return nil, err
+		}
+	}
+	t := &Tenant{name: name, s: s, durable: r.opts.DataDir != "", hub: newHub()}
+	r.tenants[name] = t
+	return t, nil
+}
+
+// Get looks a tenant up.
+func (r *Registry) Get(name string) (*Tenant, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	t, ok := r.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return t, nil
+}
+
+// List returns the hosted tenant names, sorted.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len counts hosted tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// Close flushes and closes one tenant's session, drops its SSE subscribers
+// and removes it from the registry. Durable state stays on disk: a server
+// restart recovers the tenant.
+func (r *Registry) Close(name string) error {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if ok {
+		delete(r.tenants, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	t.hub.close()
+	return t.s.Close()
+}
+
+// CloseAll is the shutdown path: refuse new lookups, drop every SSE
+// subscriber, and flush+close every session — the same discipline as
+// fdrepair's SIGINT handler, applied fleet-wide. The first close error is
+// returned (a non-nil return means some tenant's tail may not have reached
+// disk); every session is closed regardless.
+func (r *Registry) CloseAll() error {
+	r.mu.Lock()
+	r.closed = true
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.tenants = map[string]*Tenant{}
+	r.mu.Unlock()
+	var firstErr error
+	for _, t := range tenants {
+		t.hub.close()
+		if err := t.s.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: close tenant %q: %w", t.name, err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	evolvefd "github.com/evolvefd/evolvefd"
+)
+
+// newTestServer mounts a fresh Server over a registry with the given
+// options; the httptest server and every tenant session are torn down with
+// the test.
+func newTestServer(t *testing.T, opts RegistryOptions) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry(opts)
+	ts := httptest.NewServer(New(reg))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.CloseAll()
+	})
+	return ts, reg
+}
+
+// doReq issues one request and returns status and body.
+func doReq(t *testing.T, client *http.Client, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("NewRequest(%s %s): %v", method, url, err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read body: %v", method, url, err)
+	}
+	return resp.StatusCode, data
+}
+
+// mustReq issues one request and fails the test unless it answers
+// wantStatus.
+func mustReq(t *testing.T, client *http.Client, method, url, body string, wantStatus int) []byte {
+	t.Helper()
+	status, data := doReq(t, client, method, url, body)
+	if status != wantStatus {
+		t.Fatalf("%s %s = %d, want %d\nbody: %s", method, url, status, wantStatus, data)
+	}
+	return data
+}
+
+// jsonBody marshals a request body the same canonical way the server
+// marshals responses.
+func jsonBody(t *testing.T, v any) string {
+	t.Helper()
+	data, err := marshalCanonical(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}
+
+// wantBody renders the expected canonical response bytes for a wire value
+// (trailing newline included, exactly as writeJSON emits them).
+func wantBody(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := marshalCanonical(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return append(data, '\n')
+}
+
+// assertSameBody fails unless got is bit-identical to the canonical
+// rendering of want.
+func assertSameBody(t *testing.T, context string, got []byte, want any) {
+	t.Helper()
+	if expected := wantBody(t, want); !bytes.Equal(got, expected) {
+		t.Fatalf("%s: HTTP response diverged from library twin\nhttp: %s\ntwin: %s", context, got, expected)
+	}
+}
+
+// --- deterministic workload machinery (differential + isolation tests) ---
+
+// workloadCSV builds a deterministic initial instance over schema
+// A,B:int,C,D with small value domains, so defined FDs break and minimal
+// FDs emerge under DML.
+func workloadCSV(rng *rand.Rand, rows int) string {
+	var sb strings.Builder
+	sb.WriteString("A,B:int,C,D\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%s\n", strings.Join(randomCells(rng), ","))
+	}
+	return sb.String()
+}
+
+func randomCells(rng *rand.Rand) []string {
+	return []string{
+		fmt.Sprintf("a%d", rng.Intn(6)),
+		fmt.Sprintf("%d", rng.Intn(4)),
+		fmt.Sprintf("c%d", rng.Intn(3)),
+		fmt.Sprintf("d%d", rng.Intn(5)),
+	}
+}
+
+var workloadFDs = []FDDef{
+	{Label: "F1", Spec: "A -> C"},
+	{Label: "F2", Spec: "A, B -> D"},
+}
+
+// rowTracker mirrors the session's row-id space client-side: appends take
+// the next physical id, deletes tombstone without shifting, compaction
+// renumbers the live rows densely in order.
+type rowTracker struct {
+	live []int
+	phys int
+}
+
+func newRowTracker(initial int) *rowTracker {
+	rt := &rowTracker{phys: initial}
+	for i := 0; i < initial; i++ {
+		rt.live = append(rt.live, i)
+	}
+	return rt
+}
+
+func (rt *rowTracker) append(n int) {
+	for i := 0; i < n; i++ {
+		rt.live = append(rt.live, rt.phys)
+		rt.phys++
+	}
+}
+
+func (rt *rowTracker) pick(rng *rand.Rand) (idx, row int) {
+	idx = rng.Intn(len(rt.live))
+	return idx, rt.live[idx]
+}
+
+func (rt *rowTracker) delete(idx int) {
+	rt.live = append(rt.live[:idx], rt.live[idx+1:]...)
+}
+
+func (rt *rowTracker) compacted() {
+	for i := range rt.live {
+		rt.live[i] = i
+	}
+	rt.phys = len(rt.live)
+}
+
+// libraryTwin builds the library-side session for a workload seed — same
+// CSV, same FDs, driven by direct calls.
+func libraryTwin(t *testing.T, name string, seed int64, rows int) *evolvefd.Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rel, err := evolvefd.OpenCSVReader(name, strings.NewReader(workloadCSV(rng, rows)), evolvefd.CSVOptions{InferKinds: true})
+	if err != nil {
+		t.Fatalf("twin %s: parse CSV: %v", name, err)
+	}
+	s := evolvefd.NewSession(rel)
+	for _, fd := range workloadFDs {
+		if err := s.Define(fd.Label, fd.Spec); err != nil {
+			t.Fatalf("twin %s: define %s: %v", name, fd.Label, err)
+		}
+	}
+	return s
+}
