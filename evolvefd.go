@@ -74,10 +74,12 @@ type Options struct {
 	// value) means no threshold. A threshold of 0 keeps only bijective
 	// candidates, which is why "unset" must be distinguishable from 0.
 	MaxGoodness *int
-	// Parallelism bounds the worker goroutines of the repair search — both
-	// candidate evaluation and best-first frontier expansion. 0 means
-	// GOMAXPROCS, 1 runs serially. Suggestions are identical at every
-	// setting; only wall-clock time changes.
+	// Parallelism bounds the worker goroutines of the repair search —
+	// candidate evaluation, best-first frontier expansion, and the sharded
+	// partition products that materialise each expanded node's clusterings.
+	// 0 means GOMAXPROCS, 1 runs serially. Suggestions are identical at
+	// every setting; only wall-clock time changes (parallel products are
+	// bit-identical to serial ones, so scores never drift).
 	Parallelism int
 	// MinimalOnly prunes repairs that are supersets of other repairs.
 	MinimalOnly bool

@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-count", "ablation-parallel", "ablation-queue",
 		"ablation-objective", "incremental", "repairscale", "churn",
 		"discoverchurn", "compaction", "recovery", "replication",
-		"lineitemscale", "fdserved",
+		"lineitemscale", "fdserved", "products",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

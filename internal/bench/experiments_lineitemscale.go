@@ -44,27 +44,52 @@ type LineitemScaleResult struct {
 	SynthMillis float64 `json:"synth_millis"`
 	// FlatBuildMillis / LegacyBuildMillis time single-column partition builds
 	// over every attribute of lineitem (the discovery hot loop's substrate).
-	FlatBuildMillis   float64 `json:"flat_build_millis"`
-	LegacyBuildMillis float64 `json:"legacy_build_millis"`
-	BuildSpeedup      float64 `json:"build_speedup"`
+	// FlatBuildMillis runs at full parallelism (BuildProcs records the actual
+	// worker budget); FlatBuildSerialMillis pins GOMAXPROCS to 1 for the same
+	// pass, so the sharded build's contribution is attributable rather than
+	// folded into one machine-dependent number. The legacy build is inherently
+	// serial.
+	FlatBuildMillis       float64 `json:"flat_build_millis"`
+	FlatBuildSerialMillis float64 `json:"flat_build_serial_millis"`
+	BuildProcs            int     `json:"build_procs"`
+	LegacyBuildMillis     float64 `json:"legacy_build_millis"`
+	BuildSpeedup          float64 `json:"build_speedup"`
 	// FlatBytesPerRow / LegacyBytesPerRow total the retained partition bytes
 	// across all attributes divided by rows — the storage ablation.
 	FlatBytesPerRow   float64 `json:"flat_bytes_per_row"`
 	LegacyBytesPerRow float64 `json:"legacy_bytes_per_row"`
 	BytesPerRowRatio  float64 `json:"bytes_per_row_ratio"`
 	// FlatProductMillis / LegacyProductMillis time the two-attribute product
-	// over the Table 5 FD's columns ({l_partkey, l_suppkey}).
+	// over the Table 5 FD's columns ({l_partkey, l_suppkey}), built from
+	// scratch each side (FromSet — column builds included, for cross-PR
+	// continuity).
 	FlatProductMillis   float64 `json:"flat_product_millis"`
 	LegacyProductMillis float64 `json:"legacy_product_millis"`
+	// The kernel-level product ablation times exactly one stripped product of
+	// the two pre-built FD-pair columns: serial materialising, sharded
+	// parallel (ProductProcs workers), count-only, and the probe-scatter
+	// fallback with the word kernels ablated. ProductCountOK records the
+	// built-in cross-check that the count-only kernel returned the
+	// materialised product's class count.
+	ProductSerialMillis   float64 `json:"product_serial_millis"`
+	ProductParallelMillis float64 `json:"product_parallel_millis"`
+	ProductCountMillis    float64 `json:"product_count_millis"`
+	ProductProbeMillis    float64 `json:"product_probe_millis"`
+	ProductProcs          int     `json:"product_procs"`
+	ProductCountOK        bool    `json:"product_count_ok"`
 	// DifferentialRows / DifferentialOK report the flat-vs-legacy clustering
 	// equality check (run on a reduced prefix when rows is large, so the
 	// correctness evidence ships with every JSON result).
 	DifferentialRows int  `json:"differential_rows"`
 	DifferentialOK   bool `json:"differential_ok"`
-	// RepairMillis times the find-all repair of l_partkey → l_suppkey with
-	// one added attribute (the paper's Table 5 lineitem row).
-	RepairMillis float64 `json:"repair_millis"`
-	NumRepairs   int     `json:"num_repairs"`
+	// RepairMillis times the find-all repair of l_partkey → l_suppkey at full
+	// parallelism (RepairProcs workers); RepairSerialMillis the same search at
+	// Parallelism 1. When the machine has one core the configurations are
+	// identical and one measurement serves both.
+	RepairMillis       float64 `json:"repair_millis"`
+	RepairSerialMillis float64 `json:"repair_serial_millis"`
+	RepairProcs        int     `json:"repair_procs"`
+	NumRepairs         int     `json:"num_repairs"`
 }
 
 // heapUsed settles the collector (two cycles, so pool-cached scratch is
@@ -174,8 +199,18 @@ func RunLineitemScale(cfg Config, rows int) (LineitemScaleResult, error) {
 	}
 	pair := fd.X.Union(fd.Y)
 
+	res.BuildProcs = runtime.GOMAXPROCS(0)
 	res.FlatBuildMillis, res.LegacyBuildMillis, res.FlatBytesPerRow, res.LegacyBytesPerRow =
 		lineitemBuildAblation(rel)
+	if res.BuildProcs == 1 {
+		// Serial and parallel builds are the same configuration; reuse the
+		// measurement instead of paying a second full pass.
+		res.FlatBuildSerialMillis = res.FlatBuildMillis
+	} else {
+		prev := runtime.GOMAXPROCS(1)
+		res.FlatBuildSerialMillis, _, _, _ = lineitemBuildAblation(rel)
+		runtime.GOMAXPROCS(prev)
+	}
 	if res.FlatBuildMillis > 0 {
 		res.BuildSpeedup = res.LegacyBuildMillis / res.FlatBuildMillis
 	}
@@ -193,6 +228,25 @@ func RunLineitemScale(cfg Config, rows int) (LineitemScaleResult, error) {
 	res.LegacyProductMillis = bestOfTwo(func() {
 		legacyPair = pli.LegacyFromSet(rel, pair)
 	})
+
+	// Kernel-level ablation on the same pair: one stripped product of the two
+	// pre-built columns through each dispatch path.
+	res.ProductProcs = runtime.GOMAXPROCS(0)
+	pairCols := pair.Members()
+	pp, pq := pli.FromColumn(rel, pairCols[0]), pli.FromColumn(rel, pairCols[1])
+	var serialProduct *pli.Partition
+	res.ProductSerialMillis = bestOfTwo(func() { serialProduct = pp.Product(pq, nil) })
+	res.ProductParallelMillis = bestOfTwo(func() { pp.ProductParallel(pq, res.ProductProcs) })
+	count := 0
+	res.ProductCountMillis = bestOfTwo(func() { count = pp.ProductCount(pq, nil) })
+	res.ProductCountOK = count == serialProduct.NumClasses()
+	prevKernels := pli.SetWordKernels(false)
+	res.ProductProbeMillis = bestOfTwo(func() { pp.Product(pq, nil) })
+	pli.SetWordKernels(prevKernels)
+	if !res.ProductCountOK {
+		return res, fmt.Errorf("bench: lineitemscale ProductCount %d diverged from materialised product (%d classes)",
+			count, serialProduct.NumClasses())
+	}
 
 	// Differential: the full relation when small, a reduced regeneration
 	// when the timed run is at scale (the check is O(rows·cols) legacy-side).
@@ -214,14 +268,27 @@ func RunLineitemScale(cfg Config, rows int) (LineitemScaleResult, error) {
 	if maxAdded <= 0 {
 		maxAdded = 2
 	}
-	counter := pli.NewPLICounter(rel)
-	start = time.Now()
-	repair := core.FindRepairs(counter, fd, core.RepairOptions{
-		MaxAdded:   maxAdded,
-		Candidates: core.CandidateOptions{Parallelism: cfg.Parallelism},
-	})
-	res.RepairMillis = float64(time.Since(start).Microseconds()) / 1000
-	res.NumRepairs = len(repair.Repairs)
+	res.RepairProcs = runtime.GOMAXPROCS(0)
+	if cfg.Parallelism > 0 {
+		res.RepairProcs = cfg.Parallelism
+	}
+	timeRepair := func(parallelism int) (float64, int) {
+		counter := pli.NewPLICounter(rel)
+		start := time.Now()
+		repair := core.FindRepairs(counter, fd, core.RepairOptions{
+			MaxAdded:    maxAdded,
+			Parallelism: parallelism,
+			Candidates:  core.CandidateOptions{Parallelism: parallelism},
+		})
+		return float64(time.Since(start).Microseconds()) / 1000, len(repair.Repairs)
+	}
+	res.RepairMillis, res.NumRepairs = timeRepair(cfg.Parallelism)
+	if res.RepairProcs == 1 {
+		// One worker is one worker: the serial configuration is identical.
+		res.RepairSerialMillis = res.RepairMillis
+	} else {
+		res.RepairSerialMillis, _ = timeRepair(1)
+	}
 	if res.NumRepairs == 0 {
 		return res, fmt.Errorf("bench: lineitemscale found no repair — dataset shape broken")
 	}
@@ -258,11 +325,24 @@ func renderLineitemScale(res LineitemScaleResult, w io.Writer) error {
 	if _, err := io.WriteString(w, tab.Render()); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, `find-all repair of %s (≤2 added attrs): %s, %d repairs.
+	ms := func(v float64) string { return fmtDuration(time.Duration(v * float64(time.Millisecond))) }
+	kernels := texttable.New(
+		fmt.Sprintf("product kernels on the FD pair (procs: build %d, product %d, repair %d)",
+			res.BuildProcs, res.ProductProcs, res.RepairProcs),
+		"path", "time").AlignRight(1)
+	kernels.Add("flat build, serial", ms(res.FlatBuildSerialMillis))
+	kernels.Add("product, serial", ms(res.ProductSerialMillis))
+	kernels.Add("product, sharded parallel", ms(res.ProductParallelMillis))
+	kernels.Add("product, count-only", ms(res.ProductCountMillis))
+	kernels.Add("product, probe fallback (kernels off)", ms(res.ProductProbeMillis))
+	if _, err := io.WriteString(w, kernels.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, `find-all repair of %s (≤2 added attrs): %s parallel, %s serial, %d repairs.
 differential: flat and legacy clusterings identical over every attribute and
-the FD pair at %d rows (checked this run).
+the FD pair at %d rows; count-only product cross-checked (this run).
 `, tpch.Table5FDs()["lineitem"],
-		fmtDuration(time.Duration(res.RepairMillis*float64(time.Millisecond))),
+		ms(res.RepairMillis), ms(res.RepairSerialMillis),
 		res.NumRepairs, res.DifferentialRows)
 	return err
 }

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+
+	"github.com/evolvefd/evolvefd/internal/bitset"
+	"github.com/evolvefd/evolvefd/internal/cluster"
+	"github.com/evolvefd/evolvefd/internal/entropy"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/relation"
+	"github.com/evolvefd/evolvefd/internal/texttable"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "products",
+		Title:   "product kernel dispatch ablation: probe scatter vs word AND/popcount, materialise vs count-only",
+		Run:     runProducts,
+		RunJSON: func(cfg Config) (any, error) { return RunProducts(cfg) },
+		Render: func(v any, w io.Writer) error {
+			res, ok := v.(ProductsResult)
+			if !ok {
+				return fmt.Errorf("bench: products render got %T", v)
+			}
+			return renderProducts(res, w)
+		},
+	})
+}
+
+// ProductKernelCase is one quadrant of the kernel dispatch table, measured on
+// a lineitem column pair whose class storage forms select that quadrant.
+type ProductKernelCase struct {
+	// Name identifies the operand shapes, e.g. "dense×dense".
+	Name string `json:"name"`
+	// P / Q name the lineitem columns; PDense / QDense count their
+	// bitmap-backed classes (0 means pure arena storage).
+	P      string `json:"p"`
+	Q      string `json:"q"`
+	PDense int    `json:"p_dense_classes"`
+	QDense int    `json:"q_dense_classes"`
+	// ProductNsPerRow / CountNsPerRow / ProbeNsPerRow time one materialising
+	// product, one count-only product, and one probe-fallback product (word
+	// kernels ablated), normalised per relation row.
+	ProductNsPerRow float64 `json:"product_ns_per_row"`
+	CountNsPerRow   float64 `json:"count_ns_per_row"`
+	ProbeNsPerRow   float64 `json:"probe_ns_per_row"`
+	// ParallelNsPerRow times the sharded parallel product at Procs workers.
+	ParallelNsPerRow float64 `json:"parallel_ns_per_row"`
+	// CountAllocs is the steady-state allocation count of one count-only
+	// product (0 for the all-dense quadrant — the pure popcount path).
+	CountAllocs float64 `json:"count_allocs"`
+	// Classes is the product's class count; the correctness cross-checks
+	// (count vs materialised, ablated vs word kernels, entropy from stripped
+	// sizes vs cluster-based) all passed when OK is true.
+	Classes int  `json:"classes"`
+	OK      bool `json:"ok"`
+}
+
+// ProductsResult is the machine-readable outcome of the products experiment
+// (written to BENCH_products.json by fdbench -json).
+type ProductsResult struct {
+	Rows  int                 `json:"rows"`
+	Procs int                 `json:"procs"`
+	Cases []ProductKernelCase `json:"cases"`
+}
+
+// productsDefaultRows keeps the ablation in the seconds range: large enough
+// that low-cardinality lineitem columns cross the dense-bitmap cut, small
+// enough for CI.
+const productsDefaultRows = 500_000
+
+// timeNsPerRow times fn (best of two GC-settled reps, in milliseconds) and
+// normalises to nanoseconds per relation row.
+func timeNsPerRow(rows int, fn func()) float64 {
+	return bestOfTwo(fn) * 1e6 / float64(rows)
+}
+
+// RunProducts measures every quadrant of the kernel dispatch table on
+// synthetic lineitem column pairs and cross-checks each kernel against the
+// materialised product.
+func RunProducts(cfg Config) (ProductsResult, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = int(float64(productsDefaultRows) * cfg.scale() / DefaultScale)
+		if rows < 50_000 {
+			rows = 50_000
+		}
+	}
+	rel := lineitemFor(rows, cfg.seed())
+	res := ProductsResult{Rows: rel.NumRows(), Procs: runtime.GOMAXPROCS(0)}
+
+	// Column picks by storage form: returnflag/linestatus/shipmode have a
+	// handful of huge classes (dense bitmaps at this scale); partkey/suppkey
+	// are high-cardinality arena-only columns.
+	col := func(name string) int { return rel.Schema().Index(name) }
+	type pick struct{ name, p, q string }
+	picks := []pick{
+		{"dense×dense", "l_returnflag", "l_shipmode"},
+		{"dense×sparse", "l_returnflag", "l_suppkey"},
+		{"sparse×dense", "l_suppkey", "l_returnflag"},
+		{"sparse×sparse", "l_partkey", "l_suppkey"},
+	}
+	for _, pk := range picks {
+		pc, qc := col(pk.p), col(pk.q)
+		if pc < 0 || qc < 0 {
+			return res, fmt.Errorf("bench: products: column %s/%s missing from lineitem", pk.p, pk.q)
+		}
+		c, err := measureProductCase(rel, pk.name, pk.p, pk.q, pc, qc, res.Procs)
+		if err != nil {
+			return res, err
+		}
+		res.Cases = append(res.Cases, c)
+	}
+	return res, nil
+}
+
+// measureProductCase times one column pair through every kernel path and runs
+// the correctness cross-checks.
+func measureProductCase(rel *relation.Relation, name, pName, qName string, pc, qc, procs int) (ProductKernelCase, error) {
+	p, q := pli.FromColumn(rel, pc), pli.FromColumn(rel, qc)
+	c := ProductKernelCase{
+		Name: name, P: pName, Q: qName,
+		PDense: p.NumDenseClasses(), QDense: q.NumDenseClasses(),
+	}
+	rows := rel.NumRows()
+
+	built := p.Product(q, nil)
+	c.Classes = built.NumClasses()
+	c.ProductNsPerRow = timeNsPerRow(rows, func() { p.Product(q, nil) })
+	c.CountNsPerRow = timeNsPerRow(rows, func() { p.ProductCount(q, nil) })
+	c.ParallelNsPerRow = timeNsPerRow(rows, func() { p.ProductParallel(q, procs) })
+	prev := pli.SetWordKernels(false)
+	probed := p.Product(q, nil)
+	probedCount := p.ProductCount(q, nil)
+	c.ProbeNsPerRow = timeNsPerRow(rows, func() { p.Product(q, nil) })
+	pli.SetWordKernels(prev)
+	c.CountAllocs = testingAllocsPerRun(20, func() { p.ProductCount(q, nil) })
+
+	// Cross-checks: every path lands on the same clustering and count, and the
+	// stripped-size entropy matches the cluster-based computation on the
+	// product's attribute pair.
+	countOK := p.ProductCount(q, nil) == c.Classes && probedCount == c.Classes
+	clusteringOK := built.EqualPartition(probed) && built.EqualPartition(p.ProductParallel(q, procs))
+	hSizes := entropy.OfClassSizes(p.ProductStrippedSizes(q, nil), built.NumRows())
+	hCluster := entropy.Entropy(cluster.New(rel, bitset.New(pc, qc)))
+	entropyOK := math.Abs(hSizes-hCluster) < 1e-6
+	c.OK = countOK && clusteringOK && entropyOK
+	if !c.OK {
+		return c, fmt.Errorf("bench: products %s cross-check failed (count %v, clustering %v, entropy %v: %.9f vs %.9f)",
+			name, countOK, clusteringOK, entropyOK, hSizes, hCluster)
+	}
+	return c, nil
+}
+
+// testingAllocsPerRun mirrors testing.AllocsPerRun without importing the
+// testing package into a non-test binary.
+func testingAllocsPerRun(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm pools and caches
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// runProducts measures the ablation and renders it.
+func runProducts(cfg Config, w io.Writer) error {
+	res, err := RunProducts(cfg)
+	if err != nil {
+		return err
+	}
+	return renderProducts(res, w)
+}
+
+func renderProducts(res ProductsResult, w io.Writer) error {
+	tab := texttable.New(
+		fmt.Sprintf("product kernels on lineitem (%d rows, %d procs; ns/row, best of two)", res.Rows, res.Procs),
+		"quadrant", "pair", "probe", "product", "parallel", "count", "count allocs").
+		AlignRight(2, 3, 4, 5, 6)
+	for _, c := range res.Cases {
+		tab.Add(c.Name,
+			fmt.Sprintf("%s·%s", c.P, c.Q),
+			fmt.Sprintf("%.2f", c.ProbeNsPerRow),
+			fmt.Sprintf("%.2f", c.ProductNsPerRow),
+			fmt.Sprintf("%.2f", c.ParallelNsPerRow),
+			fmt.Sprintf("%.2f", c.CountNsPerRow),
+			fmt.Sprintf("%.0f", c.CountAllocs))
+	}
+	if _, err := io.WriteString(w, tab.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, `every case cross-checked this run: count-only equals the materialised class
+count, ablated and parallel products induce identical clusterings, and the
+stripped-size entropy matches the cluster-based computation.
+`)
+	return err
+}

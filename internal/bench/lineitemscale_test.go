@@ -1,8 +1,13 @@
 package bench
 
 import (
+	"runtime"
 	"runtime/debug"
 	"testing"
+
+	"github.com/evolvefd/evolvefd/internal/core"
+	"github.com/evolvefd/evolvefd/internal/pli"
+	"github.com/evolvefd/evolvefd/internal/tpch"
 )
 
 // TestLineitemScaleDifferential runs the full experiment at a reduced row
@@ -65,4 +70,63 @@ func TestLineitemColumnarAcceptance(t *testing.T) {
 	}
 	t.Fatalf("columnar ablation below gate: build %.0fms vs %.0fms legacy (%.1f×, want ≥2×), %.1f vs %.1f B/row (%.1f×, want ≥2×)",
 		flatMs, legMs, legMs/flatMs, flatBPR, legBPR, legBPR/flatBPR)
+}
+
+// TestLineitemProductKernelAcceptance is the product-kernel perf gate on the
+// same 1M-row lineitem FD pair: the count-only product must beat the
+// materialising product ≥1.5× (it writes no arena, no offsets, no bitmaps),
+// and the sharded parallel product must beat the serial one ≥2× when enough
+// cores exist to make that a fair ask. Best of three GC-pinned attempts per
+// ratio, the de-flake idiom of the columnar gate above.
+func TestLineitemProductKernelAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row kernel gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector; differential covers correctness")
+	}
+	const rows = 1_000_000
+	rel := lineitemFor(rows, 20160315)
+	fd, err := core.ParseFD(rel.Schema(), "F1", tpch.Table5FDs()["lineitem"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairCols := fd.X.Union(fd.Y).Members()
+	p, q := pli.FromColumn(rel, pairCols[0]), pli.FromColumn(rel, pairCols[1])
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	want := p.Product(q, nil).NumClasses()
+	if got := p.ProductCount(q, nil); got != want {
+		t.Fatalf("ProductCount = %d, materialised product has %d classes", got, want)
+	}
+
+	countRatio := 0.0
+	for attempt := 0; attempt < 3 && countRatio < 1.5; attempt++ {
+		serial := bestOfTwo(func() { p.Product(q, nil) })
+		count := bestOfTwo(func() { p.ProductCount(q, nil) })
+		if r := serial / count; r > countRatio {
+			countRatio = r
+		}
+	}
+	if countRatio < 1.5 {
+		t.Fatalf("count-only product only %.2f× over materialised, want ≥1.5×", countRatio)
+	}
+	t.Logf("count-only product %.1f× over materialised", countRatio)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		t.Skipf("parallel-product speedup gate needs ≥4 workers, have %d", workers)
+	}
+	parRatio := 0.0
+	for attempt := 0; attempt < 3 && parRatio < 2; attempt++ {
+		serial := bestOfTwo(func() { p.Product(q, nil) })
+		par := bestOfTwo(func() { p.ProductParallel(q, workers) })
+		if r := serial / par; r > parRatio {
+			parRatio = r
+		}
+	}
+	if parRatio < 2 {
+		t.Fatalf("parallel product only %.2f× over serial at %d workers, want ≥2×", parRatio, workers)
+	}
+	t.Logf("parallel product %.1f× over serial at %d workers", parRatio, workers)
 }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProductsExperiment runs the kernel ablation at a reduced row count and
+// checks its built-in cross-checks: every quadrant's count-only, ablated, and
+// parallel products must agree with the materialised one, the dense×dense
+// quadrant must actually dispatch to bitmaps on both sides and count without
+// allocating, and the sparse×sparse quadrant must stay arena-only.
+func TestProductsExperiment(t *testing.T) {
+	res, err := RunProducts(Config{Seed: 20160315, Rows: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 4 {
+		t.Fatalf("got %d cases, want 4", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.OK {
+			t.Fatalf("case %s failed its cross-checks", c.Name)
+		}
+		if c.Classes <= 0 {
+			t.Fatalf("case %s: product has %d classes", c.Name, c.Classes)
+		}
+		switch {
+		case c.Name == "dense×dense":
+			if c.PDense == 0 || c.QDense == 0 {
+				t.Fatalf("dense×dense picked non-dense operands (%d, %d dense classes)", c.PDense, c.QDense)
+			}
+			if !raceEnabled && c.CountAllocs != 0 {
+				t.Fatalf("dense×dense count-only allocates %.0f objects/run, want 0", c.CountAllocs)
+			}
+		case c.Name == "sparse×sparse":
+			if c.PDense != 0 || c.QDense != 0 {
+				t.Fatalf("sparse×sparse picked dense operands (%d, %d dense classes)", c.PDense, c.QDense)
+			}
+		case strings.Contains(c.Name, "dense"):
+			if c.PDense+c.QDense == 0 {
+				t.Fatalf("mixed case %s has no dense operand", c.Name)
+			}
+		}
+	}
+}

@@ -216,7 +216,13 @@ type expandTask struct {
 // still fan out.
 func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 	start := time.Now()
-	res := RepairResult{FD: fd, Initial: Compute(counter, fd)}
+	workers := opts.workerCount()
+	var sc pli.SearchCounter
+	if !opts.NoPartitionReuse {
+		sc, _ = counter.(pli.SearchCounter)
+	}
+
+	res := RepairResult{FD: fd, Initial: computeInitial(counter, sc, fd, workers)}
 	if res.Initial.Exact() {
 		res.Stats.Exhausted = true
 		res.Stats.Elapsed = time.Since(start)
@@ -239,12 +245,6 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 		}
 		return float64(size) + m.Inconsistency() + lambda*math.Abs(float64(m.Goodness))
 	}
-	workers := opts.workerCount()
-	var sc pli.SearchCounter
-	if !opts.NoPartitionReuse {
-		sc, _ = counter.(pli.SearchCounter)
-	}
-
 	q := &nodeQueue{balanced: balanced}
 	q.nodes = make([]*node, 0, 2*len(pool))
 	heap.Init(q)
@@ -267,10 +267,36 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 		return maxAdded + 1
 	}
 
-	// Seed with all single-attribute extensions (ExtendByOne).
-	for _, c := range ExtendByOne(counter, fd, opts.Candidates) {
-		res.Stats.Evaluated++
-		push(bitset.New(c.Attr), c.Measures)
+	// Seed with all single-attribute extensions (ExtendByOne). With a
+	// search-aware counter the candidates are scored through the count-only
+	// product kernel off the root partitions — same integers, no child
+	// partitions materialised; the queue's total order makes the push order
+	// irrelevant, so ExtendByOne's sort is not needed here.
+	if sc != nil {
+		pX0, pXY0 := sc.PartitionPar(fd.X, workers), sc.PartitionPar(fd.Attrs(), workers)
+		seed := make([]expandTask, len(pool))
+		for i, attr := range pool {
+			seed[i] = expandTask{
+				extX: fd.X, extXY: fd.Attrs(), extY: fd.Y,
+				pX: pX0, pXY: pXY0, attr: attr,
+			}
+		}
+		evalTasks(counter, sc, res.Initial.NumY, seed, workers)
+		for i := range seed {
+			t := &seed[i]
+			if opts.Candidates.MaxGoodness != nil && abs(t.m.Goodness) > *opts.Candidates.MaxGoodness {
+				continue
+			}
+			// ExtendByOne filters before its caller counts, so only kept
+			// candidates show up in Evaluated — mirror that for identical stats.
+			res.Stats.Evaluated++
+			push(bitset.New(t.attr), t.m)
+		}
+	} else {
+		for _, c := range ExtendByOne(counter, fd, opts.Candidates) {
+			res.Stats.Evaluated++
+			push(bitset.New(c.Attr), c.Measures)
+		}
 	}
 
 	// Nodes tied at the current priority level are popped and processed as
@@ -348,8 +374,8 @@ func FindRepairs(counter pli.Counter, fd FD, opts RepairOptions) RepairResult {
 			// IncrementalCounter set would otherwise re-materialise per task.
 			var pX, pXY *pli.Partition
 			if sc != nil {
-				pX = sc.Partition(extFD.X)
-				pXY = sc.Partition(extXY)
+				pX = sc.PartitionPar(extFD.X, workers)
+				pXY = sc.PartitionPar(extXY, workers)
 			}
 			for _, attr := range pool {
 				if attr <= maxIdx {
@@ -413,13 +439,29 @@ func evalTasks(counter pli.Counter, sc pli.SearchCounter, numY int, tasks []expa
 
 // computeChild derives the child FD's measures from the parent's
 // materialised partitions (threaded through the task): each of |π_X'| and
-// |π_X'Y| is one stripped product (parent · singleton) instead of a generic
-// cache probe that rebuilds from single-column factors on a miss. |π_Y| is
-// constant across the whole search and passed in. The counts are the same
-// integers the generic path computes, so measures are bit-identical.
+// |π_X'Y| is one count-only stripped product (parent · singleton) instead of
+// a generic cache probe that rebuilds from single-column factors on a miss —
+// no child arena is allocated or written unless the node is later expanded,
+// at which point PartitionPar materialises it. |π_Y| is constant across the
+// whole search and passed in. The counts are the same integers the generic
+// path computes, so measures are bit-identical.
 func computeChild(sc pli.SearchCounter, t *expandTask, numY int) Measures {
-	numX := sc.ChildPartition(t.extX, t.pX, t.attr).NumClasses()
-	numXY := sc.ChildPartition(t.extXY, t.pXY, t.attr).NumClasses()
+	numX := sc.ChildCount(t.extX, t.pX, t.attr)
+	numXY := sc.ChildCount(t.extXY, t.pXY, t.attr)
+	return NewMeasures(numX, numXY, numY)
+}
+
+// computeInitial scores the root FD. A search-aware counter builds the three
+// root partitions with the sharded parallel product (they are reused by the
+// seeding wave and cached for the whole search); the generic path is one
+// Compute, exactly as before.
+func computeInitial(counter pli.Counter, sc pli.SearchCounter, fd FD, workers int) Measures {
+	if sc == nil {
+		return Compute(counter, fd)
+	}
+	numX := sc.PartitionPar(fd.X, workers).NumClasses()
+	numXY := sc.PartitionPar(fd.Attrs(), workers).NumClasses()
+	numY := sc.PartitionPar(fd.Y, workers).NumClasses()
 	return NewMeasures(numX, numXY, numY)
 }
 

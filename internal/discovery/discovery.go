@@ -67,14 +67,23 @@ func MinimalFDs(counter pli.Counter, opts Options) ([]core.FD, Stats) {
 
 	// A counter that hands out partitions answers validity by the refinement
 	// probe — X → A holds iff π_X refines π_A — which exits at the first
-	// split instead of building and counting the full X∪A product. Counters
-	// without partition handles (hash, sort, SQL) keep the count equality.
+	// split instead of building and counting the full X∪A product. When both
+	// partitions are all-dense (bitmap-backed classes only) the word-parallel
+	// count-only product answers the same question by pure AND/popcount with
+	// zero allocation, which beats the per-row probe walk. Counters without
+	// partition handles (hash, sort, SQL) keep the count equality.
 	partitions, _ := counter.(interface {
 		Partition(x bitset.Set) *pli.Partition
 	})
 	valid := func(x, ySet bitset.Set) bool {
 		if partitions != nil {
-			return partitions.Partition(x).RefinesOrEquals(partitions.Partition(ySet))
+			px, py := partitions.Partition(x), partitions.Partition(ySet)
+			if px.AllDense() && py.AllDense() && px.NumStrippedClasses() > 0 {
+				// X → A iff π_{XA} does not split π_X, i.e. the product count
+				// equals |π_X|.
+				return px.ProductCount(py, nil) == px.NumClasses()
+			}
+			return px.RefinesOrEquals(py)
 		}
 		return counter.Count(x) == counter.Count(x.Union(ySet))
 	}

@@ -26,16 +26,26 @@ type Counter interface {
 // SearchCounter is a Counter that additionally exposes its materialised
 // partitions, so a repair search can thread a parent node's partition handle
 // through expansion: each child X∪U∪{a} then costs one stripped product
-// (parent · singleton) instead of a from-scratch fold over single columns.
+// (parent · singleton) instead of a from-scratch fold over single columns —
+// and, for scoring, one count-only product that materialises nothing at all.
 // PLICounter and IncrementalCounter implement it.
 type SearchCounter interface {
 	Counter
 	// Partition returns the (memoised) stripped partition of x.
 	Partition(x bitset.Set) *Partition
+	// PartitionPar is Partition with any uncached products fanned across
+	// `workers` goroutines (ProductParallel). Intended for serial call sites
+	// (a search's frontier walk); results are identical to Partition.
+	PartitionPar(x bitset.Set, workers int) *Partition
 	// ChildPartition returns the partition of x ∪ {attr}, built as a single
 	// product off the already-materialised parent partition of x when it is
 	// not cached yet. parent must be the partition of x.
 	ChildPartition(x bitset.Set, parent *Partition, attr int) *Partition
+	// ChildCount returns |π_{x∪{attr}}| — ChildPartition(...).NumClasses() —
+	// via the count-only product kernel when the child partition is not
+	// already cached. Nothing is materialised or memoised on a miss: child
+	// scoring needs sizes, not members. parent must be the partition of x.
+	ChildCount(x bitset.Set, parent *Partition, attr int) int
 }
 
 // Strategy names a Counter construction; used by CLI flags and the ablation
@@ -262,6 +272,17 @@ func (c *PLICounter) putScratch(s *productScratch) { putScratch(s) }
 // Partition returns the (memoised) stripped partition for x. Concurrent
 // requests for the same uncached set build it exactly once.
 func (c *PLICounter) Partition(x bitset.Set) *Partition {
+	return c.partition(x, 1)
+}
+
+// PartitionPar is Partition with uncached products fanned across `workers`
+// goroutines. Meant for serial call sites; the memoised result is shared with
+// Partition and identical to it.
+func (c *PLICounter) PartitionPar(x bitset.Set, workers int) *Partition {
+	return c.partition(x, workers)
+}
+
+func (c *PLICounter) partition(x bitset.Set, workers int) *Partition {
 	c.syncEpoch()
 	members := x.Members()
 	key := x.Key()
@@ -273,7 +294,7 @@ func (c *PLICounter) Partition(x bitset.Set) *Partition {
 		<-e.done
 		return e.p
 	}
-	e.p = c.buildMulti(x, members)
+	e.p = c.buildMulti(x, members, workers)
 	close(e.done)
 	return e.p
 }
@@ -303,6 +324,24 @@ func (c *PLICounter) ChildPartition(x bitset.Set, parent *Partition, attr int) *
 	return e.p
 }
 
+// ChildCount returns |π_{x∪{attr}}| for child scoring: a cached child
+// partition is counted directly; otherwise one count-only product off the
+// parent partition — nothing is materialised, nothing enters the cache, and
+// no singleflight entry is published (a count is too cheap to coordinate).
+func (c *PLICounter) ChildCount(x bitset.Set, parent *Partition, attr int) int {
+	c.syncEpoch()
+	child := x.With(attr)
+	members := child.Members()
+	key := child.Key()
+	if len(members) <= 1 {
+		return c.pinnedPartition(key, members).NumClasses()
+	}
+	if p, ok := c.shard(key).peek(key); ok {
+		return p.NumClasses()
+	}
+	return parent.ProductCount(c.Partition(bitset.New(attr)), nil)
+}
+
 // pinnedPartition serves the empty-set and single-column partitions, built
 // once under singleflight and never evicted.
 func (c *PLICounter) pinnedPartition(key string, members []int) *Partition {
@@ -326,20 +365,27 @@ func (c *PLICounter) pinnedPartition(key string, members []int) *Partition {
 
 // buildMulti constructs a multi-column partition: from the largest cached
 // proper subset if one is ready (removing one attribute at a time),
-// otherwise by folding single columns left to right.
-func (c *PLICounter) buildMulti(x bitset.Set, members []int) *Partition {
+// otherwise by folding single columns left to right. With workers > 1 each
+// product is a sharded ProductParallel (bit-identical to serial).
+func (c *PLICounter) buildMulti(x bitset.Set, members []int, workers int) *Partition {
 	c.builds.Add(1)
 	scratch := c.getScratch()
 	defer c.putScratch(scratch)
+	product := func(base, factor *Partition) *Partition {
+		if workers > 1 {
+			return base.ProductParallel(factor, workers)
+		}
+		return base.Product(factor, scratch)
+	}
 	for _, m := range members {
 		sub := x.Without(m)
 		if base, ok := c.shard(sub.Key()).peek(sub.Key()); ok {
-			return base.Product(c.Partition(bitset.New(m)), scratch)
+			return product(base, c.Partition(bitset.New(m)))
 		}
 	}
 	p := c.Partition(bitset.New(members[0]))
 	for _, m := range members[1:] {
-		p = p.Product(c.Partition(bitset.New(m)), scratch)
+		p = product(p, c.Partition(bitset.New(m)))
 	}
 	return p
 }

@@ -1075,6 +1075,34 @@ func (c *IncrementalCounter) ChildPartition(x bitset.Set, parent *Partition, att
 	return inner.ChildPartition(x, parent, attr)
 }
 
+// ChildCount returns |π_{x∪{attr}}| through the inner PLICounter's count-only
+// kernel (one popcount/probe pass off the parent partition, nothing
+// materialised). The relation must not be mutated concurrently with an
+// in-flight search.
+func (c *IncrementalCounter) ChildCount(x bitset.Set, parent *Partition, attr int) int {
+	c.mu.Lock()
+	c.sync()
+	inner := c.delegate()
+	c.mu.Unlock()
+	return inner.ChildCount(x, parent, attr)
+}
+
+// PartitionPar materialises the stripped partition of x with uncached
+// products sharded across `workers` goroutines. Tracked sets already
+// materialise in one pass from the live cluster map, so they take the
+// Partition path unchanged.
+func (c *IncrementalCounter) PartitionPar(x bitset.Set, workers int) *Partition {
+	c.mu.Lock()
+	c.sync()
+	if _, ok := c.tracked[x.Key()]; ok {
+		c.mu.Unlock()
+		return c.Partition(x)
+	}
+	inner := c.delegate()
+	c.mu.Unlock()
+	return inner.PartitionPar(x, workers)
+}
+
 // delegate returns the inner PLICounter for untracked sets, rebuilding it if
 // the relation mutated since it was cached — appends, deletes and updates
 // all advance the generation, so a stale sharded LRU of composite partitions

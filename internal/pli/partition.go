@@ -112,6 +112,21 @@ func (p *Partition) addDense(members []int32) {
 	p.bitLens = append(p.bitLens, int32(len(members)))
 }
 
+// addDenseWords appends one class from an already-computed bitmap (the AND
+// kernel's output), copying the words instead of re-scattering members.
+func (p *Partition) addDenseWords(words []uint64, count int32) {
+	if p.wpc == 0 {
+		p.wpc = (p.extent + 63) / 64
+	}
+	p.bits = append(p.bits, words...)
+	p.bitLens = append(p.bitLens, count)
+}
+
+// AllDense reports whether every stored class is bitmap-backed (no arena
+// classes). Products of two all-dense partitions run entirely on the word
+// kernels — no probe table, no member scatter.
+func (p *Partition) AllDense() bool { return p.numSparse() == 0 }
+
 // NumRows returns the number of (live) tuples the partition covers.
 func (p *Partition) NumRows() int { return p.numRows }
 
@@ -521,11 +536,10 @@ func FromSet(r *relation.Relation, x bitset.Set) *Partition {
 	if len(cols) == 1 {
 		return p
 	}
-	scratch := getScratch(p.probeExtent())
+	workers := runtime.GOMAXPROCS(0)
 	for _, c := range cols[1:] {
-		p = p.Product(FromColumn(r, c), scratch)
+		p = p.ProductParallel(FromColumn(r, c), workers)
 	}
-	putScratch(scratch)
 	return p
 }
 
@@ -590,11 +604,19 @@ func universal(n int) *Partition {
 
 // productScratch holds reusable buffers for Product so repeated products
 // (the hot loop of candidate evaluation) avoid reallocating O(n) tables.
-// Outside a Product call every probe entry is −1.
+// Outside a Product call every probe entry is −1 and every counts entry is 0
+// (both invariants restored by the kernels before returning).
 type productScratch struct {
 	probe   []int32 // row → class index in lhs, −1 if singleton there
 	accum   [][]int32
 	touched []int32
+	// counts accumulates per-p-class intersection sizes for the count-only
+	// kernels; zero outside a call, reset through touched.
+	counts []int32
+	// words is the AND kernel's output buffer (one bitmap of p.wpc words).
+	words []uint64
+	// buf is the member collection / dense-decode buffer.
+	buf []int32
 }
 
 // NewScratch allocates product scratch space for relations with n rows.
@@ -621,6 +643,35 @@ func (s *productScratch) ensure(n int) {
 	for i := old; i < n; i++ {
 		s.probe[i] = -1
 	}
+}
+
+// ensureAccum widens the accumulator to nc classes, resizing with copy so the
+// previously grown per-class member slices stay warm across differently-sized
+// products instead of being discarded with the old backing array.
+func (s *productScratch) ensureAccum(nc int) {
+	if cap(s.accum) < nc {
+		grown := make([][]int32, nc)
+		copy(grown, s.accum[:cap(s.accum)])
+		s.accum = grown
+	}
+	s.accum = s.accum[:nc]
+}
+
+// ensureCounts widens the per-class counters to nc zeroed entries. Growth
+// copies nothing: entries are zero outside a call by invariant.
+func (s *productScratch) ensureCounts(nc int) {
+	if cap(s.counts) < nc {
+		s.counts = make([]int32, nc)
+	}
+	s.counts = s.counts[:nc]
+}
+
+// ensureWords sizes the AND output buffer to wpc words.
+func (s *productScratch) ensureWords(wpc int) {
+	if cap(s.words) < wpc {
+		s.words = make([]uint64, wpc)
+	}
+	s.words = s.words[:wpc]
 }
 
 // scratchPool shares product scratch across every caller that does not
@@ -674,57 +725,6 @@ func (p *Partition) clearProbe(probe []int32) {
 			}
 		}
 	}
-}
-
-// Product computes the partition of X∪Q from the partitions of X and Q using
-// the stripped-product algorithm (TANE) over the flat layout. scratch may be
-// nil, in which case pooled tables are borrowed for the call; passing a
-// scratch from NewScratch reuses the caller's across calls.
-func (p *Partition) Product(q *Partition, scratch *productScratch) *Partition {
-	pooled := scratch == nil
-	if pooled {
-		scratch = getScratch(p.probeExtent())
-	} else {
-		scratch.ensure(p.probeExtent())
-	}
-	probe := scratch.probe
-	p.fillProbe(probe)
-	nc := p.NumStrippedClasses()
-	if cap(scratch.accum) < nc {
-		scratch.accum = make([][]int32, nc)
-	}
-	accum := scratch.accum[:nc]
-	for i := range accum {
-		accum[i] = accum[i][:0]
-	}
-	touched := scratch.touched[:0]
-
-	out := &Partition{numRows: p.numRows, extent: p.extent}
-	emit := func(members []int32) bool {
-		for _, row := range members {
-			if ci := probe[row]; ci >= 0 {
-				if len(accum[ci]) == 0 {
-					touched = append(touched, ci)
-				}
-				accum[ci] = append(accum[ci], row)
-			}
-		}
-		for _, ci := range touched {
-			if len(accum[ci]) >= 2 {
-				out.addClass(accum[ci])
-			}
-			accum[ci] = accum[ci][:0]
-		}
-		touched = touched[:0]
-		return true
-	}
-	q.ForEachClass(emit)
-	scratch.touched = touched[:0]
-	p.clearProbe(probe)
-	if pooled {
-		putScratch(scratch)
-	}
-	return out
 }
 
 // RefinesOrEquals reports whether p refines q (every class of p is contained
